@@ -1,0 +1,158 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section and times the regeneration of each artifact with
+   Bechamel (one Test.make per artifact), plus the headline
+   evaluations-per-second measurement behind the paper's 100000x claim.
+
+   Usage:
+     dune exec bench/main.exe                 # all artifacts + timings
+     dune exec bench/main.exe -- table4 fig5  # selected artifacts
+     dune exec bench/main.exe -- --full       # Fig. 10 with 100000 samples
+     dune exec bench/main.exe -- --no-bench   # skip the Bechamel timings *)
+
+let section name f =
+  Format.printf "@.===================== %s =====================@.@." name;
+  f ();
+  Format.printf "@."
+
+let fig10_samples = ref 5000
+
+let artifacts =
+  [
+    ("table1", fun () -> Experiments.Table1.print (Experiments.Table1.run ()));
+    ("table2", Experiments.Setup_tables.print_table2);
+    ("table3", Experiments.Setup_tables.print_table3);
+    ("table4", fun () -> Experiments.Table4.print (Experiments.Table4.run ()));
+    ("table5", fun () -> Experiments.Table5.print (Experiments.Table5.run ()));
+    ("fig5", fun () -> Experiments.Tradeoff.print (Experiments.Tradeoff.fig5 ()));
+    ("fig6", fun () -> Experiments.Fig6.print (Experiments.Fig6.run ()));
+    ("fig7", fun () -> Experiments.Fig7.print (Experiments.Fig7.run ()));
+    ("fig8", fun () -> Experiments.Tradeoff.print (Experiments.Tradeoff.fig8 ()));
+    ("fig9", fun () -> Experiments.Fig9.print (Experiments.Fig9.run ()));
+    ( "fig10",
+      fun () ->
+        Experiments.Fig10.print
+          (Experiments.Fig10.run ~samples:!fig10_samples ()) );
+    ( "ablations",
+      fun () -> Experiments.Ablations.print (Experiments.Ablations.run ()) );
+    ( "sensitivity",
+      fun () ->
+        Experiments.Sensitivity.print (Experiments.Sensitivity.run ()) );
+    ( "extremes",
+      fun () -> Experiments.Extremes.print (Experiments.Extremes.run ()) );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timings: one Test.make per artifact (how long regenerating
+   it takes) and the per-design evaluation speed (the quantity behind
+   the paper's 100000x-faster-than-synthesis claim). *)
+
+let speed_tests () =
+  let open Bechamel in
+  let xcp = Cnn.Model_zoo.xception () in
+  let res50 = Cnn.Model_zoo.resnet50 () in
+  let per_design =
+    [
+      Test.make ~name:"evaluate/Segmented4-XCp-VCU110"
+        (Staged.stage (fun () ->
+             Mccm.Evaluate.metrics xcp Platform.Board.vcu110
+               (Arch.Baselines.segmented ~ces:4 xcp)));
+      Test.make ~name:"evaluate/Hybrid7-XCp-VCU110"
+        (Staged.stage (fun () ->
+             Mccm.Evaluate.metrics xcp Platform.Board.vcu110
+               (Arch.Baselines.hybrid ~ces:7 xcp)));
+      Test.make ~name:"evaluate/SegmentedRR2-Res50-ZC706"
+        (Staged.stage (fun () ->
+             Mccm.Evaluate.metrics res50 Platform.Board.zc706
+               (Arch.Baselines.segmented_rr ~ces:2 res50)));
+      Test.make ~name:"surrogate/Hybrid7-XCp-VCU110"
+        (Staged.stage (fun () ->
+             Sim.Simulate.evaluate xcp Platform.Board.vcu110
+               (Arch.Baselines.hybrid ~ces:7 xcp)));
+    ]
+  in
+  let artifact_tests =
+    [
+      Test.make ~name:"artifact/table1"
+        (Staged.stage (fun () -> ignore (Experiments.Table1.run ())));
+      Test.make ~name:"artifact/fig5"
+        (Staged.stage (fun () -> ignore (Experiments.Tradeoff.fig5 ())));
+      Test.make ~name:"artifact/fig6"
+        (Staged.stage (fun () -> ignore (Experiments.Fig6.run ())));
+      Test.make ~name:"artifact/fig7"
+        (Staged.stage (fun () -> ignore (Experiments.Fig7.run ())));
+      Test.make ~name:"artifact/fig8"
+        (Staged.stage (fun () -> ignore (Experiments.Tradeoff.fig8 ())));
+      Test.make ~name:"artifact/fig9"
+        (Staged.stage (fun () -> ignore (Experiments.Fig9.run ())));
+      Test.make ~name:"artifact/fig10-100designs"
+        (Staged.stage (fun () ->
+             ignore (Experiments.Fig10.run ~samples:100 ())));
+    ]
+  in
+  Test.make_grouped ~name:"mccm" (per_design @ artifact_tests)
+
+let run_bechamel () =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
+  let raw =
+    Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] (speed_tests ())
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  let table =
+    Util.Table.create ~title:"Bechamel timings (monotonic clock)"
+      ~columns:[ ("benchmark", Util.Table.Left); ("time/run", Util.Table.Right) ]
+      ()
+  in
+  List.iter
+    (fun (name, ns) ->
+      Util.Table.add_row table
+        [ name; Format.asprintf "%a" Util.Units.pp_seconds (ns *. 1e-9) ])
+    rows;
+  Util.Table.print table;
+  (* The paper's speed claim: ~6.3 ms per design vs ~1 hour of synthesis. *)
+  match List.assoc_opt "mccm/evaluate/Hybrid7-XCp-VCU110" rows with
+  | Some ns when not (Float.is_nan ns) ->
+    let per_design_s = ns *. 1e-9 in
+    Format.printf
+      "@.One MCCM evaluation takes %a; against the paper's ~1 h synthesis \
+       per design that is a %.0fx speedup (paper: ~100000x at 6.3 ms per \
+       design).@."
+      Util.Units.pp_seconds per_design_s
+      (3600.0 /. per_design_s)
+  | _ -> ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, picks = List.partition (fun a -> String.length a > 1 && a.[0] = '-') args in
+  if List.mem "--full" flags then fig10_samples := 100000;
+  let run_bench = not (List.mem "--no-bench" flags) in
+  let selected =
+    if picks = [] then artifacts
+    else
+      List.filter_map
+        (fun p ->
+          match List.assoc_opt p artifacts with
+          | Some f -> Some (p, f)
+          | None ->
+            Format.eprintf "unknown artifact %s (have: %s)@." p
+              (String.concat ", " (List.map fst artifacts));
+            None)
+        picks
+  in
+  List.iter (fun (name, f) -> section name f) selected;
+  if run_bench && picks = [] then section "speed (Bechamel)" run_bechamel

@@ -1,0 +1,470 @@
+(* mccm: command-line front-end to the MCCM evaluation methodology.
+
+   Subcommands:
+     eval     evaluate one accelerator (baseline name or paper notation)
+     sweep    evaluate all baseline instances on a (CNN, board) pair
+     explore  random design-space exploration of custom accelerators
+     models   list the CNN model zoo
+     boards   list the FPGA boards *)
+
+open Cmdliner
+
+(* ------------------------------------------------------- arguments *)
+
+let model_conv =
+  (* A zoo abbreviation, or a path to a model-description file (see
+     Cnn.Model_io) when it names an existing file. *)
+  let parse s =
+    match Cnn.Model_zoo.by_abbreviation s with
+    | Some m -> Ok m
+    | None when Sys.file_exists s -> (
+      match Cnn.Model_io.load_file s with
+      | Ok m -> Ok m
+      | Error msg -> Error (`Msg (Printf.sprintf "%s: %s" s msg)))
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown CNN %S (expected a file or one of: %s)" s
+              (String.concat ", "
+                 (List.map
+                    (fun m -> m.Cnn.Model.abbreviation)
+                    (Cnn.Model_zoo.extended ())))))
+  in
+  let print ppf m = Format.pp_print_string ppf m.Cnn.Model.abbreviation in
+  Arg.conv (parse, print)
+
+let board_conv =
+  let parse s =
+    match Platform.Board.by_name s with
+    | Some b -> Ok b
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown board %S (expected one of: %s)" s
+              (String.concat ", "
+                 (List.map
+                    (fun b -> b.Platform.Board.name)
+                    Platform.Board.all))))
+  in
+  let print ppf b = Format.pp_print_string ppf b.Platform.Board.name in
+  Arg.conv (parse, print)
+
+let model_arg =
+  Arg.(
+    required
+    & opt (some model_conv) None
+    & info [ "m"; "model" ] ~docv:"CNN"
+        ~doc:
+          "CNN model: a zoo abbreviation (Res152, Res50, XCp, Dns121, \
+           MobV2, EffB0, MnasA1) or a path to a model-description file.")
+
+let board_arg =
+  Arg.(
+    required
+    & opt (some board_conv) None
+    & info [ "b"; "board" ] ~docv:"BOARD"
+        ~doc:"FPGA board (ZC706, VCU108, VCU110 or ZCU102).")
+
+(* Architecture strings resolve through Arch.Shorthand: baseline names
+   or the paper's block notation. *)
+let arch_of_string model s = Arch.Shorthand.parse model s
+
+let print_evaluation ~verbose model board archi =
+  let built = Builder.Build.build model board archi in
+  let e = Mccm.Evaluate.run built in
+  Format.printf "%a@." Builder.Build.pp built;
+  Format.printf "@.MCCM: %a@." Mccm.Metrics.pp e.Mccm.Evaluate.metrics;
+  Format.printf "Roofline: %a@." Mccm.Roofline.pp
+    (Mccm.Roofline.analyze model board e.Mccm.Evaluate.metrics);
+  if verbose then begin
+    Format.printf "@.Fine-grained breakdown:@.%a@." Mccm.Breakdown.pp
+      e.Mccm.Evaluate.breakdown;
+    let s = Sim.Simulate.run built in
+    Format.printf "@.Synthesis surrogate (achieved clock %.0f MHz):@.  %a@."
+      (s.Sim.Simulate.achieved_clock_hz /. 1e6)
+      Mccm.Metrics.pp s.Sim.Simulate.metrics;
+    let c =
+      Report.Accuracy.compare_metrics ~reference:s.Sim.Simulate.metrics
+        ~estimated:e.Mccm.Evaluate.metrics
+    in
+    Format.printf
+      "Accuracy (Eq. 10): latency %.1f%%, throughput %.1f%%, buffers \
+       %.1f%%, accesses %.1f%%@."
+      c.Report.Accuracy.latency c.Report.Accuracy.throughput
+      c.Report.Accuracy.buffers c.Report.Accuracy.accesses
+  end
+
+(* ------------------------------------------------------------- eval *)
+
+let eval_cmd =
+  let arch_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ARCH"
+          ~doc:
+            "Accelerator: segmented/N, segmentedrr/N, hybrid/N, or the \
+             paper's notation, e.g. '{L1-L4:CE1, L5-Last:CE2}'.")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Also print the fine-grained breakdown and the synthesis \
+                surrogate's reference numbers.")
+  in
+  let run model board arch_str verbose =
+    match arch_of_string model arch_str with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok archi ->
+      print_evaluation ~verbose model board archi;
+      0
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate one multiple-CE accelerator with MCCM.")
+    Term.(const run $ model_arg $ board_arg $ arch_arg $ verbose_arg)
+
+(* ------------------------------------------------------------ sweep *)
+
+let sweep_cmd =
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH" ~doc:"Also write the results as CSV.")
+  in
+  let run model board csv =
+    let table =
+      Util.Table.create
+        ~title:
+          (Format.asprintf "Baselines on %s / %s" model.Cnn.Model.abbreviation
+             board.Platform.Board.name)
+        ~columns:
+          [
+            ("architecture", Util.Table.Left);
+            ("latency", Util.Table.Right);
+            ("throughput", Util.Table.Right);
+            ("buffers", Util.Table.Right);
+            ("accesses", Util.Table.Right);
+            ("feasible", Util.Table.Center);
+          ]
+        ()
+    in
+    List.iter
+      (fun (name, archi) ->
+        let m = Mccm.Evaluate.metrics model board archi in
+        Util.Table.add_row table
+          [
+            name;
+            Format.asprintf "%a" Util.Units.pp_seconds m.Mccm.Metrics.latency_s;
+            Printf.sprintf "%.1f inf/s" m.Mccm.Metrics.throughput_ips;
+            Format.asprintf "%a" Util.Units.pp_bytes m.Mccm.Metrics.buffer_bytes;
+            Format.asprintf "%a" Util.Units.pp_bytes
+              (Mccm.Metrics.accesses_bytes m);
+            (if m.Mccm.Metrics.feasible then "yes" else "NO");
+          ])
+      (Arch.Baselines.all_instances model);
+    Util.Table.print table;
+    (match csv with
+    | None -> ()
+    | Some path ->
+      let rows =
+        List.map
+          (fun (name, archi) ->
+            (name, Mccm.Evaluate.metrics model board archi))
+          (Arch.Baselines.all_instances model)
+      in
+      Report.Csv.save
+        (Report.Csv.of_metrics_rows ~label_header:"architecture" rows)
+        ~path;
+      Format.printf "wrote %s@." path);
+    0
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Evaluate all 30 baseline instances (3 architectures x 2-11 CEs).")
+    Term.(const run $ model_arg $ board_arg $ csv_arg)
+
+(* ---------------------------------------------------------- explore *)
+
+let explore_cmd =
+  let samples_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "n"; "samples" ] ~docv:"N"
+          ~doc:"Number of random custom designs to evaluate.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (runs are deterministic).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "domains" ] ~docv:"N"
+          ~doc:
+            "Parallel OCaml domains to spread the sweep over \
+             (deterministic per (seed, N)).")
+  in
+  let run model board samples seed domains =
+    let r =
+      Dse.Explore.run ~seed:(Int64.of_int seed) ~domains ~samples model board
+    in
+    Format.printf
+      "%d designs sampled, %d feasible, %.1f s (%.2f ms per design)@." samples
+      (List.length r.Dse.Explore.evaluated)
+      r.Dse.Explore.elapsed_s
+      (1000.0 *. r.Dse.Explore.elapsed_s /. float_of_int samples);
+    Format.printf "Pareto front (throughput vs buffers):@.";
+    List.iter
+      (fun (p : Dse.Explore.evaluated Dse.Pareto.point) ->
+        let e = p.Dse.Pareto.item in
+        let archi = Arch.Custom.arch_of_spec model e.Dse.Explore.spec in
+        Format.printf "  %-40s %a@."
+          (Arch.Notation.to_string archi)
+          Mccm.Metrics.pp e.Dse.Explore.metrics)
+      r.Dse.Explore.front;
+    0
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Randomly explore custom Hybrid-first architectures and print the \
+          throughput/buffer Pareto front.")
+    Term.(
+      const run $ model_arg $ board_arg $ samples_arg $ seed_arg
+      $ domains_arg)
+
+(* ----------------------------------------------------------- layers *)
+
+let layers_cmd =
+  let arch_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ARCH" ~doc:"Accelerator (as for $(b,eval)).")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"N" ~doc:"How many hotspot layers to flag.")
+  in
+  let run model board arch_str top =
+    match arch_of_string model arch_str with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok archi ->
+      let built = Builder.Build.build model board archi in
+      let rows = Mccm.Layer_report.of_build built in
+      Format.printf "%a@." Mccm.Layer_report.pp rows;
+      Format.printf "Hotspots (by cycles):@.";
+      List.iter
+        (fun (r : Mccm.Layer_report.row) ->
+          Format.printf "  L%d %s: %d cycles at %.1f%% utilization@."
+            (r.Mccm.Layer_report.layer_index + 1)
+            r.Mccm.Layer_report.layer_name r.Mccm.Layer_report.cycles
+            (100.0 *. r.Mccm.Layer_report.utilization))
+        (Mccm.Layer_report.hotspots ~top rows);
+      0
+  in
+  Cmd.v
+    (Cmd.info "layers"
+       ~doc:"Per-layer cycles, utilization and traffic of one accelerator.")
+    Term.(const run $ model_arg $ board_arg $ arch_arg $ top_arg)
+
+(* ------------------------------------------------------------ trace *)
+
+let trace_cmd =
+  let arch_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ARCH" ~doc:"Accelerator (as for $(b,eval)).")
+  in
+  let block_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "block" ] ~docv:"I"
+          ~doc:"0-based architecture-block index to trace.")
+  in
+  let width_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "width" ] ~docv:"COLS" ~doc:"Timeline width in characters.")
+  in
+  let run model board arch_str block width =
+    match arch_of_string model arch_str with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok archi -> (
+      let built = Builder.Build.build model board archi in
+      match Sim.Simulate.trace_block built ~block with
+      | None ->
+        Format.printf
+          "block %d is a single-CE block (sequential; nothing to trace)@."
+          block;
+        0
+      | Some trace ->
+        let lo, hi = Sim.Trace.span trace in
+        Format.printf "%d tile events over %.0f cycles:@.@."
+          (Sim.Trace.tile_count trace)
+          (hi -. lo);
+        print_string (Sim.Trace.render_gantt ~width trace);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Simulate one input through a pipelined block and draw its \
+          per-engine tile timeline.")
+    Term.(const run $ model_arg $ board_arg $ arch_arg $ block_arg $ width_arg)
+
+(* ----------------------------------------------------- models/boards *)
+
+let models_cmd =
+  let run () =
+    List.iter
+      (fun m -> Format.printf "%a@." Cnn.Model.pp_summary m)
+      (Cnn.Model_zoo.extended ());
+    0
+  in
+  Cmd.v (Cmd.info "models" ~doc:"List the CNN model zoo.") Term.(const run $ const ())
+
+let boards_cmd =
+  let run () =
+    List.iter
+      (fun b -> Format.printf "%a@." Platform.Board.pp b)
+      Platform.Board.all;
+    0
+  in
+  Cmd.v (Cmd.info "boards" ~doc:"List the FPGA boards.") Term.(const run $ const ())
+
+(* --------------------------------------------------------- compress *)
+
+let compress_cmd =
+  let arch_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ARCH" ~doc:"Accelerator (as for $(b,eval)).")
+  in
+  let ratio_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "r"; "ratio" ] ~docv:"R" ~doc:"Compression factor (> 1).")
+  in
+  let run model board arch_str ratio =
+    match arch_of_string model arch_str with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok archi ->
+      let e = Mccm.Evaluate.evaluate model board archi in
+      let b = e.Mccm.Evaluate.breakdown in
+      let target, o =
+        Mccm.Compression.best_single_target ~board ~ratio b
+      in
+      Format.printf "Baseline: %a@." Mccm.Metrics.pp e.Mccm.Evaluate.metrics;
+      Format.printf
+        "Best single compression target at %.1fx (memory-bound segments \
+         only): %s@."
+        ratio
+        (match target with
+        | Mccm.Compression.Weights_only -> "weights"
+        | Mccm.Compression.Fms_only -> "feature maps"
+        | Mccm.Compression.Both -> "both");
+      Format.printf
+        "  %d segments affected; execution %a -> %a (%.1f%% faster); \
+         traffic %a -> %a@."
+        o.Mccm.Compression.segments_affected Util.Units.pp_seconds
+        o.Mccm.Compression.baseline_time_s Util.Units.pp_seconds
+        o.Mccm.Compression.compressed_time_s
+        (100.0 *. (1.0 -. (1.0 /. o.Mccm.Compression.speedup)))
+        Mccm.Access.pp o.Mccm.Compression.baseline_accesses Mccm.Access.pp
+        o.Mccm.Compression.compressed_accesses;
+      0
+  in
+  Cmd.v
+    (Cmd.info "compress"
+       ~doc:
+         "What-if analysis: which operand is worth compressing, and what \
+          it buys (Use Case 2).")
+    Term.(const run $ model_arg $ board_arg $ arch_arg $ ratio_arg)
+
+(* ----------------------------------------------------------- refine *)
+
+let refine_cmd =
+  let objective_arg =
+    Arg.(
+      value
+      & opt (enum [ ("throughput", `Throughput); ("latency", `Latency) ])
+          `Throughput
+      & info [ "o"; "objective" ] ~docv:"OBJ"
+          ~doc:"Objective to improve: $(b,throughput) or $(b,latency).")
+  in
+  let pipelined_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "p"; "pipelined" ] ~docv:"F"
+          ~doc:"Pipelined-block depth of the seed design.")
+  in
+  let tail_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "t"; "tail" ] ~docv:"S"
+          ~doc:"Tail segments of the seed design.")
+  in
+  let run model board objective pipelined tail =
+    let seed_arch =
+      Arch.Custom.balanced model ~pipelined_layers:pipelined
+        ~tail_segments:tail
+    in
+    let seed =
+      {
+        Arch.Custom.pipelined_layers = pipelined;
+        tail_boundaries =
+          (match seed_arch.Arch.Block.blocks with
+          | _ :: tail_blocks ->
+            List.filteri (fun i _ -> i > 0)
+              (List.map
+                 (fun b -> fst (Arch.Block.layer_range b))
+                 tail_blocks)
+          | [] -> []);
+      }
+    in
+    let f m =
+      match objective with
+      | `Throughput -> m.Mccm.Metrics.throughput_ips
+      | `Latency -> -.m.Mccm.Metrics.latency_s
+    in
+    let steps = Dse.Enumerate.local_search ~objective:f model board seed in
+    List.iter
+      (fun (s : Dse.Enumerate.step) ->
+        Format.printf "%-28s %-44s %a@." s.Dse.Enumerate.moved
+          (Arch.Notation.to_string
+             (Arch.Custom.arch_of_spec model s.Dse.Enumerate.spec))
+          Mccm.Metrics.pp s.Dse.Enumerate.metrics)
+      steps;
+    0
+  in
+  Cmd.v
+    (Cmd.info "refine"
+       ~doc:
+         "Hill-climb a custom design's boundaries toward an objective \
+          (Use Case 3's guided exploration).")
+    Term.(
+      const run $ model_arg $ board_arg $ objective_arg $ pipelined_arg
+      $ tail_arg)
+
+let () =
+  let doc = "Analytical cost model for multiple compute-engine CNN accelerators" in
+  let info = Cmd.info "mccm" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info
+          [ eval_cmd; sweep_cmd; explore_cmd; compress_cmd; refine_cmd;
+            layers_cmd; trace_cmd; models_cmd; boards_cmd ]))

@@ -1,0 +1,1 @@
+examples/bottleneck_analysis.ml: Arch Cnn Float Format List Mccm Platform Util

@@ -1,0 +1,1 @@
+examples/compare_boards.ml: Arch Cnn Format List Mccm Platform Sys Util

@@ -1,0 +1,1 @@
+examples/custom_model.ml: Arch Cnn Dse Format List Mccm Platform String

@@ -1,0 +1,1 @@
+examples/explore_design_space.ml: Arch Cnn Dse Format List Mccm Platform Sys Util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arch Cnn Format List Mccm Platform Printf Util

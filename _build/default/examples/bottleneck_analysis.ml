@@ -1,0 +1,85 @@
+(* Use Case 2 (fine-grained evaluation): find an accelerator's
+   performance bottleneck and quantify what an optimization — here weight
+   compression — would buy, segment by segment.
+
+   The paper's example: SegmentedRR with 2 CEs on ResNet50 / ZC706 is
+   memory-bound in its tail segments; compression helps only there, and
+   only on weights.
+
+   Run with: dune exec examples/bottleneck_analysis.exe *)
+
+let () =
+  let model = Cnn.Model_zoo.resnet50 () in
+  let board = Platform.Board.zc706 in
+  let archi = Arch.Baselines.segmented_rr ~ces:2 model in
+  let e = Mccm.Evaluate.evaluate model board archi in
+  let b = e.Mccm.Evaluate.breakdown in
+
+  Format.printf "Fine-grained evaluation of %s on %s / %s@.@."
+    archi.Arch.Block.name model.Cnn.Model.abbreviation
+    board.Platform.Board.name;
+  Format.printf "%a@.@." Mccm.Breakdown.pp b;
+
+  (* Identify memory-bound segments: where transfer time exceeds compute
+     time, the engines idle waiting for data. *)
+  let memory_bound =
+    List.filter
+      (fun (s : Mccm.Breakdown.segment) ->
+        s.Mccm.Breakdown.memory_s > s.Mccm.Breakdown.compute_s)
+      b.Mccm.Breakdown.segments
+  in
+  Format.printf
+    "%d of %d segments are memory-bound; engines idle %.1f%% of the time:@."
+    (List.length memory_bound)
+    (List.length b.Mccm.Breakdown.segments)
+    (100.0 *. b.Mccm.Breakdown.stall_fraction);
+  List.iter
+    (fun (s : Mccm.Breakdown.segment) ->
+      Format.printf "  %-6s memory %a vs compute %a (%a of traffic)@."
+        s.Mccm.Breakdown.label Util.Units.pp_seconds s.Mccm.Breakdown.memory_s
+        Util.Units.pp_seconds s.Mccm.Breakdown.compute_s Mccm.Access.pp
+        s.Mccm.Breakdown.accesses)
+    memory_bound;
+
+  (* What-if: compress weights 2x, but only for the memory-bound
+     segments' layers (the paper's point — applying compression where it
+     is pure overhead wastes resources).  A segment's time under
+     compression is bounded below by its compute time. *)
+  let whatif_time ratio =
+    List.fold_left
+      (fun acc (s : Mccm.Breakdown.segment) ->
+        if s.Mccm.Breakdown.memory_s > s.Mccm.Breakdown.compute_s then begin
+          let w =
+            float_of_int
+              s.Mccm.Breakdown.accesses.Mccm.Access.weights_bytes
+            /. ratio
+          in
+          let fm = float_of_int s.Mccm.Breakdown.accesses.Mccm.Access.fms_bytes in
+          let mem =
+            (w +. fm) /. board.Platform.Board.bandwidth_bytes_per_sec
+          in
+          acc +. Float.max s.Mccm.Breakdown.compute_s mem
+        end
+        else acc +. s.Mccm.Breakdown.time_s)
+      0.0 b.Mccm.Breakdown.segments
+  in
+  let base = whatif_time 1.0 in
+  Format.printf
+    "@.What-if, compressing only the bottleneck segments' weights:@.";
+  List.iter
+    (fun ratio ->
+      Format.printf "  %.1fx weight compression -> %a total (%.1f%% faster)@."
+        ratio Util.Units.pp_seconds (whatif_time ratio)
+        (100.0 *. (1.0 -. (whatif_time ratio /. base))))
+    [ 1.5; 2.0; 4.0 ];
+
+  (* And the paper's second point: FM compression would be pure overhead
+     here because weights dominate the traffic. *)
+  let acc = b.Mccm.Breakdown.accesses in
+  Format.printf
+    "@.Traffic split: %a — compressing FMs could save at most %.1f%% of \
+     accesses.@."
+    Mccm.Access.pp acc
+    (100.0
+    *. float_of_int acc.Mccm.Access.fms_bytes
+    /. float_of_int (Mccm.Access.total acc))

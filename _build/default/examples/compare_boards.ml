@@ -1,0 +1,71 @@
+(* End-to-end evaluation across resource budgets (the workflow behind the
+   paper's Use Case 1 / Table V): for every board and CNN, find the best
+   baseline architecture per metric over CE counts 2-11.
+
+   Run with: dune exec examples/compare_boards.exe [-- <cnn-abbrev>] *)
+
+let best_for ~metric evals =
+  let best =
+    List.fold_left
+      (fun acc (name, m) ->
+        match acc with
+        | None -> Some (name, m)
+        | Some (_, mb) ->
+          if Mccm.Metrics.better ~metric m mb then Some (name, m) else acc)
+      None evals
+  in
+  match best with
+  | Some (name, _) -> name
+  | None -> "-"
+
+let () =
+  let models =
+    match Sys.argv with
+    | [| _ |] -> Cnn.Model_zoo.all ()
+    | [| _; abbrev |] -> (
+      match Cnn.Model_zoo.by_abbreviation abbrev with
+      | Some m -> [ m ]
+      | None ->
+        Format.eprintf "unknown model %s@." abbrev;
+        exit 1)
+    | _ ->
+      Format.eprintf "usage: compare_boards [<cnn-abbrev>]@.";
+      exit 1
+  in
+  List.iter
+    (fun board ->
+      let table =
+        Util.Table.create
+          ~title:
+            (Format.asprintf "Best baseline per metric on %a"
+               Platform.Board.pp board)
+          ~columns:
+            [
+              ("CNN", Util.Table.Left);
+              ("latency", Util.Table.Left);
+              ("throughput", Util.Table.Left);
+              ("accesses", Util.Table.Left);
+              ("buffers", Util.Table.Left);
+            ]
+          ()
+      in
+      List.iter
+        (fun model ->
+          let evals =
+            List.map
+              (fun (name, archi) ->
+                (name, Mccm.Evaluate.metrics model board archi))
+              (Arch.Baselines.all_instances model)
+          in
+          Util.Table.add_row table
+            [
+              model.Cnn.Model.abbreviation;
+              best_for ~metric:`Latency evals;
+              best_for ~metric:`Throughput evals;
+              best_for ~metric:`Accesses evals;
+              best_for ~metric:`Buffers evals;
+            ])
+        models;
+      Util.Table.print table;
+      print_newline ())
+    Platform.Board.all

@@ -1,0 +1,79 @@
+(* Evaluating accelerators for a CNN outside the built-in zoo: define the
+   network in the textual model format (Cnn.Model_io), then run the whole
+   methodology on it — sweep the baselines, pick a winner per metric, and
+   refine a custom design with local search.
+
+   Run with: dune exec examples/custom_model.exe *)
+
+let description =
+  {|
+# A small edge-vision backbone: stem + four inverted-residual stages.
+cnn EdgeNet Edge
+input 3x96x96
+conv 16 k=3 s=2
+dw k=3 s=1
+pw 24
+pw 144 name=s2_exp
+dw k=3 s=2 name=s2_dw
+pw 32 name=s2_prj
+pw 192 extra=18432 name=s3_exp
+dw k=3 s=1 extra=18432 name=s3_dw
+pw 32 extra=18432 name=s3_prj
+pw 192 name=s4_exp
+dw k=5 s=2 name=s4_dw
+pw 64 name=s4_prj
+pw 384 name=s5_exp
+dw k=5 s=2 name=s5_dw
+pw 96 name=s5_prj
+pw 256 name=head
+|}
+
+let () =
+  let model =
+    match Cnn.Model_io.of_string description with
+    | Ok m -> m
+    | Error e ->
+      Format.eprintf "model parse error: %s@." e;
+      exit 1
+  in
+  let board = Platform.Board.zc706 in
+  Format.printf "%a@.@." Cnn.Model.pp_summary model;
+
+  (* Baselines. *)
+  let candidates =
+    List.filter_map
+      (fun (name, archi) ->
+        let m = Mccm.Evaluate.metrics model board archi in
+        if m.Mccm.Metrics.feasible then Some (name, m) else None)
+      (Arch.Baselines.all_instances model)
+  in
+  let best metric =
+    let cs =
+      List.map
+        (fun (label, metrics) -> { Dse.Select.label; metrics })
+        candidates
+    in
+    String.concat " " (Dse.Select.winner_labels ~metric cs)
+  in
+  Format.printf "Best baselines (10%% tie rule):@.";
+  Format.printf "  latency:    %s@." (best `Latency);
+  Format.printf "  throughput: %s@." (best `Throughput);
+  Format.printf "  accesses:   %s@." (best `Accesses);
+  Format.printf "  buffers:    %s@.@." (best `Buffers);
+
+  (* Refine a custom design toward throughput. *)
+  let seed = { Arch.Custom.pipelined_layers = 3; tail_boundaries = [ 9 ] } in
+  let steps =
+    Dse.Enumerate.local_search
+      ~objective:(fun m -> m.Mccm.Metrics.throughput_ips)
+      model board seed
+  in
+  Format.printf "Local search from %s:@."
+    (Arch.Notation.to_string (Arch.Custom.arch_of_spec model seed));
+  List.iter
+    (fun (s : Dse.Enumerate.step) ->
+      Format.printf "  %-26s -> %5.1f inf/s  %s@." s.Dse.Enumerate.moved
+        s.Dse.Enumerate.metrics.Mccm.Metrics.throughput_ips
+        (Arch.Notation.to_string
+           (Arch.Custom.arch_of_spec model s.Dse.Enumerate.spec)))
+    steps

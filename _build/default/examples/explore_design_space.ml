@@ -1,0 +1,56 @@
+(* Use Case 3 (design-space exploration): MCCM's millisecond evaluation
+   makes it practical to search the space of custom CE arrangements — a
+   Hybrid-like pipelined first block followed by Segmented-like blocks —
+   and beat the fixed baseline architectures on the throughput/buffer
+   trade-off.
+
+   Run with: dune exec examples/explore_design_space.exe [-- <samples>] *)
+
+let () =
+  let samples =
+    match Sys.argv with
+    | [| _; n |] -> int_of_string n
+    | _ -> 3000
+  in
+  let model = Cnn.Model_zoo.xception () in
+  let board = Platform.Board.vcu110 in
+
+  Format.printf "Design space: %.3g custom architectures (CE counts 2-11)@."
+    (Dse.Space.total_designs
+       ~num_layers:(Cnn.Model.num_layers model)
+       ~ce_counts:Arch.Baselines.default_ce_counts);
+
+  (* The two promising baselines from the paper's Fig. 8. *)
+  let seg4 =
+    Mccm.Evaluate.metrics model board (Arch.Baselines.segmented ~ces:4 model)
+  in
+  let hyb7 =
+    Mccm.Evaluate.metrics model board (Arch.Baselines.hybrid ~ces:7 model)
+  in
+  Format.printf "Baselines:@.  Segmented/4: %a@.  Hybrid/7:    %a@.@."
+    Mccm.Metrics.pp seg4 Mccm.Metrics.pp hyb7;
+
+  let r = Dse.Explore.run ~samples model board in
+  Format.printf "Explored %d designs in %.1f s (%.2f ms per design)@.@."
+    samples r.Dse.Explore.elapsed_s
+    (1000.0 *. r.Dse.Explore.elapsed_s /. float_of_int samples);
+
+  Format.printf "Throughput/buffer Pareto front:@.";
+  List.iter
+    (fun (p : Dse.Explore.evaluated Dse.Pareto.point) ->
+      let e = p.Dse.Pareto.item in
+      Format.printf "  %-44s thr %6.1f inf/s, buffers %a@."
+        (Arch.Notation.to_string
+           (Arch.Custom.arch_of_spec model e.Dse.Explore.spec))
+        e.Dse.Explore.metrics.Mccm.Metrics.throughput_ips Util.Units.pp_bytes
+        e.Dse.Explore.metrics.Mccm.Metrics.buffer_bytes)
+    r.Dse.Explore.front;
+
+  match Dse.Explore.improvement_over r ~reference:seg4 with
+  | None -> print_endline "no design qualifies against Segmented/4"
+  | Some (buffer_cut, throughput_gain) ->
+    Format.printf
+      "@.vs Segmented/4: same-or-better throughput at %.0f%% smaller \
+       buffers; up to %.0f%% more throughput within its buffer budget@."
+      (100.0 *. buffer_cut)
+      (100.0 *. throughput_gain)

@@ -1,0 +1,54 @@
+(* Quickstart: express three state-of-the-art multiple-CE accelerators,
+   evaluate them with MCCM on one board, and print the paper's four
+   metrics side by side (the workflow behind Table I).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let model = Cnn.Model_zoo.resnet50 () in
+  let board = Platform.Board.zc706 in
+  Format.printf "Model: %a@." Cnn.Model.pp_summary model;
+  Format.printf "Board: %a@.@." Platform.Board.pp board;
+
+  (* The three architectural patterns of the paper, 4 CEs each.  The same
+     descriptions can be written in the paper's notation and parsed with
+     Arch.Notation.parse_arch; see the README. *)
+  let candidates =
+    [
+      Arch.Baselines.segmented ~ces:4 model;
+      Arch.Baselines.segmented_rr ~ces:4 model;
+      Arch.Baselines.hybrid ~ces:4 model;
+    ]
+  in
+
+  let table =
+    Util.Table.create ~title:"MCCM evaluation (ResNet50 on ZC706, 4 CEs)"
+      ~columns:
+        [
+          ("architecture", Util.Table.Left);
+          ("latency", Util.Table.Right);
+          ("throughput", Util.Table.Right);
+          ("buffers", Util.Table.Right);
+          ("accesses", Util.Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun archi ->
+      let m = Mccm.Evaluate.metrics model board archi in
+      Util.Table.add_row table
+        [
+          archi.Arch.Block.name;
+          Format.asprintf "%a" Util.Units.pp_seconds m.Mccm.Metrics.latency_s;
+          Printf.sprintf "%.1f inf/s" m.Mccm.Metrics.throughput_ips;
+          Format.asprintf "%a" Util.Units.pp_bytes m.Mccm.Metrics.buffer_bytes;
+          Format.asprintf "%a" Util.Units.pp_bytes
+            (Mccm.Metrics.accesses_bytes m);
+        ])
+    candidates;
+  Util.Table.print table;
+
+  (* The notation round-trip: any of these accelerators can be expressed
+     as a string and parsed back. *)
+  let seg = List.hd candidates in
+  Format.printf "@.Notation: %s@." (Arch.Notation.to_string seg)

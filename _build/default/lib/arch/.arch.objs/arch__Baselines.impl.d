@@ -1,0 +1,1 @@
+lib/arch/baselines.ml: Array Block Cnn List Printf Util

@@ -1,0 +1,1 @@
+lib/arch/baselines.mli: Block Cnn

@@ -1,0 +1,1 @@
+lib/arch/block.ml: Format Int List Printf Set

@@ -1,0 +1,1 @@
+lib/arch/custom.ml: Array Block Cnn Format List Printf Util

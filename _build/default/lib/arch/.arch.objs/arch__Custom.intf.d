@@ -1,0 +1,1 @@
+lib/arch/custom.mli: Block Cnn Format

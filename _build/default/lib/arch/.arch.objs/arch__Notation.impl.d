@@ -1,0 +1,1 @@
+lib/arch/notation.ml: Block Format List Option String

@@ -1,0 +1,1 @@
+lib/arch/shorthand.ml: Baselines Cnn List Notation Option Printf String

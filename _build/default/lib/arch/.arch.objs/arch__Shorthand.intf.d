@@ -1,0 +1,1 @@
+lib/arch/shorthand.mli: Block Cnn

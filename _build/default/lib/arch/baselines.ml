@@ -1,0 +1,97 @@
+let check_ces ~ces ~num_layers ~what =
+  if ces < 2 then
+    invalid_arg (what ^ ": a multiple-CE accelerator needs at least 2 CEs");
+  if ces > num_layers then
+    invalid_arg
+      (Printf.sprintf "%s: %d CEs exceed the model's %d layers" what ces
+         num_layers)
+
+let macs_weights model =
+  Array.init (Cnn.Model.num_layers model) (fun i ->
+      Cnn.Layer.macs (Cnn.Model.layer model i))
+
+let segmented ~ces model =
+  let n = Cnn.Model.num_layers model in
+  check_ces ~ces ~num_layers:n ~what:"Baselines.segmented";
+  let ranges =
+    Util.Partition.min_max_partition ~weights:(macs_weights model) ~parts:ces
+  in
+  let blocks =
+    List.mapi
+      (fun i (first, last) -> Block.Single { ce = i; first; last })
+      ranges
+  in
+  Block.arch
+    ~name:(Printf.sprintf "Segmented/%d" ces)
+    ~style:Block.Segmented ~blocks ~coarse_pipelined:true ~num_layers:n
+
+let segmented_rr ~ces model =
+  let n = Cnn.Model.num_layers model in
+  check_ces ~ces ~num_layers:n ~what:"Baselines.segmented_rr";
+  let blocks =
+    [ Block.Pipelined { ce_first = 0; ce_last = ces - 1; first = 0; last = n - 1 } ]
+  in
+  Block.arch
+    ~name:(Printf.sprintf "SegmentedRR/%d" ces)
+    ~style:Block.Segmented_rr ~blocks ~coarse_pipelined:false ~num_layers:n
+
+let hybrid ~ces model =
+  let n = Cnn.Model.num_layers model in
+  check_ces ~ces ~num_layers:n ~what:"Baselines.hybrid";
+  if ces - 1 >= n then
+    invalid_arg "Baselines.hybrid: no layers left for the single-CE part";
+  let blocks =
+    [
+      Block.Pipelined { ce_first = 0; ce_last = ces - 2; first = 0; last = ces - 2 };
+      Block.Single { ce = ces - 1; first = ces - 1; last = n - 1 };
+    ]
+  in
+  Block.arch
+    ~name:(Printf.sprintf "Hybrid/%d" ces)
+    ~style:Block.Hybrid ~blocks ~coarse_pipelined:true ~num_layers:n
+
+let hybrid_dual ~ces model =
+  let n = Cnn.Model.num_layers model in
+  if ces < 3 then
+    invalid_arg "Baselines.hybrid_dual: needs at least 3 CEs (1 + 2)";
+  if ces > n then
+    invalid_arg
+      (Printf.sprintf "Baselines.hybrid_dual: %d CEs exceed the model's %d layers"
+         ces n);
+  if ces - 2 >= n - 1 then
+    invalid_arg "Baselines.hybrid_dual: too few layers for the second part";
+  let blocks =
+    [
+      Block.Pipelined { ce_first = 0; ce_last = ces - 3; first = 0; last = ces - 3 };
+      Block.Pipelined { ce_first = ces - 2; ce_last = ces - 1; first = ces - 2; last = n - 1 };
+    ]
+  in
+  Block.arch
+    ~name:(Printf.sprintf "HybridDual/%d" ces)
+    ~style:Block.Hybrid ~blocks ~coarse_pipelined:true ~num_layers:n
+
+let single_ce model =
+  let n = Cnn.Model.num_layers model in
+  Block.arch ~name:"SingleCE"
+    ~style:Block.Segmented
+    ~blocks:[ Block.Single { ce = 0; first = 0; last = n - 1 } ]
+    ~coarse_pipelined:false ~num_layers:n
+
+let layer_per_ce model =
+  let n = Cnn.Model.num_layers model in
+  Block.arch ~name:"LayerPerCE"
+    ~style:Block.Segmented_rr
+    ~blocks:[ Block.Pipelined { ce_first = 0; ce_last = n - 1; first = 0; last = n - 1 } ]
+    ~coarse_pipelined:false ~num_layers:n
+
+let default_ce_counts = List.init 10 (fun i -> i + 2)
+
+let all_instances model =
+  List.concat_map
+    (fun ces ->
+      [
+        (Printf.sprintf "Segmented/%d" ces, segmented ~ces model);
+        (Printf.sprintf "SegmentedRR/%d" ces, segmented_rr ~ces model);
+        (Printf.sprintf "Hybrid/%d" ces, hybrid ~ces model);
+      ])
+    default_ce_counts

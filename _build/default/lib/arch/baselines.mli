@@ -1,0 +1,50 @@
+(** Generators for the three state-of-the-art multiple-CE architectural
+    patterns of the paper (Section II-C, Fig. 2), parameterised by CE
+    count.  The paper evaluates each with 2 to 11 CEs
+    (Section V-A3). *)
+
+val segmented : ces:int -> Cnn.Model.t -> Block.arch
+(** Segmented (Shen et al.): the CNN is split into [ces] consecutive
+    segments with MAC-balanced boundaries; each segment is a single-CE
+    block; coarse-grained (whole-input) pipelining runs between segments.
+    @raise Invalid_argument if [ces < 2] or [ces] exceeds the layer
+    count. *)
+
+val segmented_rr : ces:int -> Cnn.Model.t -> Block.arch
+(** SegmentedRR (Wei et al., TGPA): one pipelined-CEs block over all
+    layers; the [ces] engines process the layers round-robin at tile
+    granularity.  @raise Invalid_argument if [ces < 2] or [ces] exceeds
+    the layer count. *)
+
+val hybrid : ces:int -> Cnn.Model.t -> Block.arch
+(** Hybrid (Qararyah et al., FiBHA): the first [ces - 1] layers run on a
+    tile-grained pipelined-CEs block (one engine per layer) and the
+    remaining layers on one larger single-CE block; coarse-grained
+    pipelining joins the two parts.  @raise Invalid_argument if [ces < 2]
+    or if fewer than one layer would remain for the second part. *)
+
+val hybrid_dual : ces:int -> Cnn.Model.t -> Block.arch
+(** The paper's "Hybrid (b)" variant: when a CNN mixes convolution types,
+    the Hybrid's second part splits into two sub-engines (Qararyah et
+    al.).  Modelled as the first [ces - 2] layers on a tile-pipelined
+    block plus a two-engine pipelined block over the rest — on
+    depthwise-separable CNNs the round-robin assignment puts depthwise
+    and pointwise layers on alternating engines.
+    @raise Invalid_argument if [ces < 3] or too few layers remain. *)
+
+val single_ce : Cnn.Model.t -> Block.arch
+(** The generic reusable-engine extreme (paper Section II-D): one engine
+    processes every layer.  Not a multiple-CE accelerator — included as
+    the comparison point the literature optimises against. *)
+
+val layer_per_ce : Cnn.Model.t -> Block.arch
+(** The opposite extreme: one dedicated engine per layer, fully
+    pipelined.  "Resource-demanding and not scalable" (Section II-C) —
+    included to let the methodology demonstrate exactly that. *)
+
+val default_ce_counts : int list
+(** The CE counts the paper sweeps: 2 to 11. *)
+
+val all_instances : Cnn.Model.t -> (string * Block.arch) list
+(** Every baseline at every default CE count, labelled e.g.
+    ["Segmented/4"]. *)

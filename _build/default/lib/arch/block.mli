@@ -1,0 +1,60 @@
+(** Multiple-CE accelerator descriptions.
+
+    Any multiple-CE accelerator is a sequence of the paper's two building
+    blocks (Section III-B): a {e single-CE} block processing a range of
+    layers one by one, and a {e pipelined-CEs} block processing a range of
+    layers concurrently at tile granularity.  Layer and CE indices here are
+    0-based internally; the notation module converts to the paper's 1-based
+    display form. *)
+
+type t =
+  | Single of { ce : int; first : int; last : int }
+      (** one engine [ce] processes layers [first..last] sequentially *)
+  | Pipelined of { ce_first : int; ce_last : int; first : int; last : int }
+      (** engines [ce_first..ce_last] process layers [first..last] in a
+          tile-grained pipeline; if the layer range exceeds the CE count
+          the block processes CE-count layers at a time, round-robin *)
+
+type style = Segmented | Segmented_rr | Hybrid | Custom
+
+type arch = private {
+  name : string;
+  style : style;
+  blocks : t list;
+  coarse_pipelined : bool;
+      (** whether consecutive blocks overlap on distinct inputs
+          (inter-segment, whole-input pipelining — paper Section IV-B) *)
+}
+
+val arch :
+  name:string -> style:style -> blocks:t list -> coarse_pipelined:bool ->
+  num_layers:int -> arch
+(** Builds and validates an architecture: blocks must cover layers
+    [0 .. num_layers-1] contiguously in order; every block must be
+    non-empty; CE indices must be non-negative with [ce_first <= ce_last].
+    @raise Invalid_argument otherwise. *)
+
+val layer_range : t -> int * int
+(** Inclusive layer range of a block. *)
+
+val num_layers_of_block : t -> int
+(** Layer count of a block. *)
+
+val ce_count : t -> int
+(** Engines in a block: 1 for [Single]. *)
+
+val ces_of_block : t -> int list
+(** CE indices of a block in order. *)
+
+val num_blocks : arch -> int
+(** Block count. *)
+
+val total_ces : arch -> int
+(** Number of distinct engines across the architecture. *)
+
+val style_to_string : style -> string
+(** Display name: ["Segmented"], ["SegmentedRR"], ["Hybrid"],
+    ["Custom"]. *)
+
+val pp : Format.formatter -> arch -> unit
+(** Prints the architecture in the paper's notation. *)

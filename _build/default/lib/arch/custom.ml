@@ -1,0 +1,59 @@
+type spec = { pipelined_layers : int; tail_boundaries : int list }
+
+let total_ces spec = spec.pipelined_layers + List.length spec.tail_boundaries + 1
+
+let arch_of_spec model spec =
+  let n = Cnn.Model.num_layers model in
+  let f = spec.pipelined_layers in
+  if f < 1 then invalid_arg "Custom.arch_of_spec: pipelined_layers < 1";
+  if f >= n then invalid_arg "Custom.arch_of_spec: no tail layers left";
+  let rec check prev = function
+    | [] -> ()
+    | b :: rest ->
+      if b <= prev || b >= n then
+        invalid_arg "Custom.arch_of_spec: bad tail boundary";
+      check b rest
+  in
+  check f spec.tail_boundaries;
+  let starts = f :: spec.tail_boundaries in
+  let ends =
+    List.map (fun b -> b - 1) spec.tail_boundaries @ [ n - 1 ]
+  in
+  let tail_blocks =
+    List.mapi
+      (fun i (first, last) -> Block.Single { ce = f + i; first; last })
+      (List.combine starts ends)
+  in
+  let blocks =
+    Block.Pipelined { ce_first = 0; ce_last = f - 1; first = 0; last = f - 1 }
+    :: tail_blocks
+  in
+  Block.arch
+    ~name:
+      (Printf.sprintf "Custom/p%d+s%d" f (List.length spec.tail_boundaries + 1))
+    ~style:Block.Custom ~blocks ~coarse_pipelined:true ~num_layers:n
+
+let balanced model ~pipelined_layers ~tail_segments =
+  let n = Cnn.Model.num_layers model in
+  let f = pipelined_layers in
+  if f < 1 || f >= n then invalid_arg "Custom.balanced: bad pipelined_layers";
+  if tail_segments < 1 || tail_segments > n - f then
+    invalid_arg "Custom.balanced: bad tail_segments";
+  let tail_weights =
+    Array.init (n - f) (fun i -> Cnn.Layer.macs (Cnn.Model.layer model (f + i)))
+  in
+  let ranges =
+    Util.Partition.min_max_partition ~weights:tail_weights
+      ~parts:tail_segments
+  in
+  let tail_boundaries =
+    List.filteri (fun i _ -> i > 0) (List.map (fun (first, _) -> f + first) ranges)
+  in
+  arch_of_spec model { pipelined_layers = f; tail_boundaries }
+
+let pp_spec ppf spec =
+  Format.fprintf ppf "pipelined=%d, boundaries=[%a]" spec.pipelined_layers
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Format.pp_print_int)
+    spec.tail_boundaries

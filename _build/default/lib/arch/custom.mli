@@ -1,0 +1,34 @@
+(** Custom architectures for design-space exploration (paper Use Case 3).
+
+    The paper's DSE explores accelerators with "a Hybrid-like first block
+    followed by Segmented-like blocks": a tile-grained pipelined-CEs block
+    over the first [f] layers (one engine per layer), then [s] single-CE
+    segments over the remaining layers, with coarse-grained pipelining
+    throughout. *)
+
+type spec = {
+  pipelined_layers : int;  (** [f >= 1]: layers (and CEs) in the first block *)
+  tail_boundaries : int list;
+      (** 0-based indices of the first layer of every tail segment after
+          the first tail segment; strictly increasing, all in
+          [(pipelined_layers, num_layers)).  Empty means one tail
+          segment. *)
+}
+
+val arch_of_spec : Cnn.Model.t -> spec -> Block.arch
+(** Materialises a spec.  CE indices: [0 .. f-1] for the pipelined block,
+    then one per tail segment.
+    @raise Invalid_argument if the spec is out of range for the model,
+    leaves no tail layer, or has non-increasing boundaries. *)
+
+val balanced : Cnn.Model.t -> pipelined_layers:int -> tail_segments:int -> Block.arch
+(** [balanced m ~pipelined_layers ~tail_segments] places the tail
+    boundaries by MAC-balancing (the sensible default a designer would
+    try first).  @raise Invalid_argument under the same conditions as
+    {!arch_of_spec}. *)
+
+val total_ces : spec -> int
+(** Engines a spec uses: [pipelined_layers + tail segments]. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+(** Debug printer. *)

@@ -1,0 +1,157 @@
+(* Hand-written lexer and recursive-descent parser; the grammar is small
+   enough that error messages benefit from full manual control. *)
+
+type token =
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Colon
+  | Dash
+  | Word of string  (* identifier-like run: "L", "CE", "last", ... *)
+  | Number of int
+
+exception Syntax of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Syntax s)) fmt
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '{' then (emit Lbrace; incr i)
+    else if c = '}' then (emit Rbrace; incr i)
+    else if c = ',' then (emit Comma; incr i)
+    else if c = ':' then (emit Colon; incr i)
+    else if c = '-' then (emit Dash; incr i)
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done;
+      emit (Number (int_of_string (String.sub s start (!i - start))))
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') then begin
+      let start = !i in
+      while
+        !i < n
+        && ((s.[!i] >= 'a' && s.[!i] <= 'z')
+           || (s.[!i] >= 'A' && s.[!i] <= 'Z'))
+      do
+        incr i
+      done;
+      emit (Word (String.lowercase_ascii (String.sub s start (!i - start))))
+    end
+    else fail "unexpected character %C at position %d" c !i
+  done;
+  List.rev !tokens
+
+type state = { mutable rest : token list }
+
+let peek st = match st.rest with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.rest with
+  | [] -> fail "unexpected end of input"
+  | t :: rest ->
+    st.rest <- rest;
+    t
+
+let expect st tok what =
+  let t = advance st in
+  if t <> tok then fail "expected %s" what
+
+let expect_word st w =
+  match advance st with
+  | Word got when got = w -> ()
+  | _ -> fail "expected '%s'" w
+
+let expect_number st what =
+  match advance st with
+  | Number n -> n
+  | _ -> fail "expected %s" what
+
+(* layers ::= 'L' int ('-' ('L'? int | 'last'))? *)
+let parse_layers st ~num_layers =
+  expect_word st "l";
+  let first = expect_number st "layer number" in
+  if first < 1 || first > num_layers then
+    fail "layer L%d out of range (model has %d layers)" first num_layers;
+  let last =
+    match peek st with
+    | Some Dash -> begin
+      ignore (advance st);
+      match advance st with
+      | Word "last" -> num_layers
+      | Word "l" -> expect_number st "layer number after 'L'"
+      | Number n -> n
+      | _ -> fail "expected layer number or 'last' after '-'"
+    end
+    | _ -> first
+  in
+  if last < first || last > num_layers then
+    fail "invalid layer range L%d-L%d (model has %d layers)" first last
+      num_layers;
+  (first - 1, last - 1)
+
+(* ces ::= 'CE' int ('-' 'CE'? int)?
+   An explicit range marks a pipelined-CEs block even when it names a
+   single engine ("CE1-CE1" is a one-stage pipeline, "CE1" a plain
+   single-CE block). *)
+let parse_ces st =
+  expect_word st "ce";
+  let first = expect_number st "CE number" in
+  if first < 1 then fail "CE numbers are 1-based";
+  let last_opt =
+    match peek st with
+    | Some Dash -> begin
+      ignore (advance st);
+      match advance st with
+      | Word "ce" -> Some (expect_number st "CE number after 'CE'")
+      | Number n -> Some n
+      | _ -> fail "expected CE number after '-'"
+    end
+    | _ -> None
+  in
+  (match last_opt with
+  | Some last when last < first -> fail "invalid CE range CE%d-CE%d" first last
+  | _ -> ());
+  (first - 1, Option.map (fun l -> l - 1) last_opt)
+
+let parse_entry st ~num_layers =
+  let first, last = parse_layers st ~num_layers in
+  expect st Colon "':'";
+  match parse_ces st with
+  | ce, None -> Block.Single { ce; first; last }
+  | ce_first, Some ce_last -> Block.Pipelined { ce_first; ce_last; first; last }
+
+let parse ~num_layers s =
+  try
+    let st = { rest = tokenize s } in
+    expect st Lbrace "'{'";
+    let rec entries acc =
+      let entry = parse_entry st ~num_layers in
+      match advance st with
+      | Comma -> entries (entry :: acc)
+      | Rbrace -> List.rev (entry :: acc)
+      | _ -> fail "expected ',' or '}'"
+    in
+    let blocks = entries [] in
+    (match peek st with
+    | None -> ()
+    | Some _ -> fail "trailing input after '}'");
+    Ok blocks
+  with Syntax msg -> Error msg
+
+let parse_arch ?name ?(style = Block.Custom) ~coarse_pipelined ~num_layers s =
+  match parse ~num_layers s with
+  | Error _ as e -> e
+  | Ok blocks -> (
+    let name = Option.value name ~default:s in
+    try Ok (Block.arch ~name ~style ~blocks ~coarse_pipelined ~num_layers)
+    with Invalid_argument msg -> Error msg)
+
+let to_string a = Format.asprintf "%a" Block.pp a

@@ -1,0 +1,37 @@
+(** The paper's textual notation for multiple-CE accelerators
+    (Section III-B).
+
+    Grammar (case-insensitive, whitespace ignored):
+    {v
+      arch   ::= '{' entry (',' entry)* '}'
+      entry  ::= layers ':' ces
+      layers ::= 'L' int ('-' ('L'? int | 'last'))?
+      ces    ::= 'CE' int ('-' 'CE'? int)?
+    v}
+
+    Examples from the paper:
+    - Segmented: [{L1-L4:CE1, L5-L6:CE2, L7-L9:CE3, L10-L12:CE4}]
+    - SegmentedRR: [{L1-Last:CE1-CE4}]
+
+    Layer and CE numbers are 1-based in the notation and converted to the
+    0-based indices of {!Block}. *)
+
+val parse : num_layers:int -> string -> (Block.t list, string) result
+(** [parse ~num_layers s] parses blocks, resolving ['last'] to
+    [num_layers].  Returns [Error msg] on any syntax or range problem
+    (including non-contiguous coverage, which {!Block.arch} would also
+    reject). *)
+
+val parse_arch :
+  ?name:string ->
+  ?style:Block.style ->
+  coarse_pipelined:bool ->
+  num_layers:int ->
+  string ->
+  (Block.arch, string) result
+(** [parse_arch] combines {!parse} and {!Block.arch}.  [name] defaults to
+    the input string and [style] to [Custom]. *)
+
+val to_string : Block.arch -> string
+(** [to_string a] renders in the paper's notation; inverse of {!parse} up
+    to whitespace and capitalisation. *)

@@ -1,0 +1,48 @@
+let known_forms =
+  [
+    "segmented/N"; "segmentedrr/N"; "hybrid/N"; "hybriddual/N"; "singlece";
+    "layerperce"; "{Lx-Ly:CEz, ...}";
+  ]
+
+let with_ces lower prefix =
+  let plen = String.length prefix in
+  if
+    String.length lower > plen + 1
+    && String.sub lower 0 plen = prefix
+    && lower.[plen] = '/'
+  then
+    int_of_string_opt (String.sub lower (plen + 1) (String.length lower - plen - 1))
+  else None
+
+let parse model s =
+  let lower = String.lowercase_ascii (String.trim s) in
+  let generators =
+    [
+      ("segmentedrr", fun ~ces -> Baselines.segmented_rr ~ces model);
+      ("segmented", fun ~ces -> Baselines.segmented ~ces model);
+      ("hybriddual", fun ~ces -> Baselines.hybrid_dual ~ces model);
+      ("hybrid", fun ~ces -> Baselines.hybrid ~ces model);
+    ]
+  in
+  let baseline =
+    List.find_map
+      (fun (prefix, make) ->
+        Option.map (fun ces -> (make, ces)) (with_ces lower prefix))
+      generators
+  in
+  match baseline with
+  | Some (make, ces) -> (
+    try Ok (make ~ces) with Invalid_argument msg -> Error msg)
+  | None -> (
+    match lower with
+    | "singlece" -> Ok (Baselines.single_ce model)
+    | "layerperce" -> Ok (Baselines.layer_per_ce model)
+    | _ ->
+      if String.length lower > 0 && lower.[0] = '{' then
+        Notation.parse_arch ~coarse_pipelined:true
+          ~num_layers:(Cnn.Model.num_layers model)
+          s
+      else
+        Error
+          (Printf.sprintf "cannot parse %S: expected one of %s" s
+             (String.concat ", " known_forms)))

@@ -1,0 +1,17 @@
+(** Human-friendly architecture shorthand.
+
+    Accepts the baseline names used throughout the paper's evaluation —
+    ["segmented/4"], ["segmentedrr/2"], ["hybrid/7"], ["hybriddual/6"],
+    ["singlece"], ["layerperce"] — as well as the full block notation of
+    {!Notation} (anything starting with ['{']).  Used by the command-line
+    tool and anywhere an accelerator is named in text. *)
+
+val parse : Cnn.Model.t -> string -> (Block.arch, string) result
+(** [parse model s] resolves [s] against [model] (baseline generators
+    need the model's layer count and MAC profile).  Case-insensitive;
+    surrounding whitespace ignored.  Notation strings are parsed with
+    coarse-grained pipelining enabled (the convention for hand-written
+    custom architectures). *)
+
+val known_forms : string list
+(** The accepted spellings, for error messages and help text. *)

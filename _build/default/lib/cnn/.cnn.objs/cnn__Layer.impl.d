@@ -1,0 +1,1 @@
+lib/cnn/layer.ml: Format Shape

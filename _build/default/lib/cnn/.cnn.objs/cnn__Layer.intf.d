@@ -1,0 +1,1 @@
+lib/cnn/layer.mli: Format Shape

@@ -1,0 +1,1 @@
+lib/cnn/model.ml: Array Format Hashtbl Layer List Printf Util

@@ -1,0 +1,1 @@
+lib/cnn/model.mli: Format Layer Shape

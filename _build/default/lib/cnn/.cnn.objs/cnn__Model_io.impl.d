@@ -1,0 +1,1 @@
+lib/cnn/model_io.ml: Buffer Format In_channel Layer List Model Option Printf Shape String

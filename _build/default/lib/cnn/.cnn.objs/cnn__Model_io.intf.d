@@ -1,0 +1,1 @@
+lib/cnn/model_io.mli: Model

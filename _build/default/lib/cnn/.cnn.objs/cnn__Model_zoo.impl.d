@@ -1,0 +1,1 @@
+lib/cnn/model_zoo.ml: Array Layer List Model Printf Shape String

@@ -1,0 +1,1 @@
+lib/cnn/shape.ml: Format

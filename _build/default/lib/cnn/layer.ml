@@ -1,0 +1,89 @@
+type kind = Standard | Depthwise | Pointwise | Fully_connected
+
+type t = {
+  index : int;
+  name : string;
+  kind : kind;
+  in_shape : Shape.t;
+  out_channels : int;
+  kernel : int;
+  stride : int;
+  padding : int;
+  extra_resident_elements : int;
+}
+
+let v ~index ~name ~kind ~in_shape ~out_channels ~kernel ~stride ~padding
+    ?(extra_resident_elements = 0) () =
+  if out_channels <= 0 then invalid_arg "Layer.v: non-positive out_channels";
+  if kernel <= 0 then invalid_arg "Layer.v: non-positive kernel";
+  if stride <= 0 then invalid_arg "Layer.v: non-positive stride";
+  if padding < 0 then invalid_arg "Layer.v: negative padding";
+  if extra_resident_elements < 0 then
+    invalid_arg "Layer.v: negative extra_resident_elements";
+  (match kind with
+  | Depthwise ->
+    if out_channels <> in_shape.Shape.channels then
+      invalid_arg "Layer.v: depthwise must preserve channel count"
+  | Pointwise | Fully_connected ->
+    if kernel <> 1 then invalid_arg "Layer.v: pointwise kernel must be 1"
+  | Standard -> ());
+  (* Raises if the spatial output would be empty. *)
+  let _ = Shape.conv_output in_shape ~kernel ~stride ~padding ~out_channels in
+  {
+    index;
+    name;
+    kind;
+    in_shape;
+    out_channels;
+    kernel;
+    stride;
+    padding;
+    extra_resident_elements;
+  }
+
+let with_index l ~index = { l with index }
+
+let out_shape l =
+  Shape.conv_output l.in_shape ~kernel:l.kernel ~stride:l.stride
+    ~padding:l.padding ~out_channels:l.out_channels
+
+let weight_elements l =
+  match l.kind with
+  | Standard | Pointwise | Fully_connected ->
+    l.out_channels * l.in_shape.Shape.channels * l.kernel * l.kernel
+  | Depthwise -> l.in_shape.Shape.channels * l.kernel * l.kernel
+
+let macs l =
+  let o = out_shape l in
+  let spatial = o.Shape.height * o.Shape.width in
+  match l.kind with
+  | Standard | Pointwise | Fully_connected ->
+    spatial * l.out_channels * l.in_shape.Shape.channels * l.kernel * l.kernel
+  | Depthwise -> spatial * l.in_shape.Shape.channels * l.kernel * l.kernel
+
+let ifm_elements l = Shape.elements l.in_shape
+
+let ofm_elements l = Shape.elements (out_shape l)
+
+let fms_elements l = ifm_elements l + ofm_elements l + l.extra_resident_elements
+
+let loop_extent l d =
+  let o = out_shape l in
+  match d with
+  | `Filters -> (match l.kind with Depthwise -> 1 | _ -> l.out_channels)
+  | `Channels -> l.in_shape.Shape.channels
+  | `Height -> o.Shape.height
+  | `Width -> o.Shape.width
+  | `Kernel_h -> l.kernel
+  | `Kernel_w -> l.kernel
+
+let kind_to_string = function
+  | Standard -> "conv"
+  | Depthwise -> "dw"
+  | Pointwise -> "pw"
+  | Fully_connected -> "fc"
+
+let pp ppf l =
+  Format.fprintf ppf "L%d %s [%s %dx%d s%d] %a -> %a" (l.index + 1) l.name
+    (kind_to_string l.kind) l.kernel l.kernel l.stride Shape.pp l.in_shape
+    Shape.pp (out_shape l)

@@ -1,0 +1,82 @@
+(** Convolutional-layer descriptions.
+
+    MCCM never needs weight values, only layer structure: the six
+    convolution loop extents (paper Section II-B), the weight footprint and
+    the feature-map footprints.  Depthwise and pointwise convolutions are
+    first-class because Hybrid architectures treat them specially; a fully
+    connected layer is modelled as a 1x1 convolution over a 1x1 feature
+    map. *)
+
+type kind =
+  | Standard          (** dense KxK convolution across all input channels *)
+  | Depthwise         (** one KxK filter per channel, no cross-channel sum *)
+  | Pointwise         (** 1x1 dense convolution *)
+  | Fully_connected   (** dense layer, modelled as 1x1 conv on 1x1 FMs *)
+
+type t = private {
+  index : int;          (** position in the model, 0-based *)
+  name : string;        (** human-readable, unique within a model *)
+  kind : kind;
+  in_shape : Shape.t;
+  out_channels : int;
+  kernel : int;         (** square kernel extent *)
+  stride : int;
+  padding : int;
+  extra_resident_elements : int;
+      (** feature-map elements beyond this layer's IFM and OFM that must
+          stay live while it executes — residual shortcuts held for a later
+          elementwise addition (paper Eq. 4 remark). *)
+}
+
+val v :
+  index:int ->
+  name:string ->
+  kind:kind ->
+  in_shape:Shape.t ->
+  out_channels:int ->
+  kernel:int ->
+  stride:int ->
+  padding:int ->
+  ?extra_resident_elements:int ->
+  unit ->
+  t
+(** Builds a layer.
+    @raise Invalid_argument on non-positive kernel/stride/out_channels, on a
+    depthwise layer whose [out_channels] differs from its input channels, on
+    a pointwise/fully-connected layer with [kernel <> 1], or on an empty
+    spatial output. *)
+
+val with_index : t -> index:int -> t
+(** [with_index l ~index] is [l] renumbered; used when models are assembled
+    from block generators. *)
+
+val out_shape : t -> Shape.t
+(** OFM shape. *)
+
+val weight_elements : t -> int
+(** Number of trainable weights (biases excluded; they are negligible and
+    the paper's model ignores them too). *)
+
+val macs : t -> int
+(** Multiply-accumulate operations for one inference of this layer. *)
+
+val ifm_elements : t -> int
+(** IFM element count. *)
+
+val ofm_elements : t -> int
+(** OFM element count. *)
+
+val fms_elements : t -> int
+(** [ifm_elements + ofm_elements + extra_resident_elements]: what a
+    single-CE block must buffer to avoid FM spills (paper Eq. 4). *)
+
+val loop_extent : t -> [ `Filters | `Channels | `Height | `Width | `Kernel_h | `Kernel_w ] -> int
+(** [loop_extent l d] is the extent of convolution loop [d] for this layer;
+    the "disjoint dimensions" DD of paper Eq. 1.  For a depthwise layer the
+    [`Filters] extent is 1 and [`Channels] ranges over the channels. *)
+
+val kind_to_string : kind -> string
+(** Short printable name of the kind. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary. *)

@@ -1,0 +1,71 @@
+type t = { name : string; abbreviation : string; layers : Layer.t array }
+
+let v ~name ~abbreviation ~layers =
+  if layers = [] then invalid_arg "Model.v: empty layer list";
+  let arr = Array.of_list layers in
+  Array.iteri
+    (fun i (l : Layer.t) ->
+      if l.Layer.index <> i then
+        invalid_arg
+          (Printf.sprintf "Model.v: layer %s has index %d, expected %d"
+             l.Layer.name l.Layer.index i))
+    arr;
+  let seen = Hashtbl.create (Array.length arr) in
+  Array.iter
+    (fun (l : Layer.t) ->
+      if Hashtbl.mem seen l.Layer.name then
+        invalid_arg ("Model.v: duplicate layer name " ^ l.Layer.name);
+      Hashtbl.add seen l.Layer.name ())
+    arr;
+  { name; abbreviation; layers = arr }
+
+let num_layers m = Array.length m.layers
+
+let layer m i =
+  if i < 0 || i >= Array.length m.layers then
+    invalid_arg (Printf.sprintf "Model.layer: index %d out of range" i);
+  m.layers.(i)
+
+let check_range m ~first ~last =
+  if first < 0 || last >= Array.length m.layers || first > last then
+    invalid_arg
+      (Printf.sprintf "Model: invalid layer range [%d, %d] in %s (%d layers)"
+         first last m.name (Array.length m.layers))
+
+let layers_in_range m ~first ~last =
+  check_range m ~first ~last;
+  List.init (last - first + 1) (fun i -> m.layers.(first + i))
+
+let fold_range f m ~first ~last =
+  check_range m ~first ~last;
+  let acc = ref 0 in
+  for i = first to last do
+    acc := f !acc m.layers.(i)
+  done;
+  !acc
+
+let total_weights m =
+  Array.fold_left (fun acc l -> acc + Layer.weight_elements l) 0 m.layers
+
+let total_macs m = Array.fold_left (fun acc l -> acc + Layer.macs l) 0 m.layers
+
+let macs_in_range m ~first ~last =
+  fold_range (fun acc l -> acc + Layer.macs l) m ~first ~last
+
+let weights_in_range m ~first ~last =
+  fold_range (fun acc l -> acc + Layer.weight_elements l) m ~first ~last
+
+let max_fms_elements m ~first ~last =
+  fold_range (fun acc l -> max acc (Layer.fms_elements l)) m ~first ~last
+
+let input_shape m = m.layers.(0).Layer.in_shape
+
+let output_elements m =
+  Layer.ofm_elements m.layers.(Array.length m.layers - 1)
+
+let pp_summary ppf m =
+  Format.fprintf ppf "%s (%s): %d conv layers, %a weights, %a MACs" m.name
+    m.abbreviation (num_layers m) Util.Units.pp_count
+    (float_of_int (total_weights m))
+    Util.Units.pp_count
+    (float_of_int (total_macs m))

@@ -1,0 +1,54 @@
+(** CNN models as ordered sequences of convolutional layers.
+
+    MCCM (like the accelerators it models) processes convolution layers in
+    topological order; branch convolutions such as ResNet projection
+    shortcuts are linearised into the sequence, and the buffering cost of
+    live skip tensors is carried on each layer's
+    [extra_resident_elements]. *)
+
+type t = private {
+  name : string;
+  abbreviation : string;  (** the paper's short name, e.g. ["Res50"] *)
+  layers : Layer.t array; (** indices are contiguous from 0 *)
+}
+
+val v : name:string -> abbreviation:string -> layers:Layer.t list -> t
+(** Builds a model and validates it.
+    @raise Invalid_argument if [layers] is empty, if layer indices are not
+    [0..n-1] in order, or if two layers share a name. *)
+
+val num_layers : t -> int
+(** Layer count. *)
+
+val layer : t -> int -> Layer.t
+(** [layer m i] is the [i]-th (0-based) layer.
+    @raise Invalid_argument when out of range. *)
+
+val layers_in_range : t -> first:int -> last:int -> Layer.t list
+(** [layers_in_range m ~first ~last] is the inclusive 0-based slice.
+    @raise Invalid_argument on an invalid range. *)
+
+val total_weights : t -> int
+(** Sum of weight elements over all layers. *)
+
+val total_macs : t -> int
+(** Sum of MACs over all layers. *)
+
+val macs_in_range : t -> first:int -> last:int -> int
+(** Total MACs of an inclusive layer range. *)
+
+val weights_in_range : t -> first:int -> last:int -> int
+(** Total weight elements of an inclusive layer range. *)
+
+val max_fms_elements : t -> first:int -> last:int -> int
+(** Largest per-layer FM residency over the range (paper Eq. 4 first
+    term). *)
+
+val input_shape : t -> Shape.t
+(** IFM shape of the first layer. *)
+
+val output_elements : t -> int
+(** OFM element count of the last layer. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Multi-line summary: name, layer count, weights, MACs. *)

@@ -1,0 +1,250 @@
+(* Line-based parser and printer for CNN model descriptions. *)
+
+(* ----------------------------------------------------------- lexing *)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens_of_line line =
+  String.split_on_char ' ' (String.trim (strip_comment line))
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+(* key=value attributes after the positional arguments *)
+let split_attr tok =
+  match String.index_opt tok '=' with
+  | Some i ->
+    Some
+      ( String.sub tok 0 i,
+        String.sub tok (i + 1) (String.length tok - i - 1) )
+  | None -> None
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_shape s =
+  match String.split_on_char 'x' (String.lowercase_ascii s) with
+  | [ c; h; w ] -> (
+    match (int_of_string_opt c, int_of_string_opt h, int_of_string_opt w) with
+    | Some c, Some h, Some w -> (
+      try Shape.v ~channels:c ~height:h ~width:w
+      with Invalid_argument msg -> fail "%s" msg)
+    | _ -> fail "malformed shape %S (expected CxHxW)" s)
+  | _ -> fail "malformed shape %S (expected CxHxW)" s
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail "malformed %s %S" what s
+
+(* ---------------------------------------------------------- parsing *)
+
+type state = {
+  mutable header : (string * string) option;
+  mutable shape : Shape.t option;
+  mutable rev_layers : Layer.t list;
+  mutable count : int;
+}
+
+let attrs_of tokens =
+  List.fold_left
+    (fun (pos, attrs) tok ->
+      match split_attr tok with
+      | Some kv -> (pos, kv :: attrs)
+      | None -> (tok :: pos, attrs))
+    ([], []) tokens
+  |> fun (pos, attrs) -> (List.rev pos, attrs)
+
+let attr attrs key ~default ~of_string =
+  match List.assoc_opt key attrs with
+  | Some v -> of_string v
+  | None -> default
+
+let current_shape st =
+  match st.shape with
+  | Some s -> s
+  | None -> fail "layer before 'input' line"
+
+let add_layer st ~kind ~out_channels ~kernel ~stride ~extra ~name ~from =
+  let in_shape = Option.value from ~default:(current_shape st) in
+  let padding =
+    match kind with
+    | Layer.Pointwise | Layer.Fully_connected -> 0
+    | Layer.Standard | Layer.Depthwise ->
+      if kernel = 1 then 0 else Shape.same_padding ~kernel
+  in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+      Printf.sprintf "%s%d" (Layer.kind_to_string kind) (st.count + 1)
+  in
+  let layer =
+    try
+      Layer.v ~index:st.count ~name ~kind ~in_shape ~out_channels ~kernel
+        ~stride ~padding ~extra_resident_elements:extra ()
+    with Invalid_argument msg -> fail "%s" msg
+  in
+  st.rev_layers <- layer :: st.rev_layers;
+  st.count <- st.count + 1;
+  (* Branch layers ([from=...]) do not advance the running shape. *)
+  if from = None then st.shape <- Some (Layer.out_shape layer)
+
+let conv_like st ~kind pos attrs =
+  let out_channels =
+    match (kind, pos) with
+    | Layer.Depthwise, [] -> (current_shape st).Shape.channels
+    | Layer.Depthwise, _ -> fail "dw takes no output-channel argument"
+    | _, [ out ] -> parse_int "output channels" out
+    | _, _ -> fail "expected exactly one output-channel argument"
+  in
+  let kernel =
+    attr attrs "k"
+      ~default:(match kind with Layer.Pointwise | Layer.Fully_connected -> 1 | _ -> 3)
+      ~of_string:(parse_int "kernel")
+  in
+  let stride = attr attrs "s" ~default:1 ~of_string:(parse_int "stride") in
+  let extra = attr attrs "extra" ~default:0 ~of_string:(parse_int "extra") in
+  let name = List.assoc_opt "name" attrs in
+  let from = Option.map parse_shape (List.assoc_opt "from" attrs) in
+  add_layer st ~kind ~out_channels ~kernel ~stride ~extra ~name ~from
+
+let pool st attrs =
+  let stride = attr attrs "s" ~default:2 ~of_string:(parse_int "stride") in
+  if stride <= 0 then fail "pool stride must be positive";
+  let s = current_shape st in
+  st.shape <-
+    Some
+      (Shape.v ~channels:s.Shape.channels
+         ~height:(max 1 ((s.Shape.height + stride - 1) / stride))
+         ~width:(max 1 ((s.Shape.width + stride - 1) / stride)))
+
+let fc st pos attrs =
+  let out = match pos with
+    | [ out ] -> parse_int "output channels" out
+    | _ -> fail "fc expects one output-channel argument"
+  in
+  (* Flatten the running feature map. *)
+  let s = current_shape st in
+  st.shape <- Some (Shape.v ~channels:(Shape.elements s) ~height:1 ~width:1);
+  conv_like st ~kind:Layer.Fully_connected [ string_of_int out ] attrs
+
+let set_shape st pos =
+  match pos with
+  | [ shape ] -> st.shape <- Some (parse_shape shape)
+  | _ -> fail "set expects one CxHxW argument"
+
+let parse_line st tokens =
+  match tokens with
+  | [] -> ()
+  | keyword :: rest -> (
+    let pos, attrs = attrs_of rest in
+    match String.lowercase_ascii keyword with
+    | "cnn" -> (
+      match pos with
+      | [ name; abbrev ] -> st.header <- Some (name, abbrev)
+      | [ name ] -> st.header <- Some (name, name)
+      | _ -> fail "cnn expects a name and an abbreviation")
+    | "input" -> set_shape st pos
+    | "set" -> set_shape st pos
+    | "conv" -> conv_like st ~kind:Layer.Standard pos attrs
+    | "dw" -> conv_like st ~kind:Layer.Depthwise pos attrs
+    | "pw" -> conv_like st ~kind:Layer.Pointwise pos attrs
+    | "fc" -> fc st pos attrs
+    | "pool" -> pool st attrs
+    | other -> fail "unknown keyword %S" other)
+
+let of_string text =
+  let st = { header = None; shape = None; rev_layers = []; count = 0 } in
+  let lines = String.split_on_char '\n' text in
+  try
+    List.iteri
+      (fun i line ->
+        try parse_line st (tokens_of_line line)
+        with Parse_error msg -> fail "line %d: %s" (i + 1) msg)
+      lines;
+    match st.header with
+    | None -> Error "missing 'cnn <name> <abbrev>' header"
+    | Some (name, abbreviation) -> (
+      match List.rev st.rev_layers with
+      | [] -> Error "model has no layers"
+      | layers -> (
+        try Ok (Model.v ~name ~abbreviation ~layers)
+        with Invalid_argument msg -> Error msg))
+  with Parse_error msg -> Error msg
+
+(* --------------------------------------------------------- printing *)
+
+let keyword_of_kind = function
+  | Layer.Standard -> "conv"
+  | Layer.Depthwise -> "dw"
+  | Layer.Pointwise -> "pw"
+  | Layer.Fully_connected -> "fc"
+
+(* Infer the pooling stride that turns shape [a] into spatial shape [b]
+   (same channels), if any. *)
+let pool_stride a b =
+  if a.Shape.channels <> b.Shape.channels then None
+  else
+    List.find_opt
+      (fun s ->
+        (a.Shape.height + s - 1) / s = b.Shape.height
+        && (a.Shape.width + s - 1) / s = b.Shape.width)
+      [ 2; 3; 4; 5; 6; 7; 8 ]
+
+let print_layer buf (l : Layer.t) =
+  Buffer.add_string buf (keyword_of_kind l.Layer.kind);
+  (match l.Layer.kind with
+  | Layer.Depthwise -> ()
+  | _ -> Buffer.add_string buf (Printf.sprintf " %d" l.Layer.out_channels));
+  if
+    l.Layer.kernel
+    <> (match l.Layer.kind with
+       | Layer.Pointwise | Layer.Fully_connected -> 1
+       | _ -> 3)
+  then Buffer.add_string buf (Printf.sprintf " k=%d" l.Layer.kernel);
+  if l.Layer.stride <> 1 then
+    Buffer.add_string buf (Printf.sprintf " s=%d" l.Layer.stride);
+  if l.Layer.extra_resident_elements <> 0 then
+    Buffer.add_string buf
+      (Printf.sprintf " extra=%d" l.Layer.extra_resident_elements);
+  Buffer.add_string buf (Printf.sprintf " name=%s" l.Layer.name);
+  Buffer.add_char buf '\n'
+
+(* Printing mirrors the parser's running-shape semantics: before a layer
+   whose input differs from the running shape, an explicit [pool] (same
+   channels, spatial shrink) or [set] line moves the running shape to the
+   layer's input; every layer then advances it.  This handles residual
+   branches and concatenations without a special construct. *)
+let to_string (m : Model.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "cnn %s %s\n" m.Model.name m.Model.abbreviation);
+  let input = Model.input_shape m in
+  Buffer.add_string buf (Printf.sprintf "input %s\n" (Shape.to_string input));
+  let running = ref input in
+  let n = Model.num_layers m in
+  for i = 0 to n - 1 do
+    let l = Model.layer m i in
+    if not (Shape.equal l.Layer.in_shape !running) then begin
+      (match pool_stride !running l.Layer.in_shape with
+      | Some s -> Buffer.add_string buf (Printf.sprintf "pool s=%d\n" s)
+      | None ->
+        Buffer.add_string buf
+          (Printf.sprintf "set %s\n" (Shape.to_string l.Layer.in_shape)));
+      running := l.Layer.in_shape
+    end;
+    (* A fully connected layer re-flattens in the parser; print it only
+       when the flattening reproduces this input shape. *)
+    print_layer buf l;
+    running := Layer.out_shape l
+  done;
+  Buffer.contents buf
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,34 @@
+(** A small textual format for CNN models, so accelerators can be
+    evaluated on networks outside the built-in zoo (e.g. through the
+    command-line tool).
+
+    Line-based; ['#'] starts a comment; blank lines are ignored:
+
+    {v
+      cnn TinyNet Tny
+      input 3x32x32
+      conv 16 k=3 s=1          # standard convolution, 16 filters
+      dw k=3 s=2               # depthwise (preserves channels)
+      pw 32                    # pointwise (1x1)
+      pw 32 extra=16384        # keeps 16384 extra FM elements resident
+      pool s=2                 # non-parametric pooling: spatial reduction
+      fc 10                    # fully connected (1x1 conv on 1x1 FMs)
+    v}
+
+    Standard and depthwise convolutions use same-style padding; an
+    optional [name=<id>] overrides the auto-generated layer name.  [fc]
+    collapses the running feature map spatially before applying a dense
+    layer.  *)
+
+val of_string : string -> (Model.t, string) result
+(** [of_string text] parses a model; [Error] carries a message with the
+    offending line number. *)
+
+val to_string : Model.t -> string
+(** [to_string m] renders a model in the format above; pooling steps are
+    re-derived from spatial shrinks between consecutive layers.
+    [of_string (to_string m)] reconstructs a structurally identical
+    model. *)
+
+val load_file : string -> (Model.t, string) result
+(** [load_file path] reads and parses a file. *)

@@ -1,0 +1,27 @@
+type t = { channels : int; height : int; width : int }
+
+let v ~channels ~height ~width =
+  if channels <= 0 || height <= 0 || width <= 0 then
+    invalid_arg "Shape.v: non-positive dimension";
+  { channels; height; width }
+
+let elements s = s.channels * s.height * s.width
+
+let equal a b =
+  a.channels = b.channels && a.height = b.height && a.width = b.width
+
+let pp ppf s = Format.fprintf ppf "%dx%dx%d" s.channels s.height s.width
+
+let to_string s = Format.asprintf "%a" pp s
+
+let spatial_out ~extent ~kernel ~stride ~padding =
+  ((extent + (2 * padding) - kernel) / stride) + 1
+
+let conv_output ifm ~kernel ~stride ~padding ~out_channels =
+  let height = spatial_out ~extent:ifm.height ~kernel ~stride ~padding in
+  let width = spatial_out ~extent:ifm.width ~kernel ~stride ~padding in
+  if height <= 0 || width <= 0 then
+    invalid_arg "Shape.conv_output: empty spatial output";
+  v ~channels:out_channels ~height ~width
+
+let same_padding ~kernel = (kernel - 1) / 2

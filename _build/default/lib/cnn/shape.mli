@@ -1,0 +1,32 @@
+(** Feature-map shapes.
+
+    A feature map (IFM or OFM, Section II-A of the paper) is a stack of
+    [channels] 2-D slices of [height] x [width] elements. *)
+
+type t = { channels : int; height : int; width : int }
+
+val v : channels:int -> height:int -> width:int -> t
+(** [v ~channels ~height ~width] builds a shape.
+    @raise Invalid_argument if any dimension is non-positive. *)
+
+val elements : t -> int
+(** [elements s] is the total element count [channels * height * width]. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as ["CxHxW"]. *)
+
+val to_string : t -> string
+(** [to_string s] is [Format.asprintf "%a" pp s]. *)
+
+val conv_output : t -> kernel:int -> stride:int -> padding:int -> out_channels:int -> t
+(** [conv_output ifm ~kernel ~stride ~padding ~out_channels] is the OFM
+    shape of a convolution with square [kernel], square [stride] and
+    symmetric [padding] applied to [ifm].
+    @raise Invalid_argument if the spatial output would be empty. *)
+
+val same_padding : kernel:int -> int
+(** [same_padding ~kernel] is the symmetric padding that preserves spatial
+    extent at stride 1 for an odd [kernel] ([(kernel - 1) / 2]). *)

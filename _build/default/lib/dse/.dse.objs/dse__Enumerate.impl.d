@@ -1,0 +1,1 @@
+lib/dse/enumerate.ml: Arch Cnn Explore List Mccm Printf

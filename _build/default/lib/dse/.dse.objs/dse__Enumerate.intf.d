@@ -1,0 +1,1 @@
+lib/dse/enumerate.mli: Arch Cnn Explore Mccm Platform

@@ -1,0 +1,1 @@
+lib/dse/explore.ml: Arch Cnn Domain Float Int64 List Mccm Pareto Space Unix Util

@@ -1,0 +1,1 @@
+lib/dse/explore.mli: Arch Cnn Mccm Pareto Platform

@@ -1,0 +1,1 @@
+lib/dse/objective.ml: Explore Float List Mccm Option

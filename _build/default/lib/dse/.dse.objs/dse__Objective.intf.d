@@ -1,0 +1,1 @@
+lib/dse/objective.mli: Explore Mccm

@@ -1,0 +1,1 @@
+lib/dse/select.ml: List Mccm Report Util

@@ -1,0 +1,1 @@
+lib/dse/select.mli: Mccm

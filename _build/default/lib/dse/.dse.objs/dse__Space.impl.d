@@ -1,0 +1,1 @@
+lib/dse/space.ml: Arch Array List Util

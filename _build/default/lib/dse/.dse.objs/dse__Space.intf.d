@@ -1,0 +1,1 @@
+lib/dse/space.mli: Arch Util

@@ -1,0 +1,145 @@
+(* Exhaustive enumeration and hill-climbing over custom specs. *)
+
+let enumerate_specs ~num_layers ~ces ~max_specs =
+  if ces < 2 then invalid_arg "Enumerate.enumerate_specs: ces < 2";
+  let out = ref [] in
+  let count = ref 0 in
+  let emit spec =
+    if !count < max_specs then begin
+      incr count;
+      out := spec :: !out
+    end
+  in
+  (* Choose boundaries of [s - 1] cut points in (f, num_layers) in
+     lexicographic order. *)
+  let rec boundaries ~from ~remaining acc f =
+    if !count >= max_specs then ()
+    else if remaining = 0 then
+      emit { Arch.Custom.pipelined_layers = f; tail_boundaries = List.rev acc }
+    else
+      for b = from to num_layers - remaining do
+        boundaries ~from:(b + 1) ~remaining:(remaining - 1) (b :: acc) f
+      done
+  in
+  let f_max = min (ces - 1) (num_layers - 1) in
+  for f = 1 to f_max do
+    let s = ces - f in
+    if num_layers - f >= s then
+      boundaries ~from:(f + 1) ~remaining:(s - 1) [] f
+  done;
+  List.rev !out
+
+let exhaustive ?(max_specs = 20000) ~ces model board =
+  let specs =
+    enumerate_specs ~num_layers:(Cnn.Model.num_layers model) ~ces ~max_specs
+  in
+  List.filter_map
+    (fun spec ->
+      let archi = Arch.Custom.arch_of_spec model spec in
+      let metrics = Mccm.Evaluate.metrics model board archi in
+      if metrics.Mccm.Metrics.feasible then
+        Some { Explore.spec; metrics }
+      else None)
+    specs
+
+type step = {
+  moved : string;
+  spec : Arch.Custom.spec;
+  metrics : Mccm.Metrics.t;
+}
+
+(* All one-move neighbours of a spec that remain in range. *)
+let neighbours ~num_layers (spec : Arch.Custom.spec) =
+  let f = spec.Arch.Custom.pipelined_layers in
+  let bs = spec.Arch.Custom.tail_boundaries in
+  let valid s =
+    let rec ok prev = function
+      | [] -> true
+      | b :: rest -> b > prev && b < num_layers && ok b rest
+    in
+    s.Arch.Custom.pipelined_layers >= 1
+    && s.Arch.Custom.pipelined_layers < num_layers
+    && ok s.Arch.Custom.pipelined_layers s.Arch.Custom.tail_boundaries
+  in
+  let shift_boundary i delta =
+    let bs' = List.mapi (fun j b -> if j = i then b + delta else b) bs in
+    ( Printf.sprintf "shift boundary %d by %+d" (i + 1) delta,
+      { Arch.Custom.pipelined_layers = f; tail_boundaries = bs' } )
+  in
+  let change_depth delta =
+    ( Printf.sprintf "pipelined depth %+d" delta,
+      { Arch.Custom.pipelined_layers = f + delta; tail_boundaries = bs } )
+  in
+  let split_largest =
+    (* Insert a boundary in the middle of the widest tail segment. *)
+    let edges = (f :: bs) @ [ num_layers ] in
+    let rec widest best = function
+      | a :: (b :: _ as rest) ->
+        let best =
+          match best with
+          | Some (ba, bb) when bb - ba >= b - a -> best
+          | _ -> Some (a, b)
+        in
+        widest best rest
+      | _ -> best
+    in
+    match widest None edges with
+    | Some (a, b) when b - a >= 2 ->
+      let mid = (a + b) / 2 in
+      [
+        ( Printf.sprintf "split segment at L%d" (mid + 1),
+          { Arch.Custom.pipelined_layers = f;
+            tail_boundaries = List.sort compare (mid :: bs) } );
+      ]
+    | _ -> []
+  in
+  let merge_each =
+    List.mapi
+      (fun i _ ->
+        ( Printf.sprintf "merge at boundary %d" (i + 1),
+          { Arch.Custom.pipelined_layers = f;
+            tail_boundaries = List.filteri (fun j _ -> j <> i) bs } ))
+      bs
+  in
+  let shifts =
+    List.concat
+      (List.mapi (fun i _ -> [ shift_boundary i 1; shift_boundary i (-1) ]) bs)
+  in
+  List.filter
+    (fun (_, s) -> valid s)
+    (shifts @ [ change_depth 1; change_depth (-1) ] @ split_largest
+    @ merge_each)
+
+let local_search ~objective ?(max_steps = 25) model board seed =
+  let num_layers = Cnn.Model.num_layers model in
+  let eval spec =
+    Mccm.Evaluate.metrics model board (Arch.Custom.arch_of_spec model spec)
+  in
+  let score m =
+    if m.Mccm.Metrics.feasible then objective m else neg_infinity
+  in
+  let rec climb spec metrics steps_left trajectory =
+    if steps_left = 0 then List.rev trajectory
+    else begin
+      let current = score metrics in
+      let best =
+        List.fold_left
+          (fun acc (moved, candidate) ->
+            let m = eval candidate in
+            let s = score m in
+            match acc with
+            | Some (_, _, sb) when sb >= s -> acc
+            | _ when s > current -> Some ((moved, candidate, m), m, s)
+            | _ -> acc)
+          None
+          (neighbours ~num_layers spec)
+      in
+      match best with
+      | None -> List.rev trajectory
+      | Some ((moved, spec', m), _, _) ->
+        climb spec' m (steps_left - 1)
+          ({ moved; spec = spec'; metrics = m } :: trajectory)
+    end
+  in
+  let m0 = eval seed in
+  climb seed m0 max_steps [ { moved = "seed"; spec = seed; metrics = m0 } ]

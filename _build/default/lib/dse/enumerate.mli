@@ -1,0 +1,45 @@
+(** Exhaustive and guided exploration complements to random sampling.
+
+    Random sampling (the paper's Fig. 10) covers the huge spaces; when the
+    space slice is small — a fixed CE count with few tail segments — it can
+    be enumerated exactly, and a promising design can be refined by local
+    search over its boundaries (the paper's "take the most promising
+    architectures as starting points ... explore architectures that
+    mitigate these bottlenecks"). *)
+
+val enumerate_specs :
+  num_layers:int -> ces:int -> max_specs:int -> Arch.Custom.spec list
+(** [enumerate_specs ~num_layers ~ces ~max_specs] lists every custom spec
+    with exactly [ces] engines, in lexicographic order, stopping after
+    [max_specs] (the caller bounds the work; the spaces explode).
+    @raise Invalid_argument if [ces < 2]. *)
+
+val exhaustive :
+  ?max_specs:int ->
+  ces:int ->
+  Cnn.Model.t ->
+  Platform.Board.t ->
+  Explore.evaluated list
+(** [exhaustive ~ces model board] evaluates every (up to [max_specs],
+    default 20000) custom design with exactly [ces] engines; feasible
+    ones, in enumeration order. *)
+
+type step = {
+  moved : string;                 (** human-readable description *)
+  spec : Arch.Custom.spec;
+  metrics : Mccm.Metrics.t;
+}
+
+val local_search :
+  objective:(Mccm.Metrics.t -> float) ->
+  ?max_steps:int ->
+  Cnn.Model.t ->
+  Platform.Board.t ->
+  Arch.Custom.spec ->
+  step list
+(** [local_search ~objective model board seed] hill-climbs from [seed],
+    at each step trying every single-boundary shift by one layer, every
+    pipelined-depth change by one, and tail-segment splits/merges,
+    keeping the neighbour that most improves [objective] (higher is
+    better).  Returns the improvement trajectory, seed first; stops at a
+    local optimum or after [max_steps] (default 25) moves. *)

@@ -1,0 +1,105 @@
+type evaluated = { spec : Arch.Custom.spec; metrics : Mccm.Metrics.t }
+
+type result = {
+  sampled : int;
+  evaluated : evaluated list;
+  front : evaluated Pareto.point list;
+  elapsed_s : float;
+}
+
+let point (e : evaluated) =
+  {
+    Pareto.item = e;
+    objective_up = e.metrics.Mccm.Metrics.throughput_ips;
+    objective_down = float_of_int e.metrics.Mccm.Metrics.buffer_bytes;
+  }
+
+(* One worker's share of the sweep: its own PRNG stream, its own chunk. *)
+let run_chunk ~seed ~ce_counts ~samples model board =
+  let rng = Util.Prng.create ~seed in
+  let num_layers = Cnn.Model.num_layers model in
+  let evaluated = ref [] in
+  for _ = 1 to samples do
+    let spec = Space.random_spec rng ~num_layers ~ce_counts in
+    let archi = Arch.Custom.arch_of_spec model spec in
+    let metrics = Mccm.Evaluate.metrics model board archi in
+    if metrics.Mccm.Metrics.feasible then
+      evaluated := { spec; metrics } :: !evaluated
+  done;
+  List.rev !evaluated
+
+let run ?(seed = 42L) ?(ce_counts = Arch.Baselines.default_ce_counts)
+    ?(domains = 1) ~samples model board =
+  if samples <= 0 then invalid_arg "Explore.run: non-positive sample count";
+  if domains <= 0 then invalid_arg "Explore.run: non-positive domain count";
+  (* More domains than cores is strictly harmful (every minor collection
+     synchronises all domains); clamp to what the runtime recommends. *)
+  let domains = min domains (Domain.recommended_domain_count ()) in
+  let started = Unix.gettimeofday () in
+  let evaluated =
+    if domains = 1 then run_chunk ~seed ~ce_counts ~samples model board
+    else begin
+      (* Split samples across domains; derive per-domain seeds so the
+         result is a deterministic function of (seed, domains). *)
+      let per = samples / domains and rem = samples mod domains in
+      let chunk i = per + if i < rem then 1 else 0 in
+      let spawned =
+        List.init domains (fun i ->
+            let seed_i =
+              if i = 0 then seed
+              else Int64.add seed (Int64.of_int (0x9E37 * i))
+            in
+            Domain.spawn (fun () ->
+                run_chunk ~seed:seed_i ~ce_counts ~samples:(chunk i) model
+                  board))
+      in
+      List.concat_map Domain.join spawned
+    end
+  in
+  let elapsed_s = Unix.gettimeofday () -. started in
+  {
+    sampled = samples;
+    evaluated;
+    front = Pareto.front (List.map point evaluated);
+    elapsed_s;
+  }
+
+let improvement_over r ~reference =
+  let ref_thr = reference.Mccm.Metrics.throughput_ips in
+  let ref_buf = float_of_int reference.Mccm.Metrics.buffer_bytes in
+  let matching_thr =
+    List.filter
+      (fun e -> e.metrics.Mccm.Metrics.throughput_ips >= ref_thr)
+      r.evaluated
+  in
+  let no_buf_increase =
+    List.filter
+      (fun e -> float_of_int e.metrics.Mccm.Metrics.buffer_bytes <= ref_buf)
+      r.evaluated
+  in
+  if matching_thr = [] && no_buf_increase = [] then None
+  else begin
+    let buffer_reduction =
+      match matching_thr with
+      | [] -> 0.0
+      | es ->
+        let best =
+          Util.Stats.minimum
+            (List.map
+               (fun e -> float_of_int e.metrics.Mccm.Metrics.buffer_bytes)
+               es)
+        in
+        Float.max 0.0 (1.0 -. (best /. ref_buf))
+    in
+    let throughput_gain =
+      match no_buf_increase with
+      | [] -> 0.0
+      | es ->
+        let best =
+          Util.Stats.maximum
+            (List.map (fun e -> e.metrics.Mccm.Metrics.throughput_ips) es)
+        in
+        Float.max 0.0 ((best /. ref_thr) -. 1.0)
+    in
+    Some (buffer_reduction, throughput_gain)
+  end

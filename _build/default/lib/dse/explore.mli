@@ -1,0 +1,48 @@
+(** Random design-space exploration driven by MCCM's fast evaluation
+    (paper Use Case 3 / Fig. 10). *)
+
+type evaluated = {
+  spec : Arch.Custom.spec;
+  metrics : Mccm.Metrics.t;
+}
+
+type result = {
+  sampled : int;                      (** designs drawn *)
+  evaluated : evaluated list;         (** feasible ones, evaluation order *)
+  front : evaluated Pareto.point list;
+      (** throughput-up / buffer-down Pareto front *)
+  elapsed_s : float;                  (** wall time of the sweep *)
+}
+
+val run :
+  ?seed:int64 ->
+  ?ce_counts:int list ->
+  ?domains:int ->
+  samples:int ->
+  Cnn.Model.t ->
+  Platform.Board.t ->
+  result
+(** [run ~samples model board] draws custom designs uniformly (CE counts
+    default to the paper's 2-11), evaluates each with the analytical
+    model, and extracts the throughput/buffer Pareto front.  Infeasible
+    designs are dropped.  Deterministic for a fixed [seed] (default 42)
+    and fixed [domains].
+
+    [domains] (default 1) spreads the evaluation over that many parallel
+    OCaml domains; each domain draws from its own seed derived from
+    [seed], so a given [(seed, domains, samples)] triple always yields
+    the same design set, and [domains = 1] reproduces the sequential
+    stream exactly.  The value is clamped to
+    [Domain.recommended_domain_count ()] — oversubscribing cores only
+    adds garbage-collector synchronisation — so the effective domain
+    count (and hence the sampled set) can differ on machines with fewer
+    cores than requested. *)
+
+val improvement_over :
+  result -> reference:Mccm.Metrics.t -> (float * float) option
+(** [improvement_over r ~reference] summarises Fig. 10's headline: among
+    explored designs with throughput at least the reference's, the
+    largest buffer reduction; and among all, the largest throughput gain
+    at no buffer increase.  Returns
+    [(buffer_reduction_frac, throughput_gain_frac)], or [None] when no
+    design qualifies on either count. *)

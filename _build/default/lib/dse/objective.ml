@@ -1,0 +1,76 @@
+type atom = Latency | Throughput | Buffers | Accesses
+
+type t =
+  | Atom of atom
+  | Weighted of (t * float) list
+  | Constrained of { base : t; max_buffers : int option; max_accesses : int option }
+
+let latency = Atom Latency
+let throughput = Atom Throughput
+let buffers = Atom Buffers
+let accesses = Atom Accesses
+
+let weighted parts =
+  if parts = [] then invalid_arg "Objective.weighted: empty combination";
+  List.iter
+    (fun (_, w) ->
+      if w <= 0.0 then invalid_arg "Objective.weighted: non-positive weight")
+    parts;
+  Weighted parts
+
+let subject_to base ~max_buffers ~max_accesses =
+  Constrained { base; max_buffers; max_accesses }
+
+(* Gain of [m] over [reference] on one metric, as a ratio > 0 where bigger
+   is better (reference scores 1.0 on every atom). *)
+let atom_gain atom ~(reference : Mccm.Metrics.t) (m : Mccm.Metrics.t) =
+  let ratio a b = if b > 0.0 then a /. b else 1.0 in
+  match atom with
+  | Latency -> ratio reference.Mccm.Metrics.latency_s m.Mccm.Metrics.latency_s
+  | Throughput ->
+    ratio m.Mccm.Metrics.throughput_ips reference.Mccm.Metrics.throughput_ips
+  | Buffers ->
+    ratio
+      (float_of_int reference.Mccm.Metrics.buffer_bytes)
+      (float_of_int m.Mccm.Metrics.buffer_bytes)
+  | Accesses ->
+    ratio
+      (float_of_int (Mccm.Metrics.accesses_bytes reference))
+      (float_of_int (Mccm.Metrics.accesses_bytes m))
+
+let rec score obj ~reference (m : Mccm.Metrics.t) =
+  if not m.Mccm.Metrics.feasible then neg_infinity
+  else
+    match obj with
+    | Atom a -> atom_gain a ~reference m
+    | Weighted parts ->
+      (* Geometric combination: exponents are the weights, so the score is
+         scale-free in every metric. *)
+      List.fold_left
+        (fun acc (o, w) -> acc *. Float.pow (score o ~reference m) w)
+        1.0 parts
+    | Constrained { base; max_buffers; max_accesses } ->
+      let over_buffers =
+        match max_buffers with
+        | Some b -> m.Mccm.Metrics.buffer_bytes > b
+        | None -> false
+      in
+      let over_accesses =
+        match max_accesses with
+        | Some a -> Mccm.Metrics.accesses_bytes m > a
+        | None -> false
+      in
+      if over_buffers || over_accesses then neg_infinity
+      else score base ~reference m
+
+let best obj ~reference designs =
+  List.fold_left
+    (fun acc (e : Explore.evaluated) ->
+      let s = score obj ~reference e.Explore.metrics in
+      if s = neg_infinity then acc
+      else
+        match acc with
+        | Some (_, sb) when sb >= s -> acc
+        | _ -> Some (e, s))
+    None designs
+  |> Option.map fst

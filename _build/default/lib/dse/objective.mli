@@ -1,0 +1,46 @@
+(** Scalar objectives over the four metrics, for guided exploration.
+
+    Use Case 3's goal is stated as a multi-objective one — "maximize
+    throughput while minimizing on-chip memory usage".  This module turns
+    such goals into scalar scores usable by {!Explore} post-processing and
+    {!Enumerate.local_search}: single metrics, weighted combinations of
+    normalised metrics, and constrained forms ("best throughput subject to
+    a buffer budget"). *)
+
+type t
+
+val latency : t
+(** Minimise latency. *)
+
+val throughput : t
+(** Maximise throughput. *)
+
+val buffers : t
+(** Minimise on-chip buffers. *)
+
+val accesses : t
+(** Minimise off-chip accesses. *)
+
+val weighted : (t * float) list -> t
+(** [weighted parts] combines objectives; each component is normalised by
+    a reference before weighing (see {!score}), so weights express
+    relative importance, not unit conversions.
+    @raise Invalid_argument on an empty list or non-positive weight. *)
+
+val subject_to :
+  t -> max_buffers:int option -> max_accesses:int option -> t
+(** [subject_to obj ~max_buffers ~max_accesses] gives negative infinity to
+    designs violating a budget. *)
+
+val score : t -> reference:Mccm.Metrics.t -> Mccm.Metrics.t -> float
+(** [score obj ~reference m] is higher-is-better; [reference] anchors
+    normalisation (each metric is expressed as a gain over the
+    reference).  Infeasible [m] scores negative infinity. *)
+
+val best :
+  t ->
+  reference:Mccm.Metrics.t ->
+  (Explore.evaluated list) ->
+  Explore.evaluated option
+(** [best obj ~reference designs] is the highest-scoring design, if any
+    scores above negative infinity. *)

@@ -1,0 +1,26 @@
+type 'a point = { item : 'a; objective_up : float; objective_down : float }
+
+let dominates a b =
+  a.objective_up >= b.objective_up
+  && a.objective_down <= b.objective_down
+  && (a.objective_up > b.objective_up || a.objective_down < b.objective_down)
+
+(* Sweep in descending objective_up order: a point joins the front iff its
+   objective_down improves on everything seen so far.  O(n log n). *)
+let front pts =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare b.objective_up a.objective_up with
+        | 0 -> compare a.objective_down b.objective_down
+        | c -> c)
+      pts
+  in
+  let _, rev_front =
+    List.fold_left
+      (fun (best_down, acc) p ->
+        if p.objective_down < best_down then (p.objective_down, p :: acc)
+        else (best_down, acc))
+      (infinity, []) sorted
+  in
+  List.rev rev_front

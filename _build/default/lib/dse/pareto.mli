@@ -1,0 +1,15 @@
+(** Pareto-front extraction for two-objective trade-off studies
+    (throughput vs. buffer in the paper's Fig. 8/10). *)
+
+type 'a point = { item : 'a; objective_up : float; objective_down : float }
+(** A candidate with one maximised and one minimised objective. *)
+
+val front : 'a point list -> 'a point list
+(** [front pts] keeps the non-dominated points: no other point is
+    simultaneously >= on [objective_up] and <= on [objective_down] with
+    at least one strict inequality.  Result is sorted by descending
+    [objective_up].  Duplicate-coordinate points keep one
+    representative. *)
+
+val dominates : 'a point -> 'a point -> bool
+(** [dominates a b] per the definition above. *)

@@ -1,0 +1,26 @@
+type candidate = { label : string; metrics : Mccm.Metrics.t }
+
+let winners ~metric cs =
+  let feasible =
+    List.filter (fun c -> c.metrics.Mccm.Metrics.feasible) cs
+  in
+  match feasible with
+  | [] -> []
+  | _ ->
+    let value c = Mccm.Metrics.metric_value metric c.metrics in
+    let higher_is_better = metric = `Throughput in
+    let best =
+      if higher_is_better then
+        Util.Stats.maximum (List.map value feasible)
+      else Util.Stats.minimum (List.map value feasible)
+    in
+    List.filter
+      (fun c ->
+        let v = value c in
+        if higher_is_better then
+          v >= best *. (1.0 -. Report.Normalize.tie_threshold)
+        else v <= best *. (1.0 +. Report.Normalize.tie_threshold))
+      feasible
+
+let winner_labels ~metric cs =
+  List.map (fun c -> c.label) (winners ~metric cs)

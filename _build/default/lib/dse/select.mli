@@ -1,0 +1,22 @@
+(** Best-architecture selection with the paper's tie rule (Table V).
+
+    Given a set of evaluated designs, the winner on a metric is the best
+    value; every design within 10% of it is reported as tied "to account
+    for estimation errors" (paper Section V-C). *)
+
+type candidate = { label : string; metrics : Mccm.Metrics.t }
+
+val winners :
+  metric:[ `Latency | `Throughput | `Buffers | `Accesses ] ->
+  candidate list ->
+  candidate list
+(** [winners ~metric cs] returns the best candidate and everything tied
+    with it (within the 10% margin on the metric value), preserving input
+    order.  Infeasible candidates are excluded; result is empty only if
+    [cs] has no feasible entry. *)
+
+val winner_labels :
+  metric:[ `Latency | `Throughput | `Buffers | `Accesses ] ->
+  candidate list ->
+  string list
+(** Labels of {!winners}. *)

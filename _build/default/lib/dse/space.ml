@@ -1,0 +1,51 @@
+(* Binomial in floats: the design-space sizes exceed integer range. *)
+let float_binomial n k =
+  if k < 0 || k > n then 0.0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1.0 in
+    for i = 1 to k do
+      acc := !acc *. float_of_int (n - k + i) /. float_of_int i
+    done;
+    !acc
+  end
+
+let designs_for_ce_count ~num_layers ~ces =
+  let total = ref 0.0 in
+  for f = 1 to ces - 1 do
+    let s = ces - f in
+    let tail_layers = num_layers - f in
+    if tail_layers >= s then
+      total := !total +. float_binomial (tail_layers - 1) (s - 1)
+  done;
+  !total
+
+let total_designs ~num_layers ~ce_counts =
+  List.fold_left
+    (fun acc ces -> acc +. designs_for_ce_count ~num_layers ~ces)
+    0.0 ce_counts
+
+let random_spec rng ~num_layers ~ce_counts =
+  if ce_counts = [] then invalid_arg "Space.random_spec: no CE counts";
+  let candidates =
+    List.filter
+      (fun c -> c >= 2 && designs_for_ce_count ~num_layers ~ces:c > 0.0)
+      ce_counts
+  in
+  if candidates = [] then
+    invalid_arg "Space.random_spec: no feasible CE count";
+  let ces = Util.Prng.choose rng (Array.of_list candidates) in
+  (* Draw the pipelined-block depth, then the tail split. *)
+  let rec draw_f () =
+    let f = Util.Prng.int_in_range rng ~lo:1 ~hi:(ces - 1) in
+    let s = ces - f in
+    if num_layers - f >= s then (f, s) else draw_f ()
+  in
+  let f, s = draw_f () in
+  let tail_boundaries =
+    if s = 1 then []
+    else
+      Util.Prng.sorted_distinct_ints rng ~count:(s - 1) ~lo:(f + 1)
+        ~hi:(num_layers - 1)
+  in
+  { Arch.Custom.pipelined_layers = f; tail_boundaries }

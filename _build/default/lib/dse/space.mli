@@ -1,0 +1,27 @@
+(** The custom design space of the paper's Use Case 3.
+
+    A custom accelerator is a Hybrid-like tile-pipelined first block over
+    the first [f] layers followed by [s] Segmented-like single-CE blocks
+    over the rest, coarse-grained pipelined throughout.  For a CNN with
+    [n] layers and a CE budget of [c] engines, the free choices are [f],
+    [s] with [f + s = c], and the [s - 1] tail segment boundaries — a
+    space that grows as sums of binomials and reaches tens of billions of
+    designs for Xception (the paper quotes roughly 97.1 billion for CE
+    counts 2 to 11). *)
+
+val designs_for_ce_count : num_layers:int -> ces:int -> float
+(** [designs_for_ce_count ~num_layers ~ces] counts the custom designs
+    using exactly [ces] engines: sum over [f >= 1, s >= 1, f + s = ces]
+    of [C(num_layers - f - 1, s - 1)].  Returned as float — the counts
+    overflow 62-bit integers for deep CNNs. *)
+
+val total_designs : num_layers:int -> ce_counts:int list -> float
+(** Total across a list of CE counts (the paper sweeps 2 to 11). *)
+
+val random_spec :
+  Util.Prng.t -> num_layers:int -> ce_counts:int list -> Arch.Custom.spec
+(** [random_spec rng ~num_layers ~ce_counts] draws a design uniformly
+    enough for exploration: a CE count from [ce_counts], a split of it
+    into [f] and [s], and [s - 1] distinct random boundaries.
+    @raise Invalid_argument if [ce_counts] is empty or infeasible for
+    the layer count. *)

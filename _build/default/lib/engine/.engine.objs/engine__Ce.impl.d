@@ -1,0 +1,1 @@
+lib/engine/ce.ml: Cnn Dataflow Format List Parallelism Util

@@ -1,0 +1,1 @@
+lib/engine/ce.mli: Cnn Dataflow Format Parallelism

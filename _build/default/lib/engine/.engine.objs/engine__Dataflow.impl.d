@@ -1,0 +1,1 @@
+lib/engine/dataflow.ml: Format String

@@ -1,0 +1,1 @@
+lib/engine/dataflow.mli: Format

@@ -1,0 +1,1 @@
+lib/engine/parallelism.ml: Cnn Format List

@@ -1,0 +1,1 @@
+lib/engine/parallelism.mli: Cnn Format

@@ -1,0 +1,61 @@
+type t = {
+  id : int;
+  pes : int;
+  parallelism : Parallelism.t;
+  dataflow : Dataflow.t;
+}
+
+let v ~id ~pes ~parallelism ~dataflow =
+  if pes <= 0 then invalid_arg "Engine.v: non-positive PE count";
+  if Parallelism.degree parallelism > pes then
+    invalid_arg "Engine.v: parallelism degree exceeds PE budget";
+  { id; pes; parallelism; dataflow }
+
+(* Eq. 1: one ceil-division term per convolution loop dimension. *)
+let cycles_with_extents t extents =
+  List.fold_left
+    (fun acc (d, extent) ->
+      acc * Util.Int_math.ceil_div extent (Parallelism.factor t.parallelism d))
+    1 extents
+
+let dim_extents layer =
+  List.map
+    (fun d -> (d, Parallelism.layer_dim_extent layer d))
+    Parallelism.all_dims
+
+let layer_cycles t layer = cycles_with_extents t (dim_extents layer)
+
+let tile_cycles t layer ~rows =
+  let rows = max 1 rows in
+  let extents =
+    List.map
+      (fun (d, extent) ->
+        match d with
+        | Parallelism.Height -> (d, min rows extent)
+        | _ -> (d, extent))
+      (dim_extents layer)
+  in
+  cycles_with_extents t extents
+
+let ideal_cycles ~pes layer =
+  Util.Int_math.ceil_div (Cnn.Layer.macs layer) pes
+
+let utilization t layer =
+  let actual = layer_cycles t layer in
+  let ideal = ideal_cycles ~pes:t.pes layer in
+  float_of_int ideal /. float_of_int actual
+
+let average_utilization t layers =
+  if layers = [] then invalid_arg "Engine.average_utilization: empty list";
+  let weighted, total =
+    List.fold_left
+      (fun (w, tot) l ->
+        let m = float_of_int (Cnn.Layer.macs l) in
+        (w +. (m *. utilization t l), tot +. m))
+      (0.0, 0.0) layers
+  in
+  weighted /. total
+
+let pp ppf t =
+  Format.fprintf ppf "CE%d[%d PEs, %a, %a]" t.id t.pes Parallelism.pp
+    t.parallelism Dataflow.pp t.dataflow

@@ -1,0 +1,17 @@
+type t = Weight_stationary | Output_stationary | Input_stationary
+
+let all = [ Weight_stationary; Output_stationary; Input_stationary ]
+
+let to_string = function
+  | Weight_stationary -> "WS"
+  | Output_stationary -> "OS"
+  | Input_stationary -> "IS"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "WS" -> Some Weight_stationary
+  | "OS" -> Some Output_stationary
+  | "IS" -> Some Input_stationary
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

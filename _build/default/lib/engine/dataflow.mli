@@ -1,0 +1,25 @@
+(** Compute-engine dataflows.
+
+    The dataflow names which operand an engine schedules to move least
+    (paper Section II-B).  In the cost model it selects the off-chip access
+    pattern when buffers cannot hold a whole layer (paper Eq. 6): an
+    output-stationary engine falls back to either a locally input-stationary
+    or a locally weight-stationary loop order, whichever moves fewer
+    bytes. *)
+
+type t =
+  | Weight_stationary
+  | Output_stationary
+  | Input_stationary
+
+val all : t list
+(** The three dataflows. *)
+
+val to_string : t -> string
+(** e.g. ["WS"]. *)
+
+val of_string : string -> t option
+(** Case-insensitive parse of ["WS"], ["OS"] or ["IS"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints {!to_string}. *)

@@ -1,0 +1,83 @@
+type dim = Filters | Channels | Height | Width | Kernel_h | Kernel_w
+
+let all_dims = [ Filters; Channels; Height; Width; Kernel_h; Kernel_w ]
+
+let dim_to_string = function
+  | Filters -> "F"
+  | Channels -> "C"
+  | Height -> "H"
+  | Width -> "W"
+  | Kernel_h -> "Kh"
+  | Kernel_w -> "Kw"
+
+type t = {
+  filters : int;
+  channels : int;
+  height : int;
+  width : int;
+  kernel_h : int;
+  kernel_w : int;
+}
+
+let scalar =
+  { filters = 1; channels = 1; height = 1; width = 1; kernel_h = 1;
+    kernel_w = 1 }
+
+let set t d v =
+  match d with
+  | Filters -> { t with filters = v }
+  | Channels -> { t with channels = v }
+  | Height -> { t with height = v }
+  | Width -> { t with width = v }
+  | Kernel_h -> { t with kernel_h = v }
+  | Kernel_w -> { t with kernel_w = v }
+
+let factor t = function
+  | Filters -> t.filters
+  | Channels -> t.channels
+  | Height -> t.height
+  | Width -> t.width
+  | Kernel_h -> t.kernel_h
+  | Kernel_w -> t.kernel_w
+
+let of_factors l =
+  let seen = ref [] in
+  List.fold_left
+    (fun acc (d, v) ->
+      if v <= 0 then invalid_arg "Parallelism.of_factors: non-positive factor";
+      if List.mem d !seen then
+        invalid_arg "Parallelism.of_factors: repeated dimension";
+      seen := d :: !seen;
+      set acc d v)
+    scalar l
+
+let three_d ~filters ~height ~width =
+  of_factors [ (Filters, filters); (Height, height); (Width, width) ]
+
+let degree t =
+  t.filters * t.channels * t.height * t.width * t.kernel_h * t.kernel_w
+
+let dimensions_used t = List.filter (fun d -> factor t d > 1) all_dims
+
+let layer_dim_extent layer d =
+  let key =
+    match d with
+    | Filters -> `Filters
+    | Channels -> `Channels
+    | Height -> `Height
+    | Width -> `Width
+    | Kernel_h -> `Kernel_h
+    | Kernel_w -> `Kernel_w
+  in
+  Cnn.Layer.loop_extent layer key
+
+let equal a b = a = b
+
+let pp ppf t =
+  let used = dimensions_used t in
+  if used = [] then Format.pp_print_string ppf "scalar"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "x")
+      (fun ppf d -> Format.fprintf ppf "%s%d" (dim_to_string d) (factor t d))
+      ppf used

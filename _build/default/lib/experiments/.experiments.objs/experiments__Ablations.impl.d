@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Arch Builder Cnn Format List Mccm Platform Printf Util

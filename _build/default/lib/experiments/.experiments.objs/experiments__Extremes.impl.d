@@ -1,0 +1,1 @@
+lib/experiments/extremes.ml: Arch Cnn Common Format List Mccm Platform Printf Util

@@ -1,0 +1,1 @@
+lib/experiments/extremes.mli: Mccm Platform

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Arch Cnn Dse Format List Mccm Option Platform Report Util

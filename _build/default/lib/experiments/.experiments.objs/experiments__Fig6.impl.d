@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Arch Cnn Format List Mccm Platform String Util

@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Arch Cnn Common Format List Mccm Platform Printf Util

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Arch Cnn Float Format List Mccm Platform Util

@@ -1,0 +1,1 @@
+lib/experiments/sensitivity.ml: Arch Cnn Format List Mccm Platform Printf Util

@@ -1,0 +1,1 @@
+lib/experiments/setup_tables.ml: Cnn List Platform Printf Util

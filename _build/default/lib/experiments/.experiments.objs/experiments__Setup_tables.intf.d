@@ -1,0 +1,1 @@
+lib/experiments/setup_tables.mli:

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Arch Cnn Common List Mccm Platform Printf Report Util

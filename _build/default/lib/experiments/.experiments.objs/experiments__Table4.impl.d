@@ -1,0 +1,1 @@
+lib/experiments/table4.ml: Arch Builder Cnn Common Format List Mccm Platform Printf Report Sim String Util

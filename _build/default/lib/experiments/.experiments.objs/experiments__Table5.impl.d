@@ -1,0 +1,1 @@
+lib/experiments/table5.ml: Cnn Common Dse Format List Platform Printf String Util

@@ -1,0 +1,1 @@
+lib/experiments/tradeoff.ml: Arch Cnn Common Format List Mccm Platform Printf Report String Util

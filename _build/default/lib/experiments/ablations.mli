@@ -1,0 +1,28 @@
+(** Ablation studies of the Multiple-CE Builder's design choices
+    (DESIGN.md calls these out; none are ablated in the paper itself, but
+    each is a heuristic the methodology leans on):
+
+    - {b parallelism selection}: layer-fitting factor search vs naive
+      square unrolling (affects Eq. 1's ceil-division waste);
+    - {b buffer allocation}: access-driven greedy upgrades vs minimal
+      working sets (affects Eq. 6/7 traffic);
+    - {b PE allocation}: MAC-proportional DSP shares vs iterative
+      cycle-balancing (Eq. 3's stage balancing on measured latencies);
+    - {b segmentation}: MAC-balanced segment boundaries (exact DP) vs
+      equal layer counts (affects coarse-pipeline balance, Eq. 3). *)
+
+type row = {
+  ablation : string;        (** which knob *)
+  variant : string;         (** "builder" or the ablated alternative *)
+  instance : string;        (** accelerator evaluated *)
+  metrics : Mccm.Metrics.t;
+}
+
+type t = { rows : row list }
+
+val run : ?model:Cnn.Model.t -> ?board:Platform.Board.t -> unit -> t
+(** [run ()] evaluates each knob's two variants on representative
+    instances of the three baselines (default ResNet50 / VCU108). *)
+
+val print : t -> unit
+(** Renders each ablation as a small before/after table. *)

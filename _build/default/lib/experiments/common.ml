@@ -1,0 +1,49 @@
+type instance = {
+  style : Arch.Block.style;
+  ces : int;
+  archi : Arch.Block.arch;
+  metrics : Mccm.Metrics.t;
+  breakdown : Mccm.Breakdown.t;
+}
+
+let baseline_arch style ~ces model =
+  match style with
+  | Arch.Block.Segmented -> Arch.Baselines.segmented ~ces model
+  | Arch.Block.Segmented_rr -> Arch.Baselines.segmented_rr ~ces model
+  | Arch.Block.Hybrid -> Arch.Baselines.hybrid ~ces model
+  | Arch.Block.Custom ->
+    invalid_arg "Common.baseline_arch: Custom is not a baseline"
+
+let styles = [ Arch.Block.Segmented; Arch.Block.Segmented_rr; Arch.Block.Hybrid ]
+
+let sweep model board =
+  List.concat_map
+    (fun ces ->
+      List.map
+        (fun style ->
+          let archi = baseline_arch style ~ces model in
+          let e = Mccm.Evaluate.evaluate model board archi in
+          {
+            style;
+            ces;
+            archi;
+            metrics = e.Mccm.Evaluate.metrics;
+            breakdown = e.Mccm.Evaluate.breakdown;
+          })
+        styles)
+    Arch.Baselines.default_ce_counts
+
+let best_by ~metric instances =
+  let feasible =
+    List.filter (fun i -> i.metrics.Mccm.Metrics.feasible) instances
+  in
+  if feasible = [] then invalid_arg "Common.best_by: no feasible instance";
+  List.fold_left
+    (fun best i ->
+      if Mccm.Metrics.better ~metric i.metrics best.metrics then i else best)
+    (List.hd feasible) (List.tl feasible)
+
+let instances_of_style style = List.filter (fun i -> i.style = style)
+
+let label i =
+  Printf.sprintf "%s/%d" (Arch.Block.style_to_string i.style) i.ces

@@ -1,0 +1,32 @@
+(** Shared plumbing for the paper's experiments: every table and figure
+    sweeps the three baseline architectures over CE counts 2-11 on some
+    (CNN, board) pair. *)
+
+type instance = {
+  style : Arch.Block.style;
+  ces : int;
+  archi : Arch.Block.arch;
+  metrics : Mccm.Metrics.t;
+  breakdown : Mccm.Breakdown.t;
+}
+
+val sweep : Cnn.Model.t -> Platform.Board.t -> instance list
+(** [sweep model board] evaluates all 30 baseline instances
+    (3 architectures x CE counts 2-11) with the analytical model. *)
+
+val best_by :
+  metric:[ `Latency | `Throughput | `Buffers | `Accesses ] ->
+  instance list ->
+  instance
+(** Best feasible instance on a metric.  @raise Invalid_argument if no
+    instance is feasible. *)
+
+val instances_of_style : Arch.Block.style -> instance list -> instance list
+(** Filter by architecture style. *)
+
+val label : instance -> string
+(** e.g. ["SegmentedRR/4"]. *)
+
+val baseline_arch : Arch.Block.style -> ces:int -> Cnn.Model.t -> Arch.Block.arch
+(** Generator dispatch by style.  @raise Invalid_argument for
+    [Custom]. *)

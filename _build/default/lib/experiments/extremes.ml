@@ -1,0 +1,100 @@
+type row = {
+  cnn : string;
+  instance : string;
+  metrics : Mccm.Metrics.t;
+  utilization : float;
+}
+
+type t = { board : string; rows : row list }
+
+let mac_weighted_utilization (breakdown : Mccm.Breakdown.t) =
+  (* Segments already carry MAC-weighted utilizations; weight them by
+     their compute time as a proxy for their MAC share. *)
+  let weighted, total =
+    List.fold_left
+      (fun (w, t) (s : Mccm.Breakdown.segment) ->
+        ( w +. (s.Mccm.Breakdown.compute_s *. s.Mccm.Breakdown.utilization),
+          t +. s.Mccm.Breakdown.compute_s ))
+      (0.0, 0.0) breakdown.Mccm.Breakdown.segments
+  in
+  if total > 0.0 then weighted /. total else 1.0
+
+let eval model board archi =
+  let e = Mccm.Evaluate.evaluate model board archi in
+  (e.Mccm.Evaluate.metrics, mac_weighted_utilization e.Mccm.Evaluate.breakdown)
+
+let run ?(board = Platform.Board.zcu102) () =
+  let rows =
+    List.concat_map
+      (fun model ->
+        let cnn = model.Cnn.Model.abbreviation in
+        let make instance archi =
+          let metrics, utilization = eval model board archi in
+          { cnn; instance; metrics; utilization }
+        in
+        let best_multiple =
+          let instances = Common.sweep model board in
+          let best = Common.best_by ~metric:`Throughput instances in
+          {
+            cnn;
+            instance = "best multiple-CE (" ^ Common.label best ^ ")";
+            metrics = best.Common.metrics;
+            utilization =
+              mac_weighted_utilization best.Common.breakdown;
+          }
+        in
+        let dual =
+          if Cnn.Model.num_layers model >= 6 then
+            [ make "HybridDual/6" (Arch.Baselines.hybrid_dual ~ces:6 model) ]
+          else []
+        in
+        [
+          make "SingleCE" (Arch.Baselines.single_ce model);
+          best_multiple;
+        ]
+        @ dual
+        @ [ make "LayerPerCE" (Arch.Baselines.layer_per_ce model) ])
+      (Cnn.Model_zoo.all ())
+  in
+  { board = board.Platform.Board.name; rows }
+
+let print t =
+  let cnns = List.sort_uniq compare (List.map (fun r -> r.cnn) t.rows) in
+  Format.printf
+    "Extremes vs multiple-CE on %s (paper Sections II-C/II-D)@.@." t.board;
+  List.iter
+    (fun cnn ->
+      let table =
+        Util.Table.create ~title:cnn
+          ~columns:
+            [
+              ("instance", Util.Table.Left);
+              ("latency", Util.Table.Right);
+              ("throughput", Util.Table.Right);
+              ("buffers", Util.Table.Right);
+              ("accesses", Util.Table.Right);
+              ("PE util", Util.Table.Right);
+              ("feasible", Util.Table.Center);
+            ]
+          ()
+      in
+      List.iter
+        (fun r ->
+          if r.cnn = cnn then
+            Util.Table.add_row table
+              [
+                r.instance;
+                Format.asprintf "%a" Util.Units.pp_seconds
+                  r.metrics.Mccm.Metrics.latency_s;
+                Printf.sprintf "%.1f inf/s" r.metrics.Mccm.Metrics.throughput_ips;
+                Format.asprintf "%a" Util.Units.pp_bytes
+                  r.metrics.Mccm.Metrics.buffer_bytes;
+                Format.asprintf "%a" Util.Units.pp_bytes
+                  (Mccm.Metrics.accesses_bytes r.metrics);
+                Printf.sprintf "%.1f%%" (100.0 *. r.utilization);
+                (if r.metrics.Mccm.Metrics.feasible then "yes" else "NO");
+              ])
+        t.rows;
+      Util.Table.print table;
+      print_newline ())
+    cnns

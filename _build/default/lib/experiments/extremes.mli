@@ -1,0 +1,26 @@
+(** The two design extremes the literature optimises between
+    (paper Sections II-C/II-D): a single generic reusable engine, and one
+    dedicated engine per layer.
+
+    The paper argues the per-layer extreme is "resource-demanding and not
+    scalable" and that generic single engines suffer dynamic
+    underutilization; this experiment quantifies both against the best
+    multiple-CE instance per metric, per CNN. *)
+
+type row = {
+  cnn : string;
+  instance : string;
+  metrics : Mccm.Metrics.t;
+  utilization : float;      (** MAC-weighted PE utilization *)
+}
+
+type t = { board : string; rows : row list }
+
+val run : ?board:Platform.Board.t -> unit -> t
+(** [run ()] evaluates SingleCE, LayerPerCE, HybridDual (where it
+    applies) and the best-throughput baseline for every Table III CNN on
+    [board] (default ZCU102 — the largest, so the per-layer extreme's
+    failure is about scalability, not just capacity). *)
+
+val print : t -> unit
+(** One table per CNN. *)

@@ -1,0 +1,124 @@
+type t = {
+  samples : int;
+  space_size : float;
+  result : Dse.Explore.result;
+  ms_per_design : float;
+  reference_segmented : Mccm.Metrics.t;
+  reference_hybrid : Mccm.Metrics.t;
+  buffer_reduction_at_segmented_throughput : float option;
+  throughput_gain_without_buffer_increase : float option;
+  refined : Dse.Enumerate.step list;
+}
+
+let run ?(samples = 5000) () =
+  let model = Cnn.Model_zoo.xception () in
+  let board = Platform.Board.vcu110 in
+  let result = Dse.Explore.run ~samples model board in
+  let reference_segmented =
+    Mccm.Evaluate.metrics model board (Arch.Baselines.segmented ~ces:4 model)
+  in
+  let reference_hybrid =
+    Mccm.Evaluate.metrics model board (Arch.Baselines.hybrid ~ces:7 model)
+  in
+  let improvements =
+    Dse.Explore.improvement_over result ~reference:reference_segmented
+  in
+  (* Refine the sampled front's best-throughput design by local search
+     over its boundaries. *)
+  let refined =
+    match result.Dse.Explore.front with
+    | [] -> []
+    | front ->
+      let best =
+        Util.Stats.argmax
+          (fun (p : Dse.Explore.evaluated Dse.Pareto.point) ->
+            p.Dse.Pareto.objective_up)
+          front
+      in
+      Dse.Enumerate.local_search
+        ~objective:(fun m -> m.Mccm.Metrics.throughput_ips)
+        ~max_steps:10 model board
+        best.Dse.Pareto.item.Dse.Explore.spec
+  in
+  {
+    samples;
+    space_size =
+      Dse.Space.total_designs
+        ~num_layers:(Cnn.Model.num_layers model)
+        ~ce_counts:Arch.Baselines.default_ce_counts;
+    result;
+    ms_per_design =
+      1000.0 *. result.Dse.Explore.elapsed_s /. float_of_int samples;
+    reference_segmented;
+    reference_hybrid;
+    buffer_reduction_at_segmented_throughput = Option.map fst improvements;
+    throughput_gain_without_buffer_increase = Option.map snd improvements;
+    refined;
+  }
+
+let print t =
+  print_endline
+    "Fig. 10: DSE of custom accelerators, throughput vs on-chip buffers \
+     (Xception / VCU110)";
+  let to_point (e : Dse.Explore.evaluated) =
+    ( Util.Units.mib_of_bytes e.Dse.Explore.metrics.Mccm.Metrics.buffer_bytes,
+      e.Dse.Explore.metrics.Mccm.Metrics.throughput_ips )
+  in
+  let series =
+    [
+      {
+        Report.Scatter.name = "custom designs";
+        marker = '.';
+        points = List.map to_point t.result.Dse.Explore.evaluated;
+      };
+      {
+        Report.Scatter.name = "Pareto front";
+        marker = '*';
+        points =
+          List.map
+            (fun (p : Dse.Explore.evaluated Dse.Pareto.point) ->
+              to_point p.Dse.Pareto.item)
+            t.result.Dse.Explore.front;
+      };
+    ]
+  in
+  print_string
+    (Report.Scatter.render ~x_label:"on-chip buffers (MiB)"
+       ~y_label:"throughput (inf/s)" series);
+  Format.printf
+    "space: %.3g designs over CE counts 2-11; sampled %d; evaluated %d \
+     feasible in %.1f s (%.2f ms per design)@."
+    t.space_size t.samples
+    (List.length t.result.Dse.Explore.evaluated)
+    t.result.Dse.Explore.elapsed_s t.ms_per_design;
+  Format.printf "references: Segmented/4 %a@.            Hybrid/7    %a@."
+    Mccm.Metrics.pp t.reference_segmented Mccm.Metrics.pp t.reference_hybrid;
+  (match t.buffer_reduction_at_segmented_throughput with
+  | Some r ->
+    Format.printf
+      "best custom design matching Segmented/4 throughput cuts buffers by \
+       %.0f%%@."
+      (100.0 *. r)
+  | None -> print_endline "no custom design matches Segmented/4 throughput");
+  (match t.throughput_gain_without_buffer_increase with
+  | Some g ->
+    Format.printf
+      "best custom design within Segmented/4's buffer budget gains %.0f%% \
+       throughput@."
+      (100.0 *. g)
+  | None ->
+    print_endline "no custom design fits within Segmented/4's buffer budget");
+  match t.refined with
+  | [] | [ _ ] -> print_endline "local search: front design is a local optimum"
+  | steps ->
+    Format.printf
+      "local search refines the front's best design over %d moves:@."
+      (List.length steps - 1);
+    List.iter
+      (fun (s : Dse.Enumerate.step) ->
+        Format.printf "  %-26s -> %5.1f inf/s, buffers %a@."
+          s.Dse.Enumerate.moved
+          s.Dse.Enumerate.metrics.Mccm.Metrics.throughput_ips
+          Util.Units.pp_bytes
+          s.Dse.Enumerate.metrics.Mccm.Metrics.buffer_bytes)
+      steps

@@ -1,0 +1,32 @@
+(** Fig. 10 — design-space exploration of custom accelerators (a
+    Hybrid-like first block followed by Segmented-like blocks) on
+    Xception / VCU110, driven by MCCM's fast evaluation.
+
+    Reports the design-space size (the paper quotes roughly 97.1 billion
+    for 2-11 CEs on Xception), the evaluation rate, the
+    throughput/buffer Pareto front, and the improvements over the two
+    reference baselines of Fig. 8 (Segmented/4: highest throughput;
+    Hybrid/7: smallest buffers). *)
+
+type t = {
+  samples : int;
+  space_size : float;
+  result : Dse.Explore.result;
+  ms_per_design : float;
+  reference_segmented : Mccm.Metrics.t;  (** Segmented/4 *)
+  reference_hybrid : Mccm.Metrics.t;     (** Hybrid/7 *)
+  buffer_reduction_at_segmented_throughput : float option;
+  throughput_gain_without_buffer_increase : float option;
+  refined : Dse.Enumerate.step list;
+      (** hill-climbing trajectory from the sampled front's
+          best-throughput design (the paper's "take the most promising
+          architectures as starting points" step) *)
+}
+
+val run : ?samples:int -> unit -> t
+(** [run ~samples ()] draws and evaluates [samples] designs (default
+    5000; the paper uses 100000 — pass that for the full
+    reproduction). *)
+
+val print : t -> unit
+(** Renders the scatter, the Pareto front and the headline numbers. *)

@@ -1,0 +1,70 @@
+type segment_share = {
+  label : string;
+  compute_share : float;
+  memory_share : float;
+}
+
+type side = {
+  instance : string;
+  segments : segment_share list;
+  stall_fraction : float;
+}
+
+type t = { a : side; b : side }
+
+let side_of ~instance (breakdown : Mccm.Breakdown.t) =
+  let total =
+    List.fold_left
+      (fun acc (s : Mccm.Breakdown.segment) -> acc +. s.Mccm.Breakdown.time_s)
+      0.0 breakdown.Mccm.Breakdown.segments
+  in
+  let segments =
+    List.map
+      (fun (s : Mccm.Breakdown.segment) ->
+        {
+          label = s.Mccm.Breakdown.label;
+          compute_share = s.Mccm.Breakdown.compute_s /. total;
+          memory_share = s.Mccm.Breakdown.memory_s /. total;
+        })
+      breakdown.Mccm.Breakdown.segments
+  in
+  { instance; segments; stall_fraction = breakdown.Mccm.Breakdown.stall_fraction }
+
+let run () =
+  let model = Cnn.Model_zoo.resnet50 () in
+  let board = Platform.Board.zc706 in
+  let eval archi =
+    (Mccm.Evaluate.evaluate model board archi).Mccm.Evaluate.breakdown
+  in
+  {
+    a =
+      side_of ~instance:"SegmentedRR/2"
+        (eval (Arch.Baselines.segmented_rr ~ces:2 model));
+    b =
+      side_of ~instance:"Segmented/7"
+        (eval (Arch.Baselines.segmented ~ces:7 model));
+  }
+
+let bar share =
+  let n = Util.Int_math.clamp ~lo:0 ~hi:40 (int_of_float (share *. 200.0)) in
+  String.make n '#'
+
+let print_side s =
+  Format.printf "%s (stall fraction %.1f%%)@." s.instance
+    (100.0 *. s.stall_fraction);
+  Format.printf "%-8s %9s %9s@." "segment" "compute" "memory";
+  List.iter
+    (fun seg ->
+      Format.printf "%-8s %8.2f%% %8.2f%%  C|%s@.%28s M|%s@." seg.label
+        (100.0 *. seg.compute_share)
+        (100.0 *. seg.memory_share)
+        (bar seg.compute_share) "" (bar seg.memory_share))
+    s.segments
+
+let print t =
+  print_endline
+    "Fig. 6: segment compute and memory time, normalised to overall \
+     execution time (ResNet50 / ZC706)";
+  print_side t.a;
+  print_newline ();
+  print_side t.b

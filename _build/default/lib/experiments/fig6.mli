@@ -1,0 +1,26 @@
+(** Fig. 6 — per-segment compute and memory time, normalised to the
+    overall execution time, for the two instances the paper examines on
+    ResNet50 / ZC706: SegmentedRR with 2 CEs (memory-bound tail segments,
+    engines idle a sizeable fraction of the time) and Segmented with
+    7 CEs (no such bottleneck). *)
+
+type segment_share = {
+  label : string;
+  compute_share : float;   (** fraction of total execution time *)
+  memory_share : float;
+}
+
+type side = {
+  instance : string;
+  segments : segment_share list;
+  stall_fraction : float;  (** engines idle waiting for memory *)
+}
+
+type t = { a : side; b : side }
+(** [a] is SegmentedRR/2, [b] is Segmented/7. *)
+
+val run : unit -> t
+(** Regenerates both breakdowns. *)
+
+val print : t -> unit
+(** Renders both sides as bar-style tables. *)

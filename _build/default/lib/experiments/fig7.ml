@@ -1,0 +1,53 @@
+type row = { instance : string; weights_bytes : int; fms_bytes : int }
+
+type t = { rows : row list }
+
+let run () =
+  let model = Cnn.Model_zoo.resnet50 () in
+  let board = Platform.Board.zc706 in
+  let instances = Common.sweep model board in
+  let rows =
+    List.map
+      (fun style ->
+        let best =
+          Common.best_by ~metric:`Throughput
+            (Common.instances_of_style style instances)
+        in
+        let acc = best.Common.metrics.Mccm.Metrics.accesses in
+        {
+          instance = Common.label best;
+          weights_bytes = acc.Mccm.Access.weights_bytes;
+          fms_bytes = acc.Mccm.Access.fms_bytes;
+        })
+      [ Arch.Block.Segmented_rr; Arch.Block.Segmented; Arch.Block.Hybrid ]
+  in
+  { rows }
+
+let print t =
+  let table =
+    Util.Table.create
+      ~title:
+        "Fig. 7: off-chip access breakdown of the highest-throughput \
+         instances (ResNet50 / ZC706)"
+      ~columns:
+        [
+          ("instance", Util.Table.Left);
+          ("weights", Util.Table.Right);
+          ("feature maps", Util.Table.Right);
+          ("FM share", Util.Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      let total = r.weights_bytes + r.fms_bytes in
+      Util.Table.add_row table
+        [
+          r.instance;
+          Format.asprintf "%a" Util.Units.pp_bytes r.weights_bytes;
+          Format.asprintf "%a" Util.Units.pp_bytes r.fms_bytes;
+          Printf.sprintf "%.1f%%"
+            (100.0 *. float_of_int r.fms_bytes /. float_of_int (max 1 total));
+        ])
+    t.rows;
+  Util.Table.print table

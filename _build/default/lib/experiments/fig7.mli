@@ -1,0 +1,18 @@
+(** Fig. 7 — off-chip access breakdown (weights vs feature maps) for the
+    highest-throughput instance of each architecture on ResNet50 / ZC706.
+    The paper's takeaway: weight compression would pay off for
+    SegmentedRR and Hybrid, FM compression would be pure overhead. *)
+
+type row = {
+  instance : string;
+  weights_bytes : int;
+  fms_bytes : int;
+}
+
+type t = { rows : row list }
+
+val run : unit -> t
+(** Regenerates the breakdown. *)
+
+val print : t -> unit
+(** Renders the split per instance. *)

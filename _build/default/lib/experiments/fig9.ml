@@ -1,0 +1,73 @@
+type segment_stat = {
+  label : string;
+  buffer_share : float;
+  underutilization : float;
+  underutilization_norm : float;
+}
+
+type side = { instance : string; segments : segment_stat list }
+
+type t = { segmented : side; hybrid : side }
+
+let run () =
+  let model = Cnn.Model_zoo.xception () in
+  let board = Platform.Board.vcu110 in
+  let breakdown archi =
+    (Mccm.Evaluate.evaluate model board archi).Mccm.Evaluate.breakdown
+  in
+  let seg = breakdown (Arch.Baselines.segmented ~ces:4 model) in
+  let hyb = breakdown (Arch.Baselines.hybrid ~ces:7 model) in
+  let segmented_total =
+    List.fold_left
+      (fun acc (s : Mccm.Breakdown.segment) ->
+        acc + s.Mccm.Breakdown.buffer_bytes)
+      0 seg.Mccm.Breakdown.segments
+  in
+  let min_under =
+    let unders =
+      List.map Mccm.Breakdown.underutilization
+        (seg.Mccm.Breakdown.segments @ hyb.Mccm.Breakdown.segments)
+    in
+    Float.max 1e-6 (Util.Stats.minimum unders)
+  in
+  let side_of instance (b : Mccm.Breakdown.t) =
+    {
+      instance;
+      segments =
+        List.map
+          (fun (s : Mccm.Breakdown.segment) ->
+            let under = Mccm.Breakdown.underutilization s in
+            {
+              label = s.Mccm.Breakdown.label;
+              buffer_share =
+                float_of_int s.Mccm.Breakdown.buffer_bytes
+                /. float_of_int (max 1 segmented_total);
+              underutilization = under;
+              underutilization_norm = under /. min_under;
+            })
+          b.Mccm.Breakdown.segments;
+    }
+  in
+  {
+    segmented = side_of "Segmented/4" seg;
+    hybrid = side_of "Hybrid/7" hyb;
+  }
+
+let print_side s =
+  Format.printf "%s@." s.instance;
+  List.iter
+    (fun seg ->
+      Format.printf
+        "  %-6s buffers %6.1f%% of Segmented total; underutilization %5.1f%% \
+         (%.1fx min)@."
+        seg.label
+        (100.0 *. seg.buffer_share)
+        (100.0 *. seg.underutilization)
+        seg.underutilization_norm)
+    s.segments
+
+let print t =
+  print_endline
+    "Fig. 9: per-segment buffers and PE underutilization (Xception / VCU110)";
+  print_side t.segmented;
+  print_side t.hybrid

@@ -1,0 +1,24 @@
+(** Fig. 9 — bottleneck anatomy of the two promising Fig. 8 instances on
+    Xception / VCU110: per-segment buffer shares (normalised to the
+    Segmented instance's total buffer, as in Fig. 9a) and per-segment PE
+    underutilization (normalised to the smallest underutilization across
+    both instances, Fig. 9b). *)
+
+type segment_stat = {
+  label : string;
+  buffer_share : float;          (** of the Segmented total buffer *)
+  underutilization : float;      (** 1 - utilization *)
+  underutilization_norm : float; (** normalised to the global minimum *)
+}
+
+type side = { instance : string; segments : segment_stat list }
+
+type t = { segmented : side; hybrid : side }
+(** Segmented with 4 CEs (4 segments) and Hybrid with 7 CEs (2
+    segments). *)
+
+val run : unit -> t
+(** Regenerates the figure's data. *)
+
+val print : t -> unit
+(** Renders both panels. *)

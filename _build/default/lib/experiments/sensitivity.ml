@@ -1,0 +1,104 @@
+type point = {
+  value : float;
+  instance : string;
+  metrics : Mccm.Metrics.t;
+  stall_fraction : float;
+}
+
+type sweep = { resource : string; points : point list }
+
+type t = { sweeps : sweep list }
+
+let instances model =
+  [
+    ("Segmented/4", Arch.Baselines.segmented ~ces:4 model);
+    ("SegmentedRR/4", Arch.Baselines.segmented_rr ~ces:4 model);
+    ("Hybrid/4", Arch.Baselines.hybrid ~ces:4 model);
+  ]
+
+let eval model board archi =
+  let e = Mccm.Evaluate.evaluate model board archi in
+  (e.Mccm.Evaluate.metrics,
+   e.Mccm.Evaluate.breakdown.Mccm.Breakdown.stall_fraction)
+
+let sweep_points model ~values ~board_of =
+  List.concat_map
+    (fun v ->
+      let board = board_of v in
+      List.map
+        (fun (instance, archi) ->
+          let metrics, stall_fraction = eval model board archi in
+          { value = v; instance; metrics; stall_fraction })
+        (instances model))
+    values
+
+let run ?(model = Cnn.Model_zoo.resnet50 ()) () =
+  let base ~dsps ~bram_mib ~bw =
+    Platform.Board.v ~name:"sweep" ~dsps ~bram_mib ~bandwidth_gb_per_sec:bw ()
+  in
+  let bandwidth =
+    {
+      resource = "bandwidth (GB/s)";
+      points =
+        sweep_points model
+          ~values:[ 1.0; 2.0; 3.2; 6.4; 12.8; 19.2; 32.0 ]
+          ~board_of:(fun bw -> base ~dsps:900 ~bram_mib:2.4 ~bw);
+    }
+  in
+  let bram =
+    {
+      resource = "BRAM (MiB)";
+      points =
+        sweep_points model
+          ~values:[ 1.0; 2.4; 4.0; 7.6; 16.6 ]
+          ~board_of:(fun b -> base ~dsps:900 ~bram_mib:b ~bw:3.2);
+    }
+  in
+  let dsps =
+    {
+      resource = "DSPs";
+      points =
+        sweep_points model
+          ~values:[ 256.0; 512.0; 900.0; 1800.0; 2520.0 ]
+          ~board_of:(fun d ->
+            base ~dsps:(int_of_float d) ~bram_mib:2.4 ~bw:3.2);
+    }
+  in
+  { sweeps = [ bandwidth; bram; dsps ] }
+
+let print t =
+  List.iter
+    (fun sweep ->
+      let table =
+        Util.Table.create
+          ~title:(Printf.sprintf "Sensitivity: %s" sweep.resource)
+          ~columns:
+            [
+              (sweep.resource, Util.Table.Right);
+              ("instance", Util.Table.Left);
+              ("latency", Util.Table.Right);
+              ("throughput", Util.Table.Right);
+              ("accesses", Util.Table.Right);
+              ("stall", Util.Table.Right);
+              ("feasible", Util.Table.Center);
+            ]
+          ()
+      in
+      List.iter
+        (fun p ->
+          Util.Table.add_row table
+            [
+              Printf.sprintf "%g" p.value;
+              p.instance;
+              Format.asprintf "%a" Util.Units.pp_seconds
+                p.metrics.Mccm.Metrics.latency_s;
+              Printf.sprintf "%.1f inf/s" p.metrics.Mccm.Metrics.throughput_ips;
+              Format.asprintf "%a" Util.Units.pp_bytes
+                (Mccm.Metrics.accesses_bytes p.metrics);
+              Printf.sprintf "%.0f%%" (100.0 *. p.stall_fraction);
+              (if p.metrics.Mccm.Metrics.feasible then "yes" else "NO");
+            ])
+        sweep.points;
+      Util.Table.print table;
+      print_newline ())
+    t.sweeps

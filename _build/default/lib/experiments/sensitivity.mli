@@ -1,0 +1,30 @@
+(** Resource-sensitivity study (an extension beyond the paper's figures,
+    motivated by its Table II spread: the boards differ mainly in DSP
+    count, BRAM and bandwidth).
+
+    Sweeps one resource at a time around a base board and reports how the
+    three architectures respond — showing, e.g., the bandwidth at which
+    SegmentedRR stops being memory-bound, and how buffer-hungry designs
+    degrade as BRAM shrinks. *)
+
+type point = {
+  value : float;           (** the swept resource's value *)
+  instance : string;
+  metrics : Mccm.Metrics.t;
+  stall_fraction : float;
+}
+
+type sweep = {
+  resource : string;       (** "bandwidth (GB/s)", "BRAM (MiB)", "DSPs" *)
+  points : point list;
+}
+
+type t = { sweeps : sweep list }
+
+val run : ?model:Cnn.Model.t -> unit -> t
+(** [run ()] sweeps bandwidth (1-32 GB/s), BRAM (1-16 MiB) and DSPs
+    (256-2520) around a ZC706-like base for the three baselines at 4 CEs
+    (default model ResNet50). *)
+
+val print : t -> unit
+(** One table per swept resource. *)

@@ -1,0 +1,38 @@
+let print_table2 () =
+  let table =
+    Util.Table.create ~title:"Table II: evaluation FPGA boards"
+      ~columns:
+        [
+          ("", Util.Table.Left);
+          ("ZC706", Util.Table.Right);
+          ("VCU108", Util.Table.Right);
+          ("VCU110", Util.Table.Right);
+          ("ZCU102", Util.Table.Right);
+        ]
+      ()
+  in
+  let row name f = Util.Table.add_row table (name :: List.map f Platform.Board.all) in
+  row "DSPs" (fun b -> string_of_int b.Platform.Board.dsps);
+  row "Block RAM (MiB)" (fun b ->
+      Printf.sprintf "%.1f" (Util.Units.mib_of_bytes b.Platform.Board.bram_bytes));
+  row "Off-chip memory BW (GB/s)" (fun b ->
+      Printf.sprintf "%.1f" (b.Platform.Board.bandwidth_bytes_per_sec /. 1e9));
+  Util.Table.print table
+
+let print_table3 () =
+  let models = Cnn.Model_zoo.all () in
+  let table =
+    Util.Table.create ~title:"Table III: evaluated CNN models"
+      ~columns:
+        (("", Util.Table.Left)
+        :: List.map (fun m -> (m.Cnn.Model.name, Util.Table.Right)) models)
+      ()
+  in
+  let row name f = Util.Table.add_row table (name :: List.map f models) in
+  row "Abbreviation" (fun m -> m.Cnn.Model.abbreviation);
+  row "Conv weights (M)" (fun m ->
+      Printf.sprintf "%.1f" (float_of_int (Cnn.Model.total_weights m) /. 1e6));
+  row "Conv layers" (fun m -> string_of_int (Cnn.Model.num_layers m));
+  row "MACs (G)" (fun m ->
+      Printf.sprintf "%.2f" (float_of_int (Cnn.Model.total_macs m) /. 1e9));
+  Util.Table.print table

@@ -1,0 +1,12 @@
+(** The paper's setup tables: Table II (evaluation FPGA boards) and
+    Table III (evaluated CNN models).  Regenerated from the platform
+    descriptions and the structural model zoo, so a drift in either shows
+    up against the paper's numbers. *)
+
+val print_table2 : unit -> unit
+(** DSPs, Block RAM and off-chip bandwidth per board. *)
+
+val print_table3 : unit -> unit
+(** Abbreviation, convolutional weights and conv-layer count per CNN.
+    Weight totals are convolutional weights only; the paper's totals
+    additionally include classifier and normalisation parameters. *)

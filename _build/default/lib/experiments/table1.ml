@@ -1,0 +1,67 @@
+type row = { label : string; latency : float; buffers : float; accesses : float }
+
+type t = { rows : row list }
+
+let run () =
+  let model = Cnn.Model_zoo.resnet50 () in
+  let board = Platform.Board.zcu102 in
+  let instances = Common.sweep model board in
+  let picks =
+    List.map
+      (fun style ->
+        Common.best_by ~metric:`Latency
+          (Common.instances_of_style style instances))
+      [ Arch.Block.Segmented_rr; Arch.Block.Segmented; Arch.Block.Hybrid ]
+  in
+  let latencies =
+    Report.Normalize.to_best ~higher_is_better:false
+      (List.map (fun i -> i.Common.metrics.Mccm.Metrics.latency_s) picks)
+  in
+  let buffers =
+    Report.Normalize.to_best ~higher_is_better:false
+      (List.map
+         (fun i -> float_of_int i.Common.metrics.Mccm.Metrics.buffer_bytes)
+         picks)
+  in
+  let accesses =
+    Report.Normalize.to_best ~higher_is_better:false
+      (List.map
+         (fun i -> float_of_int (Mccm.Metrics.accesses_bytes i.Common.metrics))
+         picks)
+  in
+  let rows =
+    List.map2
+      (fun (i, latency) (buffers, accesses) ->
+        { label = Common.label i; latency; buffers; accesses })
+      (List.combine picks latencies)
+      (List.combine buffers accesses)
+  in
+  { rows }
+
+let print t =
+  let table =
+    Util.Table.create
+      ~title:
+        "Table I: multiple-CE accelerators on ResNet50 / ZCU102\n\
+         (per-architecture lowest-latency instance; values normalised to \
+         the best in each metric)"
+      ~columns:
+        [
+          ("architecture", Util.Table.Left);
+          ("latency", Util.Table.Right);
+          ("on-chip buffers", Util.Table.Right);
+          ("off-chip accesses", Util.Table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Util.Table.add_row table
+        [
+          r.label;
+          Printf.sprintf "%.2f" r.latency;
+          Printf.sprintf "%.2f" r.buffers;
+          Printf.sprintf "%.2f" r.accesses;
+        ])
+    t.rows;
+  Util.Table.print table

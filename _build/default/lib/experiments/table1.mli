@@ -1,0 +1,22 @@
+(** Table I — normalized comparison of the three multiple-CE
+    architectures on ResNet50 / ZCU102.
+
+    The paper reports one representative instance per architecture; we
+    take each architecture's lowest-latency instance over CE counts 2-11
+    (Table I leads with latency and its SegmentedRR row is the latency
+    winner), then normalise each metric column to its best value. *)
+
+type row = {
+  label : string;
+  latency : float;     (** normalised, best = 1.0 *)
+  buffers : float;
+  accesses : float;
+}
+
+type t = { rows : row list }
+
+val run : unit -> t
+(** Regenerates the table. *)
+
+val print : t -> unit
+(** Renders it like the paper's Table I. *)

@@ -1,0 +1,29 @@
+(** Table IV — MCCM estimation accuracy against the synthesis surrogate
+    on VCU108: 150 experiments (3 architectures x 10 CE counts x 5
+    CNNs), summarised as max / min / average accuracy per metric and per
+    architecture, plus the best-architecture prediction agreement the
+    paper reports alongside. *)
+
+type metric_summary = {
+  segmented : Report.Accuracy.summary;
+  segmented_rr : Report.Accuracy.summary;
+  hybrid : Report.Accuracy.summary;
+}
+
+type t = {
+  buffers : metric_summary;
+  latency : metric_summary;
+  throughput : metric_summary;
+  accesses : metric_summary;
+  experiments : int;                (** 150 *)
+  best_arch_agreement : (string * int) list;
+      (** per metric: in how many of the 50 (CE count x CNN) settings the
+          model and the surrogate pick the same best architecture *)
+  settings : int;                   (** 50 *)
+}
+
+val run : unit -> t
+(** Runs all 150 model + surrogate evaluations (takes a few seconds). *)
+
+val print : t -> unit
+(** Renders the summary like the paper's Table IV. *)

@@ -1,0 +1,136 @@
+type cell = {
+  board : string;
+  cnn : string;
+  metric : string;
+  winners : string list;
+}
+
+type t = {
+  cells : cell list;
+  columns : int;
+  no_single_winner_columns : int;
+  segmented_rr_latency_wins : int;
+  hybrid_buffer_wins : int;
+  hybrid_access_wins : int;
+}
+
+let metrics =
+  [ ("latency", `Latency); ("throughput", `Throughput);
+    ("accesses", `Accesses); ("buffers", `Buffers) ]
+
+let style_of_label label =
+  match String.index_opt label '/' with
+  | Some i -> String.sub label 0 i
+  | None -> label
+
+let run () =
+  let cells =
+    List.concat_map
+      (fun board ->
+        List.concat_map
+          (fun model ->
+            let instances = Common.sweep model board in
+            let candidates =
+              List.map
+                (fun (i : Common.instance) ->
+                  { Dse.Select.label = Common.label i; metrics = i.Common.metrics })
+                instances
+            in
+            List.map
+              (fun (name, metric) ->
+                {
+                  board = board.Platform.Board.name;
+                  cnn = model.Cnn.Model.abbreviation;
+                  metric = name;
+                  winners = Dse.Select.winner_labels ~metric candidates;
+                })
+              metrics)
+          (Cnn.Model_zoo.all ()))
+      Platform.Board.all
+  in
+  let columns =
+    List.sort_uniq compare (List.map (fun c -> (c.board, c.cnn)) cells)
+  in
+  let column_cells col =
+    List.filter (fun c -> (c.board, c.cnn) = col) cells
+  in
+  let count pred = List.length (List.filter pred columns) in
+  let no_single_winner_columns =
+    count (fun col ->
+        let winner_styles_per_metric =
+          List.map
+            (fun c -> List.sort_uniq compare (List.map style_of_label c.winners))
+            (column_cells col)
+        in
+        match winner_styles_per_metric with
+        | [] -> false
+        | first :: rest ->
+          let common =
+            List.fold_left
+              (fun acc styles -> List.filter (fun s -> List.mem s styles) acc)
+              first rest
+          in
+          common = [])
+  in
+  let wins ~metric ~style =
+    count (fun col ->
+        List.exists
+          (fun c ->
+            c.metric = metric
+            && List.exists (fun w -> style_of_label w = style) c.winners)
+          (column_cells col))
+  in
+  {
+    cells;
+    columns = List.length columns;
+    no_single_winner_columns;
+    segmented_rr_latency_wins = wins ~metric:"latency" ~style:"SegmentedRR";
+    hybrid_buffer_wins = wins ~metric:"buffers" ~style:"Hybrid";
+    hybrid_access_wins = wins ~metric:"accesses" ~style:"Hybrid";
+  }
+
+let print t =
+  let boards =
+    List.sort_uniq compare (List.map (fun c -> c.board) t.cells)
+  in
+  List.iter
+    (fun board ->
+      let cnns =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun c -> if c.board = board then Some c.cnn else None)
+             t.cells)
+      in
+      let table =
+        Util.Table.create
+          ~title:(Printf.sprintf "Table V (board %s): best architectures" board)
+          ~columns:
+            (("metric", Util.Table.Left)
+            :: List.map (fun cnn -> (cnn, Util.Table.Left)) cnns)
+          ()
+      in
+      List.iter
+        (fun (metric, _) ->
+          Util.Table.add_row table
+            (metric
+            :: List.map
+                 (fun cnn ->
+                   match
+                     List.find_opt
+                       (fun c ->
+                         c.board = board && c.cnn = cnn && c.metric = metric)
+                       t.cells
+                   with
+                   | Some c -> String.concat " " c.winners
+                   | None -> "-")
+                 cnns))
+        metrics;
+      Util.Table.print table;
+      print_newline ())
+    boards;
+  Format.printf
+    "Insights: %d/%d columns have no single architecture winning all four \
+     metrics; SegmentedRR wins latency in %d/%d; Hybrid wins buffers in \
+     %d/%d; Hybrid reaches minimum accesses in %d/%d.@."
+    t.no_single_winner_columns t.columns t.segmented_rr_latency_wins t.columns
+    t.hybrid_buffer_wins t.columns t.hybrid_access_wins t.columns

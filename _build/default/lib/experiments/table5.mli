@@ -1,0 +1,28 @@
+(** Table V — the best architecture (with CE count) per board, CNN and
+    metric, with the paper's 10% tie rule.  The paper's headline insights
+    are derived alongside: in how many (board, CNN) columns no single
+    architecture wins all four metrics, how often SegmentedRR wins
+    latency, how often Hybrid wins buffers, and whether Hybrid always
+    reaches the minimum off-chip accesses. *)
+
+type cell = {
+  board : string;
+  cnn : string;
+  metric : string;
+  winners : string list;  (** e.g. [["Hybrid/2"; "SegmentedRR/2"]] *)
+}
+
+type t = {
+  cells : cell list;
+  columns : int;                         (** board x CNN combinations *)
+  no_single_winner_columns : int;
+  segmented_rr_latency_wins : int;
+  hybrid_buffer_wins : int;
+  hybrid_access_wins : int;
+}
+
+val run : unit -> t
+(** Sweeps all 4 boards x 5 CNNs x 30 instances (takes ~a minute). *)
+
+val print : t -> unit
+(** Renders one table per board plus the insight summary. *)

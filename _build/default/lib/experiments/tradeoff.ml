@@ -1,0 +1,98 @@
+type point = {
+  label : string;
+  style : Arch.Block.style;
+  ces : int;
+  throughput : float;
+  second : float;
+}
+
+type t = {
+  title : string;
+  second_axis : string;
+  points : point list;
+  best_throughput : (string * string) list;
+  best_second : (string * string) list;
+}
+
+let styles =
+  [ Arch.Block.Segmented; Arch.Block.Segmented_rr; Arch.Block.Hybrid ]
+
+let build ~title ~second_axis ~second model board =
+  let instances = Common.sweep model board in
+  let points =
+    List.map
+      (fun (i : Common.instance) ->
+        {
+          label = Common.label i;
+          style = i.Common.style;
+          ces = i.Common.ces;
+          throughput = i.Common.metrics.Mccm.Metrics.throughput_ips;
+          second = second i.Common.metrics;
+        })
+      (List.filter
+         (fun (i : Common.instance) -> i.Common.metrics.Mccm.Metrics.feasible)
+         instances)
+  in
+  let per_style pick =
+    List.filter_map
+      (fun style ->
+        match List.filter (fun p -> p.style = style) points with
+        | [] -> None
+        | ps ->
+          let best = pick ps in
+          Some (Arch.Block.style_to_string style, best.label))
+      styles
+  in
+  {
+    title;
+    second_axis;
+    points;
+    best_throughput =
+      per_style (Util.Stats.argmax (fun p -> p.throughput));
+    best_second = per_style (Util.Stats.argmin (fun p -> p.second));
+  }
+
+let fig5 () =
+  build ~title:"Fig. 5: throughput vs off-chip accesses (ResNet50 / ZC706)"
+    ~second_axis:"off-chip accesses (MB)"
+    ~second:(fun m -> float_of_int (Mccm.Metrics.accesses_bytes m) /. 1e6)
+    (Cnn.Model_zoo.resnet50 ()) Platform.Board.zc706
+
+let fig8 () =
+  build ~title:"Fig. 8: throughput vs on-chip buffers (Xception / VCU110)"
+    ~second_axis:"on-chip buffers (MiB)"
+    ~second:(fun m -> Util.Units.mib_of_bytes m.Mccm.Metrics.buffer_bytes)
+    (Cnn.Model_zoo.xception ()) Platform.Board.vcu110
+
+let marker_of_style = function
+  | Arch.Block.Segmented -> 's'
+  | Arch.Block.Segmented_rr -> 'r'
+  | Arch.Block.Hybrid -> 'h'
+  | Arch.Block.Custom -> 'c'
+
+let print t =
+  print_endline t.title;
+  let series =
+    List.filter_map
+      (fun style ->
+        match List.filter (fun p -> p.style = style) t.points with
+        | [] -> None
+        | ps ->
+          Some
+            {
+              Report.Scatter.name = Arch.Block.style_to_string style;
+              marker = marker_of_style style;
+              points = List.map (fun p -> (p.second, p.throughput)) ps;
+            })
+      styles
+  in
+  print_string
+    (Report.Scatter.render ~x_label:t.second_axis
+       ~y_label:"throughput (inf/s)" series);
+  Format.printf "highest throughput: %s@."
+    (String.concat ", "
+       (List.map (fun (s, l) -> Printf.sprintf "%s -> %s" s l)
+          t.best_throughput));
+  Format.printf "lowest %s: %s@." t.second_axis
+    (String.concat ", "
+       (List.map (fun (s, l) -> Printf.sprintf "%s -> %s" s l) t.best_second))

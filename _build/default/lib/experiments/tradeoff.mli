@@ -1,0 +1,32 @@
+(** Figures 5 and 8 — trade-off scatter plots over the 30 baseline
+    instances.
+
+    Fig. 5 plots throughput against off-chip accesses for ResNet50 on
+    ZC706; Fig. 8 plots throughput against on-chip buffers for Xception
+    on VCU110.  Both annotate, per architecture, the instance with the
+    highest throughput and the one with the smallest second metric. *)
+
+type point = {
+  label : string;
+  style : Arch.Block.style;
+  ces : int;
+  throughput : float;
+  second : float;  (** accesses bytes (Fig. 5) or buffer bytes (Fig. 8) *)
+}
+
+type t = {
+  title : string;
+  second_axis : string;
+  points : point list;
+  best_throughput : (string * string) list;  (** per style: instance label *)
+  best_second : (string * string) list;
+}
+
+val fig5 : unit -> t
+(** Throughput vs off-chip accesses, ResNet50 on ZC706. *)
+
+val fig8 : unit -> t
+(** Throughput vs on-chip buffers, Xception on VCU110. *)
+
+val print : t -> unit
+(** Renders the ASCII scatter and the per-architecture annotations. *)

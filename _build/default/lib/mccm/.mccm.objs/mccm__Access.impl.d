@@ -1,0 +1,1 @@
+lib/mccm/access.ml: Format List Util

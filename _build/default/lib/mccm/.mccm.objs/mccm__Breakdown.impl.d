@@ -1,0 +1,1 @@
+lib/mccm/breakdown.ml: Access Float Format List Util

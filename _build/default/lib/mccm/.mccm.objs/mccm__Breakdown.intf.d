@@ -1,0 +1,1 @@
+lib/mccm/breakdown.mli: Access Format

@@ -1,0 +1,1 @@
+lib/mccm/compression.ml: Access Breakdown Float List Platform

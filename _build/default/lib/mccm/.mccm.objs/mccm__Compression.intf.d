@@ -1,0 +1,1 @@
+lib/mccm/compression.mli: Access Breakdown Platform

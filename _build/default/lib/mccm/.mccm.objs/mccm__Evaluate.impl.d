@@ -1,0 +1,1 @@
+lib/mccm/evaluate.ml: Access Arch Array Breakdown Builder Cnn Float List Metrics Pipelined_model Platform Printf Single_ce_model

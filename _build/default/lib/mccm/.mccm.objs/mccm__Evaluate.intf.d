@@ -1,0 +1,1 @@
+lib/mccm/evaluate.mli: Access Arch Breakdown Builder Cnn Metrics Platform

@@ -1,0 +1,1 @@
+lib/mccm/layer_report.ml: Access Array Builder Cnn Engine Format List Platform Single_ce_model Util

@@ -1,0 +1,1 @@
+lib/mccm/layer_report.mli: Access Builder Cnn Format

@@ -1,0 +1,1 @@
+lib/mccm/metrics.ml: Access Format Util

@@ -1,0 +1,1 @@
+lib/mccm/metrics.mli: Access Format

@@ -1,0 +1,1 @@
+lib/mccm/pipelined_model.ml: Access Array Builder Cnn Engine Float List Platform Util

@@ -1,0 +1,1 @@
+lib/mccm/pipelined_model.mli: Access Builder Cnn Engine Platform

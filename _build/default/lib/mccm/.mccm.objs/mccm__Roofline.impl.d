@@ -1,0 +1,1 @@
+lib/mccm/roofline.ml: Cnn Float Format Metrics Platform

@@ -1,0 +1,1 @@
+lib/mccm/roofline.mli: Cnn Format Metrics Platform

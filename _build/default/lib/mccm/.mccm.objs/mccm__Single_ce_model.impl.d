@@ -1,0 +1,1 @@
+lib/mccm/single_ce_model.ml: Access Builder Cnn Engine Float List Platform Util

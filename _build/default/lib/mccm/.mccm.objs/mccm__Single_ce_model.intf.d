@@ -1,0 +1,1 @@
+lib/mccm/single_ce_model.mli: Access Builder Cnn Engine Platform

@@ -1,0 +1,21 @@
+type t = { weights_bytes : int; fms_bytes : int }
+
+let zero = { weights_bytes = 0; fms_bytes = 0 }
+
+let weights n = { weights_bytes = n; fms_bytes = 0 }
+
+let fms n = { weights_bytes = 0; fms_bytes = n }
+
+let add a b =
+  {
+    weights_bytes = a.weights_bytes + b.weights_bytes;
+    fms_bytes = a.fms_bytes + b.fms_bytes;
+  }
+
+let total t = t.weights_bytes + t.fms_bytes
+
+let sum l = List.fold_left add zero l
+
+let pp ppf t =
+  Format.fprintf ppf "%a (W %a + FM %a)" Util.Units.pp_bytes (total t)
+    Util.Units.pp_bytes t.weights_bytes Util.Units.pp_bytes t.fms_bytes

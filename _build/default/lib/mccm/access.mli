@@ -1,0 +1,28 @@
+(** Off-chip access tallies, split by operand class.
+
+    The paper's fine-grained evaluation (Use Case 2, Fig. 7) breaks
+    accesses down into weight traffic and feature-map traffic; every
+    access computation in the model carries that split. *)
+
+type t = { weights_bytes : int; fms_bytes : int }
+
+val zero : t
+(** No traffic. *)
+
+val weights : int -> t
+(** [weights n] is [n] bytes of weight traffic. *)
+
+val fms : int -> t
+(** [fms n] is [n] bytes of feature-map traffic. *)
+
+val add : t -> t -> t
+(** Componentwise sum. *)
+
+val total : t -> int
+(** [weights_bytes + fms_bytes]. *)
+
+val sum : t list -> t
+(** Fold of {!add} over a list. *)
+
+val pp : Format.formatter -> t -> unit
+(** e.g. ["23.45 MiB (W 22.10 MiB + FM 1.35 MiB)"]. *)

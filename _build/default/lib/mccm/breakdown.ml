@@ -1,0 +1,47 @@
+type segment = {
+  label : string;
+  block_index : int;
+  compute_s : float;
+  memory_s : float;
+  time_s : float;
+  buffer_bytes : int;
+  utilization : float;
+  accesses : Access.t;
+}
+
+type t = {
+  segments : segment list;
+  accesses : Access.t;
+  stall_fraction : float;
+}
+
+let underutilization s = 1.0 -. s.utilization
+
+let of_segments (segments : segment list) =
+  let accesses =
+    Access.sum (List.map (fun (s : segment) -> s.accesses) segments)
+  in
+  let total_time =
+    List.fold_left (fun acc s -> acc +. s.time_s) 0.0 segments
+  in
+  let stalled =
+    List.fold_left
+      (fun acc s -> acc +. Float.max 0.0 (s.memory_s -. s.compute_s))
+      0.0 segments
+  in
+  let stall_fraction = if total_time > 0.0 then stalled /. total_time else 0.0 in
+  { segments; accesses; stall_fraction }
+
+let pp ppf t =
+  Format.fprintf ppf "%-8s %12s %12s %12s %8s %10s@." "segment" "compute"
+    "memory" "buffer" "util" "accesses";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%-8s %12s %12s %12s %7.1f%% %10s@." s.label
+        (Format.asprintf "%a" Util.Units.pp_seconds s.compute_s)
+        (Format.asprintf "%a" Util.Units.pp_seconds s.memory_s)
+        (Format.asprintf "%a" Util.Units.pp_bytes s.buffer_bytes)
+        (100.0 *. s.utilization)
+        (Format.asprintf "%a" Util.Units.pp_bytes (Access.total s.accesses)))
+    t.segments;
+  Format.fprintf ppf "stall fraction: %.1f%%" (100.0 *. t.stall_fraction)

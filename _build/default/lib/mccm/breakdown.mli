@@ -1,0 +1,36 @@
+(** Fine-grained evaluation outputs (paper Use Case 2).
+
+    A {e segment} is the paper's unit of fine-grained reporting: one
+    single-CE block, one pipelined-CEs block that fits its layers in a
+    single pass, or — for a pipelined block that processes its layers in
+    several round-robin passes — one such round (Fig. 6a labels
+    SegmentedRR rounds as segments). *)
+
+type segment = {
+  label : string;            (** e.g. ["seg3"] *)
+  block_index : int;         (** which architecture block it belongs to *)
+  compute_s : float;         (** pure compute time of the segment *)
+  memory_s : float;          (** off-chip transfer time of the segment *)
+  time_s : float;            (** max of the two (overlap assumption) *)
+  buffer_bytes : int;        (** on-chip buffer attributed to the segment *)
+  utilization : float;       (** MAC-weighted PE utilization in (0, 1] *)
+  accesses : Access.t;       (** off-chip traffic of the segment *)
+}
+
+type t = {
+  segments : segment list;   (** in execution order *)
+  accesses : Access.t;       (** whole-accelerator split (Fig. 7) *)
+  stall_fraction : float;
+      (** share of execution time engines spend waiting for memory:
+          sum of max(0, memory - compute) over segment time (Fig. 6a's
+          "29% of the overall execution time, CEs are idle") *)
+}
+
+val underutilization : segment -> float
+(** [1 - utilization]: the quantity Fig. 9b plots. *)
+
+val of_segments : segment list -> t
+(** Aggregates totals and the stall fraction from per-segment data. *)
+
+val pp : Format.formatter -> t -> unit
+(** Tabular dump of all segments. *)

@@ -1,0 +1,83 @@
+type target = Weights_only | Fms_only | Both
+
+type policy = { target : target; ratio : float; memory_bound_only : bool }
+
+let uniform_weights ~ratio =
+  { target = Weights_only; ratio; memory_bound_only = false }
+
+let bottleneck_weights ~ratio =
+  { target = Weights_only; ratio; memory_bound_only = true }
+
+type outcome = {
+  baseline_time_s : float;
+  compressed_time_s : float;
+  speedup : float;
+  baseline_accesses : Access.t;
+  compressed_accesses : Access.t;
+  segments_affected : int;
+}
+
+let compressed_segment_accesses policy (s : Breakdown.segment) =
+  let squeeze bytes =
+    int_of_float (Float.round (float_of_int bytes /. policy.ratio))
+  in
+  let a = s.Breakdown.accesses in
+  match policy.target with
+  | Weights_only ->
+    { Access.weights_bytes = squeeze a.Access.weights_bytes;
+      fms_bytes = a.Access.fms_bytes }
+  | Fms_only ->
+    { Access.weights_bytes = a.Access.weights_bytes;
+      fms_bytes = squeeze a.Access.fms_bytes }
+  | Both ->
+    { Access.weights_bytes = squeeze a.Access.weights_bytes;
+      fms_bytes = squeeze a.Access.fms_bytes }
+
+let applies policy (s : Breakdown.segment) =
+  (not policy.memory_bound_only)
+  || s.Breakdown.memory_s > s.Breakdown.compute_s
+
+let apply ~board policy (b : Breakdown.t) =
+  if policy.ratio <= 1.0 then
+    invalid_arg "Compression.apply: ratio must exceed 1.0";
+  let affected = ref 0 in
+  let baseline_time = ref 0.0 and compressed_time = ref 0.0 in
+  let baseline_acc = ref Access.zero and compressed_acc = ref Access.zero in
+  List.iter
+    (fun (s : Breakdown.segment) ->
+      baseline_time := !baseline_time +. s.Breakdown.time_s;
+      baseline_acc := Access.add !baseline_acc s.Breakdown.accesses;
+      if applies policy s then begin
+        incr affected;
+        let acc' = compressed_segment_accesses policy s in
+        let memory_s' =
+          Platform.Board.bytes_to_seconds board (Access.total acc')
+        in
+        compressed_time :=
+          !compressed_time +. Float.max s.Breakdown.compute_s memory_s';
+        compressed_acc := Access.add !compressed_acc acc'
+      end
+      else begin
+        compressed_time := !compressed_time +. s.Breakdown.time_s;
+        compressed_acc := Access.add !compressed_acc s.Breakdown.accesses
+      end)
+    b.Breakdown.segments;
+  {
+    baseline_time_s = !baseline_time;
+    compressed_time_s = !compressed_time;
+    speedup =
+      (if !compressed_time > 0.0 then !baseline_time /. !compressed_time
+       else 1.0);
+    baseline_accesses = !baseline_acc;
+    compressed_accesses = !compressed_acc;
+    segments_affected = !affected;
+  }
+
+let best_single_target ~board ~ratio b =
+  let w =
+    apply ~board { target = Weights_only; ratio; memory_bound_only = true } b
+  in
+  let f =
+    apply ~board { target = Fms_only; ratio; memory_bound_only = true } b
+  in
+  if w.speedup >= f.speedup then (Weights_only, w) else (Fms_only, f)

@@ -1,0 +1,51 @@
+(** What-if analysis for off-chip data compression (paper Use Case 2).
+
+    The paper's fine-grained evaluation exists to guide optimizations such
+    as compression: it identifies {e which segments} are memory-bound and
+    {e which operand} dominates their traffic, so compression can be
+    applied only where it pays ("compression has its overhead...
+    compressing FMs would be a pure overhead").
+
+    This module models lossless off-chip compression as a bandwidth
+    multiplier on the selected operand of the selected segments: a
+    segment's transfer time shrinks by the compressed share; its compute
+    time is unchanged (decompressors sit on the DMA path); segment time
+    remains the max of the two.  Latency and throughput are re-derived
+    from the adjusted segment times; buffers are unchanged. *)
+
+type target = Weights_only | Fms_only | Both
+
+type policy = {
+  target : target;
+  ratio : float;             (** compression factor, > 1.0 *)
+  memory_bound_only : bool;
+      (** apply only to segments whose memory time exceeds compute time —
+          the paper's recommendation *)
+}
+
+val uniform_weights : ratio:float -> policy
+(** Weights everywhere. *)
+
+val bottleneck_weights : ratio:float -> policy
+(** Weights, memory-bound segments only (the paper's suggestion for
+    SegmentedRR on ResNet50/ZC706). *)
+
+type outcome = {
+  baseline_time_s : float;      (** sum of segment times before *)
+  compressed_time_s : float;    (** sum of segment times after *)
+  speedup : float;              (** baseline / compressed, >= 1.0 *)
+  baseline_accesses : Access.t;
+  compressed_accesses : Access.t;
+  segments_affected : int;
+}
+
+val apply : board:Platform.Board.t -> policy -> Breakdown.t -> outcome
+(** [apply ~board policy breakdown] evaluates the policy on an existing
+    fine-grained breakdown.  @raise Invalid_argument if [ratio <= 1.0]. *)
+
+val best_single_target :
+  board:Platform.Board.t -> ratio:float -> Breakdown.t -> target * outcome
+(** [best_single_target ~board ~ratio b] compares compressing only
+    weights against only FMs (both restricted to memory-bound segments)
+    and returns the better target with its outcome — automating the
+    paper's Fig. 7 reading. *)

@@ -1,0 +1,31 @@
+(** Per-layer fine-grained evaluation.
+
+    The methodology's outputs include "a fine-grained analysis of PE
+    utilization and a breakdown of the results on the level of weights and
+    FMs" (paper Section III-A).  This module reports, for every layer of a
+    built accelerator: which engine runs it, its Eq. 1/Eq. 2 cycle count,
+    its PE utilization, and its off-chip traffic split. *)
+
+type row = {
+  layer_index : int;
+  layer_name : string;
+  kind : Cnn.Layer.kind;
+  engine_id : int;          (** 1-based CE id *)
+  pipelined : bool;         (** tile-pipelined (vs sequential single-CE) *)
+  cycles : int;             (** total cycles the engine spends on it *)
+  utilization : float;      (** ideal/actual, in (0, 1] *)
+  accesses : Access.t;      (** this layer's off-chip traffic *)
+}
+
+val of_build : Builder.Build.t -> row list
+(** [of_build built] analyses every layer in model order.  Per-layer
+    access numbers follow the same Eq. 6/Eq. 7 accounting as
+    {!Evaluate.run}; block-boundary FM traffic is attributed to the
+    boundary layers. *)
+
+val hotspots : ?top:int -> row list -> row list
+(** [hotspots rows] returns the [top] (default 5) layers by cycle count —
+    the compute bottlenecks an architect would attack first. *)
+
+val pp : Format.formatter -> row list -> unit
+(** Tabular dump in layer order. *)

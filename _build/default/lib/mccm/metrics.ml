@@ -1,0 +1,29 @@
+type t = {
+  latency_s : float;
+  throughput_ips : float;
+  buffer_bytes : int;
+  accesses : Access.t;
+  feasible : bool;
+}
+
+let accesses_bytes t = Access.total t.accesses
+
+let metric_value metric t =
+  match metric with
+  | `Latency -> t.latency_s
+  | `Throughput -> t.throughput_ips
+  | `Buffers -> float_of_int t.buffer_bytes
+  | `Accesses -> float_of_int (accesses_bytes t)
+
+let better ~metric a b =
+  if a.feasible <> b.feasible then a.feasible
+  else
+    let va = metric_value metric a and vb = metric_value metric b in
+    match metric with `Throughput -> va > vb | _ -> va < vb
+
+let pp ppf t =
+  Format.fprintf ppf
+    "latency %a, throughput %.2f inf/s, buffers %a, accesses %a%s"
+    Util.Units.pp_seconds t.latency_s t.throughput_ips Util.Units.pp_bytes
+    t.buffer_bytes Access.pp t.accesses
+    (if t.feasible then "" else " [infeasible]")

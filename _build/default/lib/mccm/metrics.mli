@@ -1,0 +1,24 @@
+(** The four evaluation outputs of MCCM (paper Fig. 3): latency,
+    throughput, on-chip buffer requirement and off-chip accesses. *)
+
+type t = {
+  latency_s : float;       (** end-to-end time for a single input *)
+  throughput_ips : float;  (** steady-state inferences per second *)
+  buffer_bytes : int;      (** on-chip buffer requirement (Eq. 4/5/8) *)
+  accesses : Access.t;     (** off-chip traffic per inference (Eq. 6/7/9) *)
+  feasible : bool;         (** false when minimal buffers exceed BRAM *)
+}
+
+val accesses_bytes : t -> int
+(** Total off-chip bytes per inference. *)
+
+val better : metric:[ `Latency | `Throughput | `Buffers | `Accesses ] -> t -> t -> bool
+(** [better ~metric a b] is true when [a] beats [b] on [metric] (higher
+    throughput, lower everything else).  Infeasible designs never beat
+    feasible ones. *)
+
+val metric_value : [ `Latency | `Throughput | `Buffers | `Accesses ] -> t -> float
+(** Scalar view of one metric (throughput as-is; the others as given). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary. *)

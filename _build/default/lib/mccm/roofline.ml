@@ -1,0 +1,43 @@
+type bound = Compute_bound | Memory_bound
+
+type t = {
+  arithmetic_intensity : float;
+  machine_balance : float;
+  bound : bound;
+  attainable_ips : float;
+  achieved_ips : float;
+  efficiency : float;
+}
+
+let analyze model board (metrics : Metrics.t) =
+  let macs = float_of_int (Cnn.Model.total_macs model) in
+  let bytes = float_of_int (max 1 (Metrics.accesses_bytes metrics)) in
+  let peak_macs_per_s =
+    float_of_int board.Platform.Board.dsps *. board.Platform.Board.clock_hz
+  in
+  let bw = board.Platform.Board.bandwidth_bytes_per_sec in
+  let arithmetic_intensity = macs /. bytes in
+  let machine_balance = peak_macs_per_s /. bw in
+  let compute_ceiling = peak_macs_per_s /. macs in
+  let memory_ceiling = bw /. bytes in
+  let attainable_ips = Float.min compute_ceiling memory_ceiling in
+  let bound =
+    if memory_ceiling < compute_ceiling then Memory_bound else Compute_bound
+  in
+  {
+    arithmetic_intensity;
+    machine_balance;
+    bound;
+    attainable_ips;
+    achieved_ips = metrics.Metrics.throughput_ips;
+    efficiency = metrics.Metrics.throughput_ips /. attainable_ips;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%s: AI %.1f MACs/B vs balance %.1f; %.0f%% of the %.1f inf/s roofline"
+    (match t.bound with
+    | Compute_bound -> "compute-bound"
+    | Memory_bound -> "memory-bound")
+    t.arithmetic_intensity t.machine_balance
+    (100.0 *. t.efficiency)
+    t.attainable_ips

@@ -1,0 +1,34 @@
+(** Roofline analysis of an evaluated design.
+
+    Places a design against the board's two ceilings — peak MAC rate
+    (DSPs x clock) and off-chip bandwidth — using the classic roofline
+    formulation: attainable throughput is the lower of
+    [peak_macs / macs_per_inference] and
+    [bandwidth / bytes_per_inference].  The gap between attainable and
+    achieved is what the fine-grained breakdown explains (PE
+    underutilization, pipeline skew, unbalanced stages). *)
+
+type bound = Compute_bound | Memory_bound
+
+type t = {
+  arithmetic_intensity : float;
+      (** MACs per off-chip byte of this design's schedule *)
+  machine_balance : float;
+      (** the board's MACs-per-byte break-even point *)
+  bound : bound;
+      (** which ceiling caps this design *)
+  attainable_ips : float;
+      (** roofline ceiling, inferences per second *)
+  achieved_ips : float;
+      (** the design's modelled throughput *)
+  efficiency : float;
+      (** achieved / attainable, in (0, 1] for a sound model *)
+}
+
+val analyze : Cnn.Model.t -> Platform.Board.t -> Metrics.t -> t
+(** [analyze model board metrics] derives the roofline position from a
+    design's access count and throughput. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary, e.g.
+    ["memory-bound: AI 12.3 MACs/B vs balance 56.2; 61% of roofline"]. *)

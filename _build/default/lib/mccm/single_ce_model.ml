@@ -1,0 +1,159 @@
+type layer_result = {
+  layer_index : int;
+  compute_cycles : int;
+  accesses : Access.t;
+  ifm_on_chip : bool;
+  ofm_stays_on_chip : bool;
+}
+
+type result = {
+  layers : layer_result list;
+  compute_cycles : int;
+  accesses : Access.t;
+  compute_s : float;
+  memory_s : float;
+  latency_s : float;
+  utilization : float;
+}
+
+(* Eq. 6 for one layer.  [ifm_in_cap] is true when the IFM occupies this
+   block's FM capacity (it was produced by the previous layer); when the
+   IFM sits in an inter-segment buffer it is on-chip but costs no
+   capacity.  [ofm_to_interseg] likewise frees the OFM from the
+   capacity.  *)
+let layer_accesses ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
+    ~ofm_to_interseg =
+  let bpe = board.Platform.Board.bytes_per_element in
+  let cap = plan.Builder.Buffer_alloc.fm_capacity_bytes in
+  let w = Cnn.Layer.weight_elements layer * bpe in
+  let ifm = Cnn.Layer.ifm_elements layer * bpe in
+  let ofm = Cnn.Layer.ofm_elements layer * bpe in
+  let extra = layer.Cnn.Layer.extra_resident_elements * bpe in
+  let ifm_cap_bytes = if ifm_in_cap then ifm else 0 in
+  let ofm_cap_bytes = if ofm_to_interseg then 0 else ofm in
+  let footprint = ifm_cap_bytes + ofm_cap_bytes + extra in
+  (* A resident shortcut stays on-chip only while everything fits; when a
+     layer spills, the shortcut spills too, at roughly one pass of its
+     bytes per carrying layer (a residual chain of two carrying layers
+     pays its store once and its reload once). *)
+  let extra_spill = Access.fms extra in
+  if ifm_on_chip then
+    if footprint <= cap then
+      (* Ideal case: one access per weight. *)
+      (Access.weights w, true)
+    else begin
+      (* IFM is resident but the OFM cannot stay: stream it out.  The
+         shortcut only spills if it no longer fits beside the IFM. *)
+      let extra_spill =
+        if ifm_cap_bytes + extra <= cap then Access.zero else extra_spill
+      in
+      let acc =
+        Access.add
+          (Access.add (Access.weights w) extra_spill)
+          (if ofm_to_interseg then Access.zero else Access.fms ofm)
+      in
+      (acc, ofm_to_interseg)
+    end
+  else begin
+    (* IFM off-chip.  Decide whether the OFM can accumulate on-chip, then
+       charge the cheaper of Eq. 6's two streaming options. *)
+    let ifm_band =
+      Builder.Tiling.ifm_rows_for_ofm_rows layer ~rows:1
+      * layer.Cnn.Layer.in_shape.Cnn.Shape.width
+      * layer.Cnn.Layer.in_shape.Cnn.Shape.channels
+      * bpe
+    in
+    let ifm_fits_whole = ifm + ofm_cap_bytes + extra <= cap in
+    if ifm_fits_whole then
+      (* Load the IFM once; everything is buffered afterwards. *)
+      (Access.add (Access.weights w) (Access.fms ifm), true)
+    else begin
+      let extra_kept = extra + ofm_cap_bytes + ifm_band <= cap in
+      let extra_reserved = if extra_kept then extra else 0 in
+      let extra_spill = if extra_kept then Access.zero else extra_spill in
+      let keep_ofm =
+        (not ofm_to_interseg) && ofm + extra_reserved + ifm_band <= cap
+      in
+      let avail =
+        let reserved = extra_reserved + if keep_ofm then ofm else 0 in
+        max 1 (cap - reserved)
+      in
+      (* Option 1 — OS, locally input-stationary: each IFM chunk is loaded
+         once and the weights re-streamed per chunk. *)
+      let opt1_w = w * Util.Int_math.ceil_div ifm avail in
+      let opt1_fm = ifm in
+      (* Option 2 — OS, locally weight-stationary: each weight chunk is
+         loaded once and the IFM re-streamed per chunk. *)
+      let opt2_w = w in
+      let opt2_fm = ifm * Util.Int_math.ceil_div w avail in
+      let w_acc, ifm_acc =
+        if opt1_w + opt1_fm <= opt2_w + opt2_fm then (opt1_w, opt1_fm)
+        else (opt2_w, opt2_fm)
+      in
+      let ofm_acc = if keep_ofm || ofm_to_interseg then 0 else ofm in
+      ( Access.add extra_spill
+          (Access.add (Access.weights w_acc) (Access.fms (ifm_acc + ofm_acc))),
+        keep_ofm || ofm_to_interseg )
+    end
+  end
+
+let evaluate ~model ~board ~engine ~plan ~first ~last ~input_on_chip
+    ~output_on_chip =
+  let rec walk i ~ifm_on_chip ~ifm_in_cap acc =
+    if i > last then List.rev acc
+    else begin
+      let layer = Cnn.Model.layer model i in
+      let is_last = i = last in
+      let ofm_to_interseg = is_last && output_on_chip in
+      let accesses, ofm_stays =
+        layer_accesses ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
+          ~ofm_to_interseg
+      in
+      (* A last layer writing off-chip does not leave its OFM for anyone. *)
+      let accesses =
+        if is_last && (not output_on_chip) && ofm_stays then
+          Access.add accesses
+            (Access.fms (Cnn.Layer.ofm_elements layer
+                         * board.Platform.Board.bytes_per_element))
+        else accesses
+      in
+      let r =
+        {
+          layer_index = i;
+          compute_cycles = Engine.Ce.layer_cycles engine layer;
+          accesses;
+          ifm_on_chip;
+          ofm_stays_on_chip = ofm_stays;
+        }
+      in
+      walk (i + 1) ~ifm_on_chip:ofm_stays ~ifm_in_cap:true (r :: acc)
+    end
+  in
+  let layers : layer_result list =
+    walk first ~ifm_on_chip:input_on_chip ~ifm_in_cap:false []
+  in
+  let compute_cycles =
+    List.fold_left (fun a (r : layer_result) -> a + r.compute_cycles) 0 layers
+  in
+  let accesses =
+    Access.sum (List.map (fun (r : layer_result) -> r.accesses) layers)
+  in
+  let compute_s = Platform.Board.cycles_to_seconds board compute_cycles in
+  let memory_s = Platform.Board.bytes_to_seconds board (Access.total accesses) in
+  (* Per-layer overlap of compute and transfer (double-buffered streams). *)
+  let latency_s =
+    List.fold_left
+      (fun acc (r : layer_result) ->
+        let c = Platform.Board.cycles_to_seconds board r.compute_cycles in
+        let m =
+          Platform.Board.bytes_to_seconds board (Access.total r.accesses)
+        in
+        acc +. Float.max c m)
+      0.0 layers
+  in
+  let utilization =
+    Engine.Ce.average_utilization engine
+      (Cnn.Model.layers_in_range model ~first ~last)
+  in
+  { layers; compute_cycles; accesses; compute_s; memory_s; latency_s;
+    utilization }

@@ -1,0 +1,44 @@
+(** Analytical model of the single-CE building block
+    (paper Section IV-A, Eq. 1, 4 and 6).
+
+    A single-CE block processes its layer range to completion, one layer
+    at a time, reusing one buffer.  Latency is the sum of per-layer Eq. 1
+    cycle counts; off-chip accesses follow Eq. 6 — when a layer's IFM and
+    OFM fit in the block's FM capacity the layer costs exactly its weights,
+    otherwise the cheaper of the output-stationary local-input-stationary
+    and local-weight-stationary streaming schemes is charged. *)
+
+type layer_result = {
+  layer_index : int;
+  compute_cycles : int;        (** Eq. 1 *)
+  accesses : Access.t;         (** Eq. 6 for this layer *)
+  ifm_on_chip : bool;          (** whether the IFM was already on-chip *)
+  ofm_stays_on_chip : bool;    (** whether the OFM remains for the next layer *)
+}
+
+type result = {
+  layers : layer_result list;
+  compute_cycles : int;        (** sum over layers *)
+  accesses : Access.t;         (** sum over layers *)
+  compute_s : float;
+  memory_s : float;
+  latency_s : float;           (** max(compute, memory) per layer, summed *)
+  utilization : float;         (** MAC-weighted PE utilization *)
+}
+
+val evaluate :
+  model:Cnn.Model.t ->
+  board:Platform.Board.t ->
+  engine:Engine.Ce.t ->
+  plan:Builder.Buffer_alloc.single_plan ->
+  first:int ->
+  last:int ->
+  input_on_chip:bool ->
+  output_on_chip:bool ->
+  result
+(** [evaluate] walks layers [first..last] on [engine].
+    [input_on_chip] tells whether the block's input FMs arrive through an
+    on-chip inter-segment buffer; [output_on_chip] whether its final OFM
+    leaves through one.  Boundary FM traffic is charged here (a load when
+    the input is off-chip, a store when the output is), so composing
+    blocks sums accesses without double counting. *)

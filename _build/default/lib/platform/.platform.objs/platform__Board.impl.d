@@ -1,0 +1,1 @@
+lib/platform/board.ml: Format List String Util

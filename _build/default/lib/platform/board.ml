@@ -1,0 +1,53 @@
+type t = {
+  name : string;
+  dsps : int;
+  bram_bytes : int;
+  bandwidth_bytes_per_sec : float;
+  clock_hz : float;
+  bytes_per_element : int;
+}
+
+let v ~name ~dsps ~bram_mib ~bandwidth_gb_per_sec ?(clock_mhz = 200.0)
+    ?(bytes_per_element = 2) () =
+  if dsps <= 0 then invalid_arg "Board.v: non-positive DSP count";
+  if bram_mib <= 0.0 then invalid_arg "Board.v: non-positive BRAM";
+  if bandwidth_gb_per_sec <= 0.0 then
+    invalid_arg "Board.v: non-positive bandwidth";
+  if clock_mhz <= 0.0 then invalid_arg "Board.v: non-positive clock";
+  if bytes_per_element <= 0 then
+    invalid_arg "Board.v: non-positive element size";
+  {
+    name;
+    dsps;
+    bram_bytes = Util.Units.bytes_of_mib bram_mib;
+    bandwidth_bytes_per_sec = bandwidth_gb_per_sec *. 1e9;
+    clock_hz = clock_mhz *. 1e6;
+    bytes_per_element;
+  }
+
+let zc706 =
+  v ~name:"ZC706" ~dsps:900 ~bram_mib:2.4 ~bandwidth_gb_per_sec:3.2 ()
+
+let vcu108 =
+  v ~name:"VCU108" ~dsps:768 ~bram_mib:7.6 ~bandwidth_gb_per_sec:19.2 ()
+
+let vcu110 =
+  v ~name:"VCU110" ~dsps:1800 ~bram_mib:4.0 ~bandwidth_gb_per_sec:19.2 ()
+
+let zcu102 =
+  v ~name:"ZCU102" ~dsps:2520 ~bram_mib:16.6 ~bandwidth_gb_per_sec:19.2 ()
+
+let all = [ zc706; vcu108; vcu110; zcu102 ]
+
+let by_name s =
+  let target = String.lowercase_ascii s in
+  List.find_opt (fun b -> String.lowercase_ascii b.name = target) all
+
+let cycles_to_seconds b c = float_of_int c /. b.clock_hz
+
+let bytes_to_seconds b n = float_of_int n /. b.bandwidth_bytes_per_sec
+
+let pp ppf b =
+  Format.fprintf ppf "%s: %d DSPs, %a BRAM, %a off-chip" b.name b.dsps
+    Util.Units.pp_bytes b.bram_bytes Util.Units.pp_rate
+    b.bandwidth_bytes_per_sec

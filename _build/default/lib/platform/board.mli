@@ -1,0 +1,58 @@
+(** FPGA platform descriptions.
+
+    A board contributes three resource budgets to the evaluation
+    methodology (paper Fig. 3): the number of PEs (DSP slices, one MAC per
+    cycle each), the on-chip memory capacity (Block RAM) and the off-chip
+    memory bandwidth.  The clock is a nominal accelerator frequency; the
+    paper's comparisons are all normalized so its absolute value only sets
+    the time scale. *)
+
+type t = private {
+  name : string;
+  dsps : int;                     (** available PEs *)
+  bram_bytes : int;               (** on-chip memory capacity *)
+  bandwidth_bytes_per_sec : float;(** off-chip memory bandwidth *)
+  clock_hz : float;               (** accelerator clock *)
+  bytes_per_element : int;        (** datapath word size (16-bit: 2) *)
+}
+
+val v :
+  name:string ->
+  dsps:int ->
+  bram_mib:float ->
+  bandwidth_gb_per_sec:float ->
+  ?clock_mhz:float ->
+  ?bytes_per_element:int ->
+  unit ->
+  t
+(** Builds a board description.  Defaults: 200 MHz clock, 2 bytes per
+    element (16-bit fixed point, as used by the baseline accelerators the
+    paper models).  @raise Invalid_argument on non-positive budgets. *)
+
+val zc706 : t
+(** AMD Zynq ZC706: 900 DSPs, 2.4 MiB BRAM, 3.2 GB/s (Table II). *)
+
+val vcu108 : t
+(** AMD Virtex VCU108: 768 DSPs, 7.6 MiB BRAM, 19.2 GB/s. *)
+
+val vcu110 : t
+(** AMD Virtex VCU110: 1800 DSPs, 4 MiB BRAM, 19.2 GB/s. *)
+
+val zcu102 : t
+(** AMD Zynq UltraScale+ ZCU102: 2520 DSPs, 16.6 MiB BRAM, 19.2 GB/s. *)
+
+val all : t list
+(** The four evaluation boards in Table II order. *)
+
+val by_name : string -> t option
+(** Case-insensitive lookup among {!all}. *)
+
+val cycles_to_seconds : t -> int -> float
+(** [cycles_to_seconds b c] converts a cycle count at the board clock. *)
+
+val bytes_to_seconds : t -> int -> float
+(** [bytes_to_seconds b n] is the time to move [n] bytes at full off-chip
+    bandwidth. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary. *)

@@ -1,0 +1,1 @@
+lib/report/accuracy.ml: Float Format Mccm Util

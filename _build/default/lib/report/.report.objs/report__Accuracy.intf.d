@@ -1,0 +1,1 @@
+lib/report/accuracy.mli: Format Mccm

@@ -1,0 +1,1 @@
+lib/report/csv.ml: Buffer List Mccm Out_channel Printf String

@@ -1,0 +1,43 @@
+let accuracy ~reference ~estimated =
+  if reference = 0.0 then invalid_arg "Accuracy.accuracy: zero reference";
+  100.0 *. (1.0 -. (Float.abs (reference -. estimated) /. Float.abs reference))
+
+type summary = { max : float; min : float; average : float }
+
+let summarize values =
+  if values = [] then invalid_arg "Accuracy.summarize: empty list";
+  {
+    max = Util.Stats.maximum values;
+    min = Util.Stats.minimum values;
+    average = Util.Stats.mean values;
+  }
+
+type comparison = {
+  latency : float;
+  throughput : float;
+  buffers : float;
+  accesses : float;
+}
+
+let compare_metrics ~(reference : Mccm.Metrics.t)
+    ~(estimated : Mccm.Metrics.t) =
+  {
+    latency =
+      accuracy ~reference:reference.Mccm.Metrics.latency_s
+        ~estimated:estimated.Mccm.Metrics.latency_s;
+    throughput =
+      accuracy ~reference:reference.Mccm.Metrics.throughput_ips
+        ~estimated:estimated.Mccm.Metrics.throughput_ips;
+    buffers =
+      accuracy
+        ~reference:(float_of_int reference.Mccm.Metrics.buffer_bytes)
+        ~estimated:(float_of_int estimated.Mccm.Metrics.buffer_bytes);
+    accesses =
+      accuracy
+        ~reference:(float_of_int (Mccm.Metrics.accesses_bytes reference))
+        ~estimated:(float_of_int (Mccm.Metrics.accesses_bytes estimated));
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "max %.1f%% / min %.1f%% / avg %.1f%%" s.max s.min
+    s.average

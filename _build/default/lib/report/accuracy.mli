@@ -1,0 +1,30 @@
+(** Estimation-accuracy computation (paper Eq. 10) and aggregation over
+    experiment batches (Table IV). *)
+
+val accuracy : reference:float -> estimated:float -> float
+(** [accuracy ~reference ~estimated] is
+    [100 * (1 - |reference - estimated| / reference)] percent; can be
+    negative when the estimate is off by more than 100%.
+    @raise Invalid_argument when [reference] is zero. *)
+
+type summary = { max : float; min : float; average : float }
+(** Aggregates of a batch of accuracy values, as Table IV reports. *)
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on an empty list. *)
+
+type comparison = {
+  latency : float;
+  throughput : float;
+  buffers : float;
+  accesses : float;
+}
+(** Per-metric accuracies of one experiment. *)
+
+val compare_metrics : reference:Mccm.Metrics.t -> estimated:Mccm.Metrics.t -> comparison
+(** [compare_metrics ~reference ~estimated] applies Eq. 10 to the four
+    metrics of one design, with the simulator (or synthesis) as
+    [reference]. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** e.g. ["max 99.4% / min 84.2% / avg 93.1%"]. *)

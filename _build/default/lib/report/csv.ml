@@ -1,0 +1,83 @@
+type t = { header : string list; mutable rev_rows : string list list }
+
+let create ~header = { header; rev_rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Csv.add_row: cell count mismatch";
+  t.rev_rows <- cells :: t.rev_rows
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  let line cells =
+    Buffer.add_string buf (String.concat "," (List.map quote cells));
+    Buffer.add_char buf '\n'
+  in
+  line t.header;
+  List.iter line (List.rev t.rev_rows);
+  Buffer.contents buf
+
+let save t ~path =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string t))
+
+let of_breakdown (b : Mccm.Breakdown.t) =
+  let t =
+    create
+      ~header:
+        [ "segment"; "compute_s"; "memory_s"; "time_s"; "buffer_bytes";
+          "utilization"; "weights_bytes"; "fms_bytes" ]
+  in
+  List.iter
+    (fun (s : Mccm.Breakdown.segment) ->
+      add_row t
+        [
+          s.Mccm.Breakdown.label;
+          Printf.sprintf "%.9g" s.Mccm.Breakdown.compute_s;
+          Printf.sprintf "%.9g" s.Mccm.Breakdown.memory_s;
+          Printf.sprintf "%.9g" s.Mccm.Breakdown.time_s;
+          string_of_int s.Mccm.Breakdown.buffer_bytes;
+          Printf.sprintf "%.6f" s.Mccm.Breakdown.utilization;
+          string_of_int s.Mccm.Breakdown.accesses.Mccm.Access.weights_bytes;
+          string_of_int s.Mccm.Breakdown.accesses.Mccm.Access.fms_bytes;
+        ])
+    b.Mccm.Breakdown.segments;
+  t
+
+let of_metrics_rows ~label_header rows =
+  let t =
+    create
+      ~header:
+        [ label_header; "latency_s"; "throughput_ips"; "buffer_bytes";
+          "accesses_bytes"; "feasible" ]
+  in
+  List.iter
+    (fun (label, (m : Mccm.Metrics.t)) ->
+      add_row t
+        [
+          label;
+          Printf.sprintf "%.9g" m.Mccm.Metrics.latency_s;
+          Printf.sprintf "%.9g" m.Mccm.Metrics.throughput_ips;
+          string_of_int m.Mccm.Metrics.buffer_bytes;
+          string_of_int (Mccm.Metrics.accesses_bytes m);
+          (if m.Mccm.Metrics.feasible then "1" else "0");
+        ])
+    rows;
+  t

@@ -1,0 +1,30 @@
+(** Minimal CSV writing (RFC-4180-style quoting) for exporting sweeps and
+    DSE results to external plotting tools. *)
+
+type t
+(** A CSV document under construction. *)
+
+val create : header:string list -> t
+(** [create ~header] starts a document with one header row. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row.  @raise Invalid_argument if the cell
+    count differs from the header's. *)
+
+val to_string : t -> string
+(** Renders with CRLF-free ['\n'] line endings; cells containing commas,
+    quotes or newlines are quoted, with inner quotes doubled. *)
+
+val save : t -> path:string -> unit
+(** [save t ~path] writes {!to_string} to a file. *)
+
+val of_metrics_rows :
+  label_header:string -> (string * Mccm.Metrics.t) list -> t
+(** [of_metrics_rows ~label_header rows] is the standard five-column
+    export: label, latency_s, throughput_ips, buffer_bytes,
+    accesses_bytes, feasible. *)
+
+val of_breakdown : Mccm.Breakdown.t -> t
+(** [of_breakdown b] exports per-segment fine-grained data (the Fig. 6/9
+    series): segment, compute_s, memory_s, time_s, buffer_bytes,
+    utilization, weights_bytes, fms_bytes. *)

@@ -1,0 +1,13 @@
+let to_best ~higher_is_better vs =
+  if vs = [] then invalid_arg "Normalize.to_best: empty list";
+  let best =
+    if higher_is_better then Util.Stats.maximum vs else Util.Stats.minimum vs
+  in
+  if best <= 0.0 then invalid_arg "Normalize.to_best: non-positive best";
+  List.map
+    (fun v -> if higher_is_better then best /. v else v /. best)
+    vs
+
+let tie_threshold = 0.10
+
+let within_tie ~best v = v <= best *. (1.0 +. tie_threshold)

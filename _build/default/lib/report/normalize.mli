@@ -1,0 +1,20 @@
+(** Normalisation utilities for the paper's comparative tables.
+
+    Table I normalises each metric to the best value among the compared
+    designs; Table V calls two designs tied when they are within 10% of
+    each other ("to account for estimation errors"). *)
+
+val to_best : higher_is_better:bool -> float list -> float list
+(** [to_best ~higher_is_better vs] divides every value by the best one so
+    the best design reads 1.0 and the rest are its multiples (for
+    higher-is-better metrics the ratio is inverted, keeping 1.0 best and
+    values >= 1).  @raise Invalid_argument on an empty list or a
+    non-positive best. *)
+
+val tie_threshold : float
+(** The paper's tie margin: 0.10. *)
+
+val within_tie : best:float -> float -> bool
+(** [within_tie ~best v] is true when normalised value [v] is within
+    {!tie_threshold} of [best] (both as to-best ratios, i.e.
+    [v <= best * 1.1]). *)

@@ -1,0 +1,68 @@
+type series = { name : string; marker : char; points : (float * float) list }
+
+let render ?(width = 72) ?(height = 20) ?(log_x = false) ?(log_y = false)
+    ~x_label ~y_label series =
+  let all_points = List.concat_map (fun s -> s.points) series in
+  if all_points = [] then invalid_arg "Scatter.render: no points";
+  let tx v =
+    if log_x then
+      if v <= 0.0 then invalid_arg "Scatter.render: log of non-positive x"
+      else log10 v
+    else v
+  in
+  let ty v =
+    if log_y then
+      if v <= 0.0 then invalid_arg "Scatter.render: log of non-positive y"
+      else log10 v
+    else v
+  in
+  let xs = List.map (fun (x, _) -> tx x) all_points in
+  let ys = List.map (fun (_, y) -> ty y) all_points in
+  let x_min = Util.Stats.minimum xs and x_max = Util.Stats.maximum xs in
+  let y_min = Util.Stats.minimum ys and y_max = Util.Stats.maximum ys in
+  let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+  let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
+  let grid = Array.make_matrix height width ' ' in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (x, y) ->
+          let cx =
+            int_of_float
+              (Float.round
+                 ((tx x -. x_min) /. x_span *. float_of_int (width - 1)))
+          in
+          let cy =
+            int_of_float
+              (Float.round
+                 ((ty y -. y_min) /. y_span *. float_of_int (height - 1)))
+          in
+          grid.(height - 1 - cy).(cx) <- s.marker)
+        s.points)
+    series;
+  let buf = Buffer.create ((width + 8) * (height + 4)) in
+  Buffer.add_string buf (Printf.sprintf "%s\n" y_label);
+  Array.iteri
+    (fun row line ->
+      let y_val =
+        y_max -. (float_of_int row /. float_of_int (height - 1) *. y_span)
+      in
+      let y_val = if log_y then Float.pow 10.0 y_val else y_val in
+      Buffer.add_string buf (Printf.sprintf "%10.3g |" y_val);
+      Array.iter (Buffer.add_char buf) line;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (String.make 12 ' ');
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  let x_lo = if log_x then Float.pow 10.0 x_min else x_min in
+  let x_hi = if log_x then Float.pow 10.0 x_max else x_max in
+  Buffer.add_string buf
+    (Printf.sprintf "%12s%.3g%s%.3g  (%s)\n" "" x_lo
+       (String.make (max 1 (width - 16)) ' ')
+       x_hi x_label);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "  %c = %s\n" s.marker s.name))
+    series;
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** ASCII scatter plots for regenerating the paper's figures (Fig. 5, 8,
+    10) in a terminal. *)
+
+type series = {
+  name : string;
+  marker : char;
+  points : (float * float) list;  (** (x, y) *)
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?log_x:bool ->
+  ?log_y:bool ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+(** [render ~x_label ~y_label series] lays all series on one grid
+    (default 72x20 characters).  When two series overlap on a cell the
+    later series' marker wins.  Log scales require strictly positive
+    coordinates.  @raise Invalid_argument when there are no points, or a
+    non-positive coordinate meets a log scale. *)

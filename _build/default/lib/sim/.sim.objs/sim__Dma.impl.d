@@ -1,0 +1,1 @@
+lib/sim/dma.ml: Platform Sim_config

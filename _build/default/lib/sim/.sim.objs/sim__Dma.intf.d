@@ -1,0 +1,1 @@
+lib/sim/dma.mli: Platform Sim_config

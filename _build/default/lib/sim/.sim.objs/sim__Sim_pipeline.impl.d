@@ -1,0 +1,1 @@
+lib/sim/sim_pipeline.ml: Array Builder Cnn Dma Engine Float Mccm Platform Printf Sim_config Trace Util

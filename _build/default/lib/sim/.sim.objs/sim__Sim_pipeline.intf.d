@@ -1,0 +1,1 @@
+lib/sim/sim_pipeline.mli: Builder Cnn Dma Engine Mccm Platform Sim_config Trace

@@ -1,0 +1,1 @@
+lib/sim/sim_single.ml: Builder Cnn Dma Engine Float List Mccm Platform Sim_config Util

@@ -1,0 +1,1 @@
+lib/sim/sim_single.mli: Builder Cnn Dma Engine Mccm Platform Sim_config

@@ -1,0 +1,1 @@
+lib/sim/simulate.ml: Arch Array Builder Cnn Dma Engine Float List Mccm Platform Sim_config Sim_pipeline Sim_single Trace Util

@@ -1,0 +1,1 @@
+lib/sim/simulate.mli: Arch Builder Cnn Mccm Platform Sim_config Trace

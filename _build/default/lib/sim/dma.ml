@@ -1,0 +1,36 @@
+type t = {
+  latency_cycles : float;
+  bytes_per_cycle : float;
+  mutable free_at : float;
+  mutable moved : int;
+}
+
+let create cfg board ~clock_hz =
+  {
+    latency_cycles = float_of_int cfg.Sim_config.dma_latency_cycles;
+    bytes_per_cycle = board.Platform.Board.bandwidth_bytes_per_sec /. clock_hz;
+    free_at = 0.0;
+    moved = 0;
+  }
+
+let transfer_cycles t ~bytes =
+  if bytes <= 0 then 0.0
+  else t.latency_cycles +. (float_of_int bytes /. t.bytes_per_cycle)
+
+(* Bursts are not serialised against each other here: the simulators issue
+   requests in dependency order, not time order, so strict FIFO queueing
+   would let a far-future prefetch block earlier traffic.  Contention is
+   instead captured in aggregate — the per-input port time bounds every
+   block's initiation interval. *)
+let request t ~at ~bytes =
+  if bytes <= 0 then at
+  else begin
+    let finish = at +. transfer_cycles t ~bytes in
+    if finish > t.free_at then t.free_at <- finish;
+    t.moved <- t.moved + bytes;
+    finish
+  end
+
+let busy_until t = t.free_at
+
+let total_bytes t = t.moved

@@ -1,0 +1,29 @@
+(** The off-chip memory port.
+
+    One shared DMA engine serves the whole accelerator.  Each burst pays
+    an initiation latency plus its transfer time; callers that stream
+    sequentially chain completions explicitly, while cross-engine
+    contention is charged in aggregate (per-input port time bounds the
+    initiation interval).  Time is measured in cycles of the achieved
+    clock. *)
+
+type t
+(** Mutable port state. *)
+
+val create : Sim_config.t -> Platform.Board.t -> clock_hz:float -> t
+(** [create cfg board ~clock_hz] derives the port's bytes-per-cycle from
+    the board bandwidth and the achieved clock. *)
+
+val request : t -> at:float -> bytes:int -> float
+(** [request port ~at ~bytes] enqueues a burst that cannot start before
+    [at]; returns its completion time.  Zero-byte requests complete
+    immediately at [at]. *)
+
+val busy_until : t -> float
+(** Completion time of the last accepted burst. *)
+
+val total_bytes : t -> int
+(** All bytes moved so far — the simulator's off-chip access count. *)
+
+val transfer_cycles : t -> bytes:int -> float
+(** Pure burst duration (latency + data), without queueing. *)

@@ -1,0 +1,43 @@
+type t = {
+  dma_latency_cycles : int;
+  layer_setup_cycles : int;
+  tile_sync_cycles : int;
+  bram_bank_bytes : int;
+  base_clock_margin : float;
+  dsp_fill_margin : float;
+  bram_fill_margin : float;
+}
+
+let default =
+  {
+    dma_latency_cycles = 256;
+    layer_setup_cycles = 800;
+    tile_sync_cycles = 40;
+    bram_bank_bytes = 4608; (* one BRAM36: 36 Kbit *)
+    base_clock_margin = 0.015;
+    dsp_fill_margin = 0.03;
+    bram_fill_margin = 0.03;
+  }
+
+let ideal =
+  {
+    dma_latency_cycles = 0;
+    layer_setup_cycles = 0;
+    tile_sync_cycles = 0;
+    bram_bank_bytes = 1;
+    base_clock_margin = 0.0;
+    dsp_fill_margin = 0.0;
+    bram_fill_margin = 0.0;
+  }
+
+let achieved_clock_hz cfg board ~dsps_used ~bram_used =
+  let frac used total =
+    if total <= 0 then 0.0
+    else Float.min 1.0 (float_of_int used /. float_of_int total)
+  in
+  let derate =
+    cfg.base_clock_margin
+    +. (cfg.dsp_fill_margin *. frac dsps_used board.Platform.Board.dsps)
+    +. (cfg.bram_fill_margin *. frac bram_used board.Platform.Board.bram_bytes)
+  in
+  board.Platform.Board.clock_hz *. (1.0 -. derate)

@@ -1,0 +1,41 @@
+(** Configuration of the synthesis-surrogate simulator.
+
+    The paper validates MCCM against Vitis HLS synthesis; this repository
+    substitutes a tile-level discrete-event simulator that models the
+    implementation effects the analytical model abstracts away.  Each
+    effect is a documented constant here:
+
+    - DMA transfers pay a fixed initiation latency per burst;
+    - every layer pays a control/setup overhead (loop-nest prologue,
+      descriptor programming);
+    - pipelined engines pay a synchronisation overhead per tile handoff;
+    - buffers are carved out of discrete BRAM banks, rounding sizes up;
+    - timing closure degrades the achieved clock as the design fills the
+      device (DSP and BRAM utilisation), as it does in real synthesis.
+
+    The [ideal] configuration disables every effect, in which case the
+    simulator must agree with the analytical model exactly — a property
+    the test suite checks. *)
+
+type t = {
+  dma_latency_cycles : int;      (** per-burst initiation latency *)
+  layer_setup_cycles : int;      (** per-layer control overhead *)
+  tile_sync_cycles : int;        (** per-tile pipeline handoff overhead *)
+  bram_bank_bytes : int;         (** granularity of buffer allocation *)
+  base_clock_margin : float;     (** fixed achieved-clock derating *)
+  dsp_fill_margin : float;       (** extra derating at 100% DSP use *)
+  bram_fill_margin : float;      (** extra derating at 100% BRAM use *)
+}
+
+val default : t
+(** Values representative of the AMD toolflow the paper used: 256-cycle
+    DMA bursts, 800-cycle layer setup, 40-cycle tile sync, 4.5 KiB
+    (BRAM36) banks, and 1.5% + 3% + 3% clock derating terms. *)
+
+val ideal : t
+(** Every overhead zero, no derating: the surrogate collapses onto the
+    analytical model. *)
+
+val achieved_clock_hz : t -> Platform.Board.t -> dsps_used:int -> bram_used:int -> float
+(** [achieved_clock_hz cfg board ~dsps_used ~bram_used] is the clock the
+    "synthesised" design closes timing at. *)

@@ -1,0 +1,179 @@
+type t = {
+  finish_cycle : float;
+  latency_cycles : float;
+  interval_cycles : float;
+  accesses : Mccm.Access.t;
+  port_cycles : float;
+}
+
+type layer_sim = {
+  tiles : int;
+  tile_cyc : float;
+  slot : int;            (* engine position within the block *)
+  weight_bytes : int;
+  retained : bool;
+  ifm_tile_bytes : int;  (* input streamed per tile when off-chip *)
+  ofm_tile_bytes : int;  (* output streamed per tile when off-chip *)
+}
+
+let build_layers ~model ~board ~engines ~plan ~first ~last =
+  let bpe = board.Platform.Board.bytes_per_element in
+  let ces = Array.length engines in
+  Array.init (last - first + 1) (fun i ->
+      let layer = Cnn.Model.layer model (first + i) in
+      let slot = i mod ces in
+      let rows = plan.Builder.Buffer_alloc.tile_rows.(i) in
+      let ws = plan.Builder.Buffer_alloc.width_split in
+      let tiles = Builder.Tiling.num_row_tiles layer ~rows * ws in
+      {
+        tiles;
+        tile_cyc =
+          float_of_int
+            (Util.Int_math.ceil_div
+               (Engine.Ce.tile_cycles engines.(slot) layer ~rows)
+               ws);
+        slot;
+        weight_bytes = Cnn.Layer.weight_elements layer * bpe;
+        retained = plan.Builder.Buffer_alloc.weights_retained.(i);
+        ifm_tile_bytes =
+          Util.Int_math.ceil_div (Cnn.Layer.ifm_elements layer * bpe) tiles;
+        ofm_tile_bytes =
+          Util.Int_math.ceil_div (Cnn.Layer.ofm_elements layer * bpe) tiles;
+      })
+
+let simulate ~trace ~cfg ~dma ~model ~board ~engines ~plan ~first ~last
+    ~input_on_chip ~output_on_chip ~start ~images =
+  if images < 1 then invalid_arg "Sim_pipeline.simulate: images < 1";
+  let layers = build_layers ~model ~board ~engines ~plan ~first ~last in
+  let n = Array.length layers in
+  let ces = Array.length engines in
+  let sync = float_of_int cfg.Sim_config.tile_sync_cycles in
+  let engine_free = Array.make ces start in
+  (* Per-image engine occupancy: in the steady state a work-conserving
+     schedule fills dependency stalls with other inputs' work, so the
+     initiation interval is paced by the busiest engine (Eq. 3) or by the
+     shared port, whichever is slower. *)
+  let busy = Array.make ces 0.0 in
+  let port_cycles = ref 0.0 in
+  let request ?(label = "dma") at bytes =
+    if bytes > 0 then begin
+      port_cycles := !port_cycles +. Dma.transfer_cycles dma ~bytes;
+      let finish = Dma.request dma ~at ~bytes in
+      (match trace with
+      | Some tr ->
+        Trace.emit tr (Trace.Burst { bytes; start = at; finish; label })
+      | None -> ());
+      finish
+    end
+    else at
+  in
+  let finishes = Array.make images 0.0 in
+  let image_start = ref start in
+  for img = 0 to images - 1 do
+    (* completion.(l) holds per-tile completion times of layer l. *)
+    let completion = Array.map (fun l -> Array.make l.tiles 0.0) layers in
+    (* Retained weights are fetched once per input, before its first
+       round needs them. *)
+    Array.iteri
+      (fun i l ->
+        if l.retained then
+          ignore
+            (request
+               ~label:(Printf.sprintf "weights L%d" (first + i + 1))
+               !image_start l.weight_bytes))
+      layers;
+    (* Layer-major evaluation of the tile schedule: every engine walks
+       its layers (and their tiles) in order, so every engine-availability
+       and producer-tile dependency is computed before it is read. *)
+    for li = 0 to n - 1 do
+      let l = layers.(li) in
+      (* Weight streams are double-buffered: the burst for tile [t] is
+         issued when tile [t-1] begins, overlapping transfer with
+         compute. *)
+      let prefetch_at = ref engine_free.(l.slot) in
+      for t = 0 to l.tiles - 1 do
+        (* Input dependency: previous layer's covering tile, or the image
+           input stream for the first layer. *)
+        let input_ready =
+          if li = 0 then
+            if input_on_chip then !image_start
+            else
+              request
+                (Float.max !image_start engine_free.(l.slot))
+                l.ifm_tile_bytes
+          else
+            let p = layers.(li - 1) in
+            completion.(li - 1).(Builder.Tiling.producer_tile
+                                   ~producer_tiles:p.tiles
+                                   ~consumer_tiles:l.tiles t)
+        in
+        let weights_ready =
+          if l.retained then !image_start
+          else
+            request
+              ~label:(Printf.sprintf "weights L%d" (first + li + 1))
+              !prefetch_at l.weight_bytes
+        in
+        let begin_ =
+          Float.max
+            (Float.max input_ready weights_ready)
+            (Float.max engine_free.(l.slot) !image_start)
+        in
+        prefetch_at := begin_;
+        let done_ = begin_ +. l.tile_cyc +. sync in
+        let done_ =
+          if li = n - 1 && not output_on_chip then
+            request done_ l.ofm_tile_bytes
+          else done_
+        in
+        completion.(li).(t) <- done_;
+        engine_free.(l.slot) <- done_;
+        (match trace with
+        | Some tr when img = 0 ->
+          Trace.emit tr
+            (Trace.Tile
+               {
+                 layer = first + li;
+                 tile = t;
+                 engine = engines.(l.slot).Engine.Ce.id;
+                 start = begin_;
+                 finish = done_;
+               })
+        | Some _ | None -> ());
+        if img = 0 then busy.(l.slot) <- busy.(l.slot) +. l.tile_cyc +. sync
+      done
+    done;
+    let last = layers.(n - 1) in
+    finishes.(img) <- completion.(n - 1).(last.tiles - 1);
+    (* The next input may enter as soon as the first engine frees up. *)
+    image_start := engine_free.(0)
+  done;
+  let accesses_bytes_total = !port_cycles in
+  ignore accesses_bytes_total;
+  (* Per-image accesses: replay the model's Eq. 7 accounting (the
+     simulation moved images x that amount through the port). *)
+  let bpe = board.Platform.Board.bytes_per_element in
+  let weights =
+    Array.fold_left
+      (fun acc l ->
+        acc + (l.weight_bytes * if l.retained then 1 else l.tiles))
+      0 layers
+  in
+  let fms =
+    (if input_on_chip then 0
+     else Cnn.Layer.ifm_elements (Cnn.Model.layer model first) * bpe)
+    + (if output_on_chip then 0
+       else Cnn.Layer.ofm_elements (Cnn.Model.layer model last) * bpe)
+  in
+  let port_per_image = !port_cycles /. float_of_int images in
+  let interval =
+    Float.max (Array.fold_left Float.max 0.0 busy) port_per_image
+  in
+  {
+    finish_cycle = finishes.(images - 1);
+    latency_cycles = finishes.(0) -. start;
+    interval_cycles = interval;
+    accesses =
+      Mccm.Access.add (Mccm.Access.weights weights) (Mccm.Access.fms fms);
+    port_cycles = port_per_image;
+  }

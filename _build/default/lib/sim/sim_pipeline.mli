@@ -1,0 +1,38 @@
+(** Event-driven simulation of a pipelined-CEs block.
+
+    The block is replayed on the (layer, tile) grid: tile [t] of layer [l]
+    starts once the covering tiles of layer [l-1] are done, its engine is
+    free, and — for weights that are not retained on-chip — its weight
+    burst has arrived over the shared DMA port.  Each engine walks its
+    work items in (round, tile) order, which is the continuous tile
+    schedule the analytical model approximates in closed form; the
+    simulation adds per-tile synchronisation cost, burst latencies and
+    port queueing.  Running several back-to-back inputs exposes the
+    steady-state initiation interval. *)
+
+type t = {
+  finish_cycle : float;          (** completion of the last simulated input *)
+  latency_cycles : float;        (** first input's end-to-end time *)
+  interval_cycles : float;       (** spacing of the last two completions *)
+  accesses : Mccm.Access.t;      (** per input; equals the model's *)
+  port_cycles : float;           (** per input pure transfer time *)
+}
+
+val simulate :
+  trace:Trace.t option ->
+  cfg:Sim_config.t ->
+  dma:Dma.t ->
+  model:Cnn.Model.t ->
+  board:Platform.Board.t ->
+  engines:Engine.Ce.t array ->
+  plan:Builder.Buffer_alloc.pipelined_plan ->
+  first:int ->
+  last:int ->
+  input_on_chip:bool ->
+  output_on_chip:bool ->
+  start:float ->
+  images:int ->
+  t
+(** [simulate ~images] pushes [images >= 1] inputs through the block.
+    When [trace] is given, the first input's tiles and every DMA burst
+    are recorded into it. *)

@@ -1,0 +1,31 @@
+(** Top-level synthesis-surrogate evaluation.
+
+    Mirrors {!Mccm.Evaluate} on the same built accelerator so the two can
+    be compared one-to-one, the way the paper compares MCCM against Vitis
+    HLS synthesis (Table IV).  The simulator runs at the achieved clock
+    (timing-closure derating), pays DMA/setup/sync overheads, carves
+    buffers out of discrete BRAM banks, and serialises all off-chip
+    traffic on one port.  Off-chip access counts equal the analytical
+    model's exactly — they are deterministic replay — matching the
+    paper's observation that access estimation is exact. *)
+
+type t = {
+  metrics : Mccm.Metrics.t;     (** the surrogate's "ground truth" *)
+  achieved_clock_hz : float;    (** post-derating clock *)
+}
+
+val run : ?cfg:Sim_config.t -> Builder.Build.t -> t
+(** [run built] simulates the accelerator; [cfg] defaults to
+    {!Sim_config.default}. *)
+
+val evaluate :
+  ?cfg:Sim_config.t -> Cnn.Model.t -> Platform.Board.t -> Arch.Block.arch -> t
+(** Build with the Multiple-CE Builder, then {!run}. *)
+
+val trace_block :
+  ?cfg:Sim_config.t -> Builder.Build.t -> block:int -> Trace.t option
+(** [trace_block built ~block] re-simulates one input through the
+    [block]-th architecture block, recording a {!Trace.t} of its tiles
+    and DMA bursts.  Returns [None] for a single-CE block (no tile
+    schedule to show).  @raise Invalid_argument on an out-of-range
+    index. *)

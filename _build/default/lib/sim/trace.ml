@@ -1,0 +1,88 @@
+type event =
+  | Tile of {
+      layer : int;
+      tile : int;
+      engine : int;
+      start : float;
+      finish : float;
+    }
+  | Burst of { bytes : int; start : float; finish : float; label : string }
+
+type t = { mutable rev_events : event list; mutable count : int }
+
+let create () = { rev_events = []; count = 0 }
+
+let emit t e =
+  t.rev_events <- e :: t.rev_events;
+  t.count <- t.count + 1
+
+let events t = List.rev t.rev_events
+
+let tile_count t =
+  List.length
+    (List.filter (function Tile _ -> true | Burst _ -> false) t.rev_events)
+
+let bounds_of = function
+  | Tile { start; finish; _ } -> (start, finish)
+  | Burst { start; finish; _ } -> (start, finish)
+
+let span t =
+  match t.rev_events with
+  | [] -> (0.0, 0.0)
+  | es ->
+    List.fold_left
+      (fun (lo, hi) e ->
+        let s, f = bounds_of e in
+        (Float.min lo s, Float.max hi f))
+      (infinity, neg_infinity) es
+
+let render_gantt ?(width = 100) t =
+  match t.rev_events with
+  | [] -> "(empty trace)\n"
+  | _ ->
+    let lo, hi = span t in
+    let extent = Float.max 1e-9 (hi -. lo) in
+    let cell time =
+      let c =
+        int_of_float ((time -. lo) /. extent *. float_of_int (width - 1))
+      in
+      Util.Int_math.clamp ~lo:0 ~hi:(width - 1) c
+    in
+    let engines =
+      List.sort_uniq compare
+        (List.filter_map
+           (function Tile { engine; _ } -> Some engine | Burst _ -> None)
+           t.rev_events)
+    in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf
+      (Printf.sprintf "cycles %.0f .. %.0f (one column = %.0f cycles)\n" lo hi
+         (extent /. float_of_int width));
+    List.iter
+      (fun engine ->
+        let lane = Bytes.make width ' ' in
+        List.iter
+          (function
+            | Tile { engine = e; layer; start; finish; _ } when e = engine ->
+              let a = cell start and b = cell finish in
+              let mark = if layer mod 2 = 0 then '#' else '=' in
+              for i = a to b do
+                Bytes.set lane i mark
+              done
+            | Tile _ | Burst _ -> ())
+          (events t);
+        Buffer.add_string buf (Printf.sprintf "CE%-3d |%s|\n" engine (Bytes.to_string lane)))
+      engines;
+    let dma_lane = Bytes.make width ' ' in
+    List.iter
+      (function
+        | Burst { start; finish; _ } ->
+          for i = cell start to cell finish do
+            Bytes.set dma_lane i '~'
+          done
+        | Tile _ -> ())
+      (events t);
+    Buffer.add_string buf (Printf.sprintf "DMA   |%s|\n" (Bytes.to_string dma_lane));
+    Buffer.add_string buf
+      "('#'/'=' alternate per layer; '~' marks off-chip bursts)\n";
+    Buffer.contents buf

@@ -1,0 +1,45 @@
+(** Event traces from the synthesis-surrogate simulator.
+
+    The block simulators optionally emit one event per scheduled tile (or
+    layer, for single-CE blocks) and per DMA burst; this module collects
+    them and renders per-engine Gantt timelines — the view an architect
+    uses to see pipeline skew, round-robin wrap-around and memory stalls
+    at a glance. *)
+
+type event =
+  | Tile of {
+      layer : int;       (** model layer index *)
+      tile : int;        (** tile index within the layer *)
+      engine : int;      (** 1-based CE id *)
+      start : float;     (** cycles *)
+      finish : float;
+    }
+  | Burst of {
+      bytes : int;
+      start : float;
+      finish : float;
+      label : string;    (** e.g. ["weights L5"] *)
+    }
+
+type t
+(** A mutable event collector. *)
+
+val create : unit -> t
+
+val emit : t -> event -> unit
+(** Record one event (called by the simulators). *)
+
+val events : t -> event list
+(** All recorded events, in emission order. *)
+
+val tile_count : t -> int
+(** Number of {!Tile} events. *)
+
+val span : t -> float * float
+(** [(earliest start, latest finish)] over all events; [(0., 0.)] when
+    empty. *)
+
+val render_gantt : ?width:int -> t -> string
+(** [render_gantt t] draws one lane per engine (tiles as ['#'] runs,
+    different layers alternating ['#']/['=']) and one lane for the DMA
+    port (['~']), over a [width]-character time axis (default 100). *)

@@ -1,0 +1,72 @@
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Int_math.ceil_div: non-positive divisor";
+  if a < 0 then invalid_arg "Int_math.ceil_div: negative dividend";
+  (a + b - 1) / b
+
+let round_up_to ~multiple x =
+  if multiple <= 0 then invalid_arg "Int_math.round_up_to: non-positive multiple";
+  if x < 0 then invalid_arg "Int_math.round_up_to: negative value";
+  ceil_div x multiple * multiple
+
+let pow b e =
+  if e < 0 then invalid_arg "Int_math.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (acc * b) (b * b) (e asr 1)
+    else go acc (b * b) (e asr 1)
+  in
+  go 1 b e
+
+let isqrt n =
+  if n < 0 then invalid_arg "Int_math.isqrt: negative argument";
+  if n = 0 then 0
+  else begin
+    let x = ref (int_of_float (sqrt (float_of_int n))) in
+    while !x * !x > n do
+      decr x
+    done;
+    while (!x + 1) * (!x + 1) <= n do
+      incr x
+    done;
+    !x
+  end
+
+let divisors n =
+  if n <= 0 then invalid_arg "Int_math.divisors: non-positive argument";
+  let small = ref [] and large = ref [] in
+  let root = isqrt n in
+  for d = root downto 1 do
+    if n mod d = 0 then begin
+      small := d :: !small;
+      if d <> n / d then large := (n / d) :: !large
+    end
+  done;
+  !small @ List.rev !large
+
+let closest_divisor n ~target =
+  let better candidate best =
+    let dc = abs (candidate - target) and db = abs (best - target) in
+    dc < db || (dc = db && candidate < best)
+  in
+  List.fold_left
+    (fun best d -> if better d best then d else best)
+    n (divisors n)
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let sum l = List.fold_left ( + ) 0 l
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 1 to k do
+      (* Multiply before dividing: the intermediate product of a running
+         binomial by its next factor is always divisible by [i]. *)
+      acc := !acc * (n - k + i) / i
+    done;
+    !acc
+  end
+
+let compositions n k = binomial (n - 1) (k - 1)

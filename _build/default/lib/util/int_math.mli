@@ -1,0 +1,44 @@
+(** Integer arithmetic helpers used throughout the cost model.
+
+    The analytical model (paper Eq. 1-9) is dominated by ceiling divisions
+    over loop extents; this module centralises them together with the
+    divisor enumeration used to pick parallelism factors. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [ceil(a / b)] on non-negative [a] and positive [b].
+    @raise Invalid_argument if [b <= 0] or [a < 0]. *)
+
+val round_up_to : multiple:int -> int -> int
+(** [round_up_to ~multiple x] is the least multiple of [multiple] that is
+    [>= x].  @raise Invalid_argument if [multiple <= 0] or [x < 0]. *)
+
+val pow : int -> int -> int
+(** [pow b e] is [b] raised to [e].  @raise Invalid_argument on negative
+    [e]. *)
+
+val isqrt : int -> int
+(** [isqrt n] is the integer square root (floor).  @raise Invalid_argument
+    on negative [n]. *)
+
+val divisors : int -> int list
+(** [divisors n] lists all positive divisors of [n] in ascending order.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val closest_divisor : int -> target:int -> int
+(** [closest_divisor n ~target] is the divisor of [n] nearest to [target]
+    (ties resolved toward the smaller divisor). *)
+
+val clamp : lo:int -> hi:int -> int -> int
+(** [clamp ~lo ~hi x] limits [x] to [\[lo, hi\]]. *)
+
+val sum : int list -> int
+(** [sum l] adds up the list. *)
+
+val binomial : int -> int -> int
+(** [binomial n k] is the binomial coefficient C(n, k), computed with
+    overflow-conscious interleaved division; result must fit in [int].
+    Returns [0] when [k < 0] or [k > n]. *)
+
+val compositions : int -> int -> int
+(** [compositions n k] counts the ways to split [n] items into [k]
+    non-empty consecutive groups, i.e. C(n-1, k-1). *)

@@ -1,0 +1,58 @@
+let prefix_sums weights =
+  let n = Array.length weights in
+  let p = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    if weights.(i) < 0 then
+      invalid_arg "Partition.min_max_partition: negative weight";
+    p.(i + 1) <- p.(i) + weights.(i)
+  done;
+  p
+
+let range_weight ~weights ~first ~last =
+  if first < 0 || last >= Array.length weights || first > last then
+    invalid_arg "Partition.range_weight: invalid range";
+  let acc = ref 0 in
+  for i = first to last do
+    acc := !acc + weights.(i)
+  done;
+  !acc
+
+(* Exact linear-partition dynamic program.  cost.(i).(k) is the minimal
+   achievable maximum part-sum when the first [i] elements are split into
+   [k] parts; split.(i).(k) records the start of the last part. *)
+let min_max_partition ~weights ~parts =
+  let n = Array.length weights in
+  if parts <= 0 then invalid_arg "Partition.min_max_partition: parts <= 0";
+  if parts > n then
+    invalid_arg
+      (Printf.sprintf
+         "Partition.min_max_partition: %d parts for %d elements" parts n);
+  let p = prefix_sums weights in
+  let sum_range a b = p.(b) - p.(a) in
+  let cost = Array.make_matrix (n + 1) (parts + 1) max_int in
+  let split = Array.make_matrix (n + 1) (parts + 1) 0 in
+  cost.(0).(0) <- 0;
+  for i = 1 to n do
+    cost.(i).(1) <- sum_range 0 i;
+    split.(i).(1) <- 0
+  done;
+  for k = 2 to parts do
+    for i = k to n do
+      for j = k - 1 to i - 1 do
+        if cost.(j).(k - 1) < max_int then begin
+          let candidate = max cost.(j).(k - 1) (sum_range j i) in
+          if candidate < cost.(i).(k) then begin
+            cost.(i).(k) <- candidate;
+            split.(i).(k) <- j
+          end
+        end
+      done
+    done
+  done;
+  let rec backtrack i k acc =
+    if k = 0 then acc
+    else
+      let j = split.(i).(k) in
+      backtrack j (k - 1) ((j, i - 1) :: acc)
+  in
+  backtrack n parts []

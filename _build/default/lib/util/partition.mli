@@ -1,0 +1,17 @@
+(** Linear partitioning of a weighted sequence.
+
+    Splitting consecutive CNN layers into pipeline segments whose work is
+    balanced is the classic linear-partition problem: divide a sequence
+    into [k] consecutive non-empty parts minimising the largest part sum.
+    Balanced segments are what maximise coarse-grained pipeline throughput
+    (paper Section IV-A1: "balancing the pipeline stages"). *)
+
+val min_max_partition : weights:int array -> parts:int -> (int * int) list
+(** [min_max_partition ~weights ~parts] returns [parts] inclusive index
+    ranges [(first, last)] covering [0 .. n-1] in order, chosen to minimise
+    the maximum range weight (exact dynamic program, O(n^2 k)).
+    @raise Invalid_argument if [parts <= 0], [parts > n], or any weight is
+    negative. *)
+
+val range_weight : weights:int array -> first:int -> last:int -> int
+(** [range_weight ~weights ~first ~last] sums the inclusive range. *)

@@ -1,0 +1,66 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 (Steele, Lea, Flood 2014): a 64-bit mix of a Weyl sequence.
+   Chosen for its tiny state, provable equidistribution of the underlying
+   counter, and trivial portability. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling over the top 62 bits to avoid modulo bias. *)
+  let mask = Int64.max_int in
+  let rec draw () =
+    let r = Int64.to_int (Int64.logand (next_int64 t) mask) in
+    let r = r land max_int in
+    let v = r mod bound in
+    if r - v + (bound - 1) < 0 then draw () else v
+  in
+  draw ()
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_in_range: hi < lo";
+  lo + int t ~bound:(hi - lo + 1)
+
+let float t =
+  (* 53 random bits scaled into [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty array";
+  arr.(int t ~bound:(Array.length arr))
+
+let shuffle_in_place t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sorted_distinct_ints t ~count ~lo ~hi =
+  let range = hi - lo + 1 in
+  if count < 0 then invalid_arg "Prng.sorted_distinct_ints: negative count";
+  if range < count then
+    invalid_arg "Prng.sorted_distinct_ints: range smaller than count";
+  (* Floyd's algorithm: O(count) expected draws, no O(range) allocation. *)
+  let module IS = Set.Make (Int) in
+  let chosen = ref IS.empty in
+  for j = range - count to range - 1 do
+    let v = lo + int t ~bound:(j + 1) in
+    if IS.mem v !chosen then chosen := IS.add (lo + j) !chosen
+    else chosen := IS.add v !chosen
+  done;
+  IS.elements !chosen

@@ -1,0 +1,61 @@
+let require_non_empty name l =
+  if l = [] then invalid_arg (name ^ ": empty list")
+
+let mean l =
+  require_non_empty "Stats.mean" l;
+  List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let geomean l =
+  require_non_empty "Stats.geomean" l;
+  let log_sum =
+    List.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive element"
+        else acc +. log x)
+      0.0 l
+  in
+  exp (log_sum /. float_of_int (List.length l))
+
+let minimum l =
+  require_non_empty "Stats.minimum" l;
+  List.fold_left min infinity l
+
+let maximum l =
+  require_non_empty "Stats.maximum" l;
+  List.fold_left max neg_infinity l
+
+let stddev l =
+  require_non_empty "Stats.stddev" l;
+  let m = mean l in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 l
+    /. float_of_int (List.length l)
+  in
+  sqrt var
+
+let percentile l ~p =
+  require_non_empty "Stats.percentile" l;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = List.sort compare l in
+  let n = List.length sorted in
+  let rank =
+    if p = 0.0 then 1
+    else int_of_float (ceil (p /. 100.0 *. float_of_int n))
+  in
+  List.nth sorted (Int_math.clamp ~lo:0 ~hi:(n - 1) (rank - 1))
+
+let arg_by better f l =
+  match l with
+  | [] -> invalid_arg "Stats.argmin/argmax: empty list"
+  | x :: rest ->
+    let best, _ =
+      List.fold_left
+        (fun (bx, bv) y ->
+          let v = f y in
+          if better v bv then (y, v) else (bx, bv))
+        (x, f x) rest
+    in
+    best
+
+let argmin f l = arg_by ( < ) f l
+let argmax f l = arg_by ( > ) f l

@@ -1,0 +1,31 @@
+(** Small descriptive-statistics helpers for result aggregation
+    (accuracy summaries of Table IV, sweep post-processing). *)
+
+val mean : float list -> float
+(** Arithmetic mean.  @raise Invalid_argument on an empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values.  @raise Invalid_argument on an empty
+    list or any non-positive element. *)
+
+val minimum : float list -> float
+(** Smallest element.  @raise Invalid_argument on an empty list. *)
+
+val maximum : float list -> float
+(** Largest element.  @raise Invalid_argument on an empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation.  @raise Invalid_argument on an empty
+    list. *)
+
+val percentile : float list -> p:float -> float
+(** [percentile l ~p] for [p] in [\[0, 100\]], nearest-rank method.
+    @raise Invalid_argument on an empty list or [p] outside the range. *)
+
+val argmin : ('a -> float) -> 'a list -> 'a
+(** [argmin f l] is the element minimising [f].  @raise Invalid_argument on
+    an empty list. *)
+
+val argmax : ('a -> float) -> 'a list -> 'a
+(** [argmax f l] is the element maximising [f].  @raise Invalid_argument on
+    an empty list. *)

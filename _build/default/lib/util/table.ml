@@ -1,0 +1,121 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title ~columns () =
+  {
+    title;
+    headers = List.map fst columns;
+    aligns = List.map snd columns;
+    rows = [];
+  }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = width - n in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+      let left = fill / 2 in
+      String.make left ' ' ^ s ^ String.make (fill - left) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun ws row ->
+        match row with
+        | Separator -> ws
+        | Cells cells -> List.map2 (fun w c -> max w (String.length c)) ws cells)
+      (List.map String.length t.headers)
+      rows
+  in
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Buffer.add_char buf '+';
+    List.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line cells aligns =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        let w = List.nth widths i and a = List.nth aligns i in
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad a w c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | None -> ()
+  | Some title ->
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n');
+  rule ();
+  line t.headers (List.map (fun _ -> Center) t.headers);
+  rule ();
+  List.iter
+    (fun row ->
+      match row with
+      | Separator -> rule ()
+      | Cells cells -> line cells t.aligns)
+    rows;
+  rule ();
+  Buffer.contents buf
+
+let escape_markdown s =
+  String.concat "\\|" (String.split_on_char '|' s)
+
+let render_markdown t =
+  let rows = List.rev t.rows in
+  let buf = Buffer.create 1024 in
+  (match t.title with
+  | None -> ()
+  | Some title ->
+    Buffer.add_string buf "### ";
+    Buffer.add_string buf title;
+    Buffer.add_string buf "\n\n");
+  let line cells =
+    Buffer.add_string buf "| ";
+    Buffer.add_string buf (String.concat " | " (List.map escape_markdown cells));
+    Buffer.add_string buf " |\n"
+  in
+  line t.headers;
+  Buffer.add_string buf "|";
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (match a with
+        | Left -> " :--- |"
+        | Right -> " ---: |"
+        | Center -> " :---: |"))
+    t.aligns;
+  Buffer.add_string buf "\n";
+  List.iter
+    (fun row -> match row with Separator -> () | Cells cells -> line cells)
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

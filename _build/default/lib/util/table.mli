@@ -1,0 +1,34 @@
+(** Plain-text table rendering.
+
+    The benchmark harness regenerates the paper's tables as aligned ASCII;
+    this module owns column sizing and alignment so every table in the
+    output looks the same. *)
+
+type align = Left | Right | Center
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> columns:(string * align) list -> unit -> t
+(** [create ~columns ()] starts a table whose header and per-column
+    alignment are given by [columns]. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a data row.  @raise Invalid_argument if the
+    number of cells differs from the number of columns. *)
+
+val add_separator : t -> unit
+(** [add_separator t] inserts a horizontal rule between the rows added so
+    far and the ones added later. *)
+
+val render : t -> string
+(** [render t] lays the table out with box-drawing in plain ASCII. *)
+
+val render_markdown : t -> string
+(** [render_markdown t] renders GitHub-flavoured markdown: a header row,
+    an alignment row (using [:---]/[---:]/[:---:]), and the data rows.
+    Separators added with {!add_separator} have no markdown equivalent
+    and are dropped; pipe characters in cells are escaped. *)
+
+val print : t -> unit
+(** [print t] renders to standard output followed by a newline. *)

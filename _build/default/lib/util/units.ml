@@ -1,0 +1,31 @@
+let kib = 1024
+let mib = 1024 * 1024
+let gib = 1024 * 1024 * 1024
+
+let mib_of_bytes b = float_of_int b /. float_of_int mib
+
+let bytes_of_mib m = int_of_float (Float.round (m *. float_of_int mib))
+
+let pp_bytes ppf b =
+  let f = float_of_int b in
+  if b >= gib then Format.fprintf ppf "%.2f GiB" (f /. float_of_int gib)
+  else if b >= mib then Format.fprintf ppf "%.2f MiB" (f /. float_of_int mib)
+  else if b >= kib then Format.fprintf ppf "%.2f KiB" (f /. float_of_int kib)
+  else Format.fprintf ppf "%d B" b
+
+let pp_rate ppf r =
+  if r >= 1e9 then Format.fprintf ppf "%.1f GB/s" (r /. 1e9)
+  else if r >= 1e6 then Format.fprintf ppf "%.1f MB/s" (r /. 1e6)
+  else Format.fprintf ppf "%.0f B/s" r
+
+let pp_seconds ppf s =
+  if s >= 1.0 then Format.fprintf ppf "%.3f s" s
+  else if s >= 1e-3 then Format.fprintf ppf "%.3f ms" (s *. 1e3)
+  else if s >= 1e-6 then Format.fprintf ppf "%.3f us" (s *. 1e6)
+  else Format.fprintf ppf "%.1f ns" (s *. 1e9)
+
+let pp_count ppf c =
+  if c >= 1e9 then Format.fprintf ppf "%.2f G" (c /. 1e9)
+  else if c >= 1e6 then Format.fprintf ppf "%.2f M" (c /. 1e6)
+  else if c >= 1e3 then Format.fprintf ppf "%.2f K" (c /. 1e3)
+  else Format.fprintf ppf "%.0f" c

@@ -1,0 +1,34 @@
+(** Unit conversions and human-readable formatting of sizes, rates and
+    times.  All byte quantities in the repository are plain [int] byte
+    counts; this module is the single place where they are scaled for
+    display. *)
+
+val kib : int
+(** 1 KiB in bytes. *)
+
+val mib : int
+(** 1 MiB in bytes. *)
+
+val gib : int
+(** 1 GiB in bytes. *)
+
+val mib_of_bytes : int -> float
+(** [mib_of_bytes b] is [b] expressed in MiB. *)
+
+val bytes_of_mib : float -> int
+(** [bytes_of_mib m] is [m] MiB expressed in (rounded) bytes. *)
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Pretty-print a byte count with a binary suffix, e.g. ["2.40 MiB"]. *)
+
+val pp_rate : Format.formatter -> float -> unit
+(** Pretty-print a bytes-per-second rate, e.g. ["19.2 GB/s"] (decimal
+    prefix, matching vendor datasheets). *)
+
+val pp_seconds : Format.formatter -> float -> unit
+(** Pretty-print a duration picking an appropriate unit among s, ms, us,
+    ns. *)
+
+val pp_count : Format.formatter -> float -> unit
+(** Pretty-print a dimensionless magnitude with K/M/G suffixes, e.g.
+    ["25.6 M"]. *)

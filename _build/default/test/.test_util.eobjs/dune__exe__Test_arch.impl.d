@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Arch Cnn Fun List Printf QCheck2 QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_builder.ml: Alcotest Arch Array Builder Cnn Engine List Platform Printf QCheck2 QCheck_alcotest String Util Workload_helper

@@ -1,0 +1,1 @@
+test/test_cnn.ml: Alcotest Cnn List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_compression.ml: Alcotest Arch Cnn List Mccm Platform QCheck2 QCheck_alcotest

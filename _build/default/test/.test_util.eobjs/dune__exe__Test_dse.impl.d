@@ -1,0 +1,1 @@
+test/test_dse.ml: Alcotest Arch Cnn Dse List Mccm Platform Printf QCheck2 QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Cnn Engine Format List QCheck2 QCheck_alcotest Util

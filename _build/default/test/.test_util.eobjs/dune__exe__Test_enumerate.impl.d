@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Arch Array Builder Cnn Dse Engine Fun List Mccm Platform Printf

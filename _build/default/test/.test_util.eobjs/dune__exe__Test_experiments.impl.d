@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Arch Cnn Experiments Lazy List Mccm Platform

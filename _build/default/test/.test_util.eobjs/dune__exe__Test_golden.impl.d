@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Arch Cnn Dse Float Lazy List Mccm Platform Printf

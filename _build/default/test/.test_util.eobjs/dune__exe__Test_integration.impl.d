@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Arch Dse Experiments Float List Mccm Printf Report String Util

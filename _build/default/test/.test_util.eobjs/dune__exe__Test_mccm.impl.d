@@ -1,0 +1,1 @@
+test/test_mccm.ml: Alcotest Arch Array Builder Cnn Engine Float List Mccm Platform Printf QCheck2 QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/test_model_io.ml: Alcotest Arch Cnn List Mccm Platform Printf Result String

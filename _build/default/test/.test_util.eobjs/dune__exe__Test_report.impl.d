@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Float List Mccm QCheck2 QCheck_alcotest Report String

@@ -1,0 +1,1 @@
+test/test_reporting.ml: Alcotest Arch Builder Cnn Filename In_channel List Mccm Platform Report String Sys

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Arch Builder Bytes Cnn Dse Int64 List Mccm Platform Printf QCheck2 QCheck_alcotest Sim String Util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Arch Array Builder Cnn Hashtbl List Mccm Platform Printf QCheck2 QCheck_alcotest Report Sim String

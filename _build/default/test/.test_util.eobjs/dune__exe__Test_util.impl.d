@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Format Fun Int64 List QCheck2 QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/workload_helper.ml: Builder

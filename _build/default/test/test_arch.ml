@@ -1,0 +1,343 @@
+(* Tests for architecture descriptions: blocks, the paper notation,
+   baseline generators and custom DSE architectures. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let res50 = Cnn.Model_zoo.resnet50 ()
+let mobv2 = Cnn.Model_zoo.mobilenet_v2 ()
+
+(* ------------------------------------------------------------ Block *)
+
+let test_block_accessors () =
+  let s = Arch.Block.Single { ce = 0; first = 2; last = 5 } in
+  let p = Arch.Block.Pipelined { ce_first = 1; ce_last = 3; first = 6; last = 9 } in
+  check "single layers" 4 (Arch.Block.num_layers_of_block s);
+  check "single ces" 1 (Arch.Block.ce_count s);
+  check "pipelined ces" 3 (Arch.Block.ce_count p);
+  Alcotest.(check (list int)) "ces list" [ 1; 2; 3 ] (Arch.Block.ces_of_block p)
+
+let test_arch_validation_gap () =
+  Alcotest.check_raises "gap"
+    (Invalid_argument "Block.arch: block starts at layer 5, expected 4")
+    (fun () ->
+      ignore
+        (Arch.Block.arch ~name:"bad" ~style:Arch.Block.Custom
+           ~blocks:
+             [
+               Arch.Block.Single { ce = 0; first = 0; last = 3 };
+               Arch.Block.Single { ce = 1; first = 5; last = 9 };
+             ]
+           ~coarse_pipelined:true ~num_layers:10))
+
+let test_arch_validation_short () =
+  Alcotest.check_raises "short"
+    (Invalid_argument "Block.arch: blocks cover 4 layers, model has 10")
+    (fun () ->
+      ignore
+        (Arch.Block.arch ~name:"bad" ~style:Arch.Block.Custom
+           ~blocks:[ Arch.Block.Single { ce = 0; first = 0; last = 3 } ]
+           ~coarse_pipelined:false ~num_layers:10))
+
+let test_total_ces_dedup () =
+  let a =
+    Arch.Block.arch ~name:"reuse" ~style:Arch.Block.Segmented
+      ~blocks:
+        [
+          Arch.Block.Single { ce = 0; first = 0; last = 4 };
+          Arch.Block.Single { ce = 1; first = 5; last = 7 };
+          Arch.Block.Single { ce = 0; first = 8; last = 9 };
+        ]
+      ~coarse_pipelined:true ~num_layers:10
+  in
+  check "two distinct engines" 2 (Arch.Block.total_ces a)
+
+(* --------------------------------------------------------- Notation *)
+
+let test_notation_parse_segmented () =
+  match
+    Arch.Notation.parse ~num_layers:12 "{L1-L4:CE1, L5-L6:CE2, L7-L12:CE3}"
+  with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok blocks ->
+    check "three blocks" 3 (List.length blocks);
+    (match List.hd blocks with
+    | Arch.Block.Single { ce; first; last } ->
+      check "ce" 0 ce;
+      check "first" 0 first;
+      check "last" 3 last
+    | Arch.Block.Pipelined _ -> Alcotest.fail "expected Single")
+
+let test_notation_parse_rr () =
+  match Arch.Notation.parse ~num_layers:53 "{L1-Last:CE1-CE4}" with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok [ Arch.Block.Pipelined { ce_first; ce_last; first; last } ] ->
+    check "ce_first" 0 ce_first;
+    check "ce_last" 3 ce_last;
+    check "first" 0 first;
+    check "last" 52 last
+  | Ok _ -> Alcotest.fail "expected one pipelined block"
+
+let test_notation_single_layer () =
+  match Arch.Notation.parse ~num_layers:5 "{L1:CE1, L2-L5:CE2}" with
+  | Error e -> Alcotest.failf "parse error: %s" e
+  | Ok blocks -> check "two blocks" 2 (List.length blocks)
+
+let test_notation_whitespace_and_case () =
+  checkb "tolerant" true
+    (Result.is_ok
+       (Arch.Notation.parse ~num_layers:10 "{ l1 - l4 : ce1 , l5-last : ce2-ce3 }"))
+
+let test_notation_errors () =
+  let bad s =
+    checkb (Printf.sprintf "reject %s" s) true
+      (Result.is_error (Arch.Notation.parse ~num_layers:10 s))
+  in
+  bad "";
+  bad "{L1-L4:CE1";
+  bad "{L0-L4:CE1}";
+  bad "{L1-L20:CE1}";
+  bad "{L4-L2:CE1}";
+  bad "{L1-L4:CE2-CE1}";
+  bad "{L1-L4:CE1} trailing";
+  bad "{L1-L4:}";
+  bad "{L1?L4:CE1}"
+
+let test_notation_round_trip_baselines () =
+  List.iter
+    (fun (_, archi) ->
+      let s = Arch.Notation.to_string archi in
+      match
+        Arch.Notation.parse_arch
+          ~coarse_pipelined:archi.Arch.Block.coarse_pipelined
+          ~num_layers:(Cnn.Model.num_layers res50) s
+      with
+      | Error e -> Alcotest.failf "round trip failed for %s: %s" s e
+      | Ok parsed ->
+        Alcotest.(check string)
+          "same notation" s
+          (Arch.Notation.to_string parsed))
+    (Arch.Baselines.all_instances res50)
+
+let test_parse_arch_non_contiguous () =
+  checkb "parse_arch rejects gaps" true
+    (Result.is_error
+       (Arch.Notation.parse_arch ~coarse_pipelined:true ~num_layers:10
+          "{L1-L4:CE1, L6-L10:CE2}"))
+
+(* -------------------------------------------------------- Baselines *)
+
+let test_segmented_structure () =
+  let a = Arch.Baselines.segmented ~ces:4 res50 in
+  check "4 blocks" 4 (Arch.Block.num_blocks a);
+  check "4 ces" 4 (Arch.Block.total_ces a);
+  checkb "coarse pipelined" true a.Arch.Block.coarse_pipelined;
+  List.iter
+    (fun b ->
+      match b with
+      | Arch.Block.Single _ -> ()
+      | Arch.Block.Pipelined _ -> Alcotest.fail "Segmented has single blocks")
+    a.Arch.Block.blocks
+
+let test_segmented_balanced () =
+  (* MAC-balanced boundaries: the largest segment should not be grossly
+     above the mean (the DP is optimal, so <= 2x mean is loose). *)
+  let a = Arch.Baselines.segmented ~ces:4 res50 in
+  let total = Cnn.Model.total_macs res50 in
+  List.iter
+    (fun b ->
+      let first, last = Arch.Block.layer_range b in
+      let m = Cnn.Model.macs_in_range res50 ~first ~last in
+      checkb "segment below 2x mean" true (m * 4 <= 2 * total))
+    a.Arch.Block.blocks
+
+let test_segmented_rr_structure () =
+  let a = Arch.Baselines.segmented_rr ~ces:4 res50 in
+  check "1 block" 1 (Arch.Block.num_blocks a);
+  check "4 ces" 4 (Arch.Block.total_ces a);
+  checkb "not coarse pipelined" false a.Arch.Block.coarse_pipelined
+
+let test_hybrid_structure () =
+  let a = Arch.Baselines.hybrid ~ces:4 res50 in
+  check "2 blocks" 2 (Arch.Block.num_blocks a);
+  match a.Arch.Block.blocks with
+  | [ Arch.Block.Pipelined { first; last; _ }; Arch.Block.Single { first = f2; last = l2; _ } ] ->
+    check "first part layers" 3 (last - first + 1);
+    check "rest start" 3 f2;
+    check "rest end" 52 l2
+  | _ -> Alcotest.fail "unexpected hybrid structure"
+
+let test_hybrid_dual_structure () =
+  let a = Arch.Baselines.hybrid_dual ~ces:6 mobv2 in
+  check "2 blocks" 2 (Arch.Block.num_blocks a);
+  check "6 ces" 6 (Arch.Block.total_ces a);
+  match a.Arch.Block.blocks with
+  | [ Arch.Block.Pipelined { first = 0; last = 3; _ };
+      Arch.Block.Pipelined { ce_first = 4; ce_last = 5; first = 4; last; _ } ] ->
+    check "covers rest" (Cnn.Model.num_layers mobv2 - 1) last
+  | _ -> Alcotest.fail "unexpected dual structure"
+
+let test_hybrid_dual_invalid () =
+  Alcotest.check_raises "2 CEs"
+    (Invalid_argument "Baselines.hybrid_dual: needs at least 3 CEs (1 + 2)")
+    (fun () -> ignore (Arch.Baselines.hybrid_dual ~ces:2 mobv2))
+
+let test_extremes_structure () =
+  let s = Arch.Baselines.single_ce mobv2 in
+  check "one block" 1 (Arch.Block.num_blocks s);
+  check "one engine" 1 (Arch.Block.total_ces s);
+  let l = Arch.Baselines.layer_per_ce mobv2 in
+  check "engine per layer" (Cnn.Model.num_layers mobv2) (Arch.Block.total_ces l)
+
+let test_baseline_invalid_ces () =
+  Alcotest.check_raises "1 CE"
+    (Invalid_argument
+       "Baselines.segmented: a multiple-CE accelerator needs at least 2 CEs")
+    (fun () -> ignore (Arch.Baselines.segmented ~ces:1 res50))
+
+let test_all_instances () =
+  check "30 instances" 30 (List.length (Arch.Baselines.all_instances res50));
+  check "ce counts" 10 (List.length Arch.Baselines.default_ce_counts)
+
+(* -------------------------------------------------------- Shorthand *)
+
+let test_shorthand_baselines () =
+  let ok s expected_name =
+    match Arch.Shorthand.parse res50 s with
+    | Ok a -> Alcotest.(check string) s expected_name a.Arch.Block.name
+    | Error e -> Alcotest.failf "%s: %s" s e
+  in
+  ok "segmented/4" "Segmented/4";
+  ok "SegmentedRR/2" "SegmentedRR/2";
+  ok " hybrid/7 " "Hybrid/7";
+  ok "hybriddual/6" "HybridDual/6";
+  ok "singlece" "SingleCE";
+  ok "LayerPerCE" "LayerPerCE"
+
+let test_shorthand_notation () =
+  match Arch.Shorthand.parse res50 "{L1-L10:CE1, L11-Last:CE2}" with
+  | Ok a -> check "two blocks" 2 (Arch.Block.num_blocks a)
+  | Error e -> Alcotest.failf "notation: %s" e
+
+let test_shorthand_errors () =
+  checkb "gibberish rejected" true
+    (Result.is_error (Arch.Shorthand.parse res50 "frobnicate/3"));
+  checkb "bad ces propagates" true
+    (Result.is_error (Arch.Shorthand.parse res50 "segmented/1"));
+  checkb "bad notation propagates" true
+    (Result.is_error (Arch.Shorthand.parse res50 "{L1-L99:CE1}"))
+
+(* ----------------------------------------------------------- Custom *)
+
+let test_custom_balanced () =
+  let a = Arch.Custom.balanced mobv2 ~pipelined_layers:5 ~tail_segments:3 in
+  check "4 blocks" 4 (Arch.Block.num_blocks a);
+  check "8 ces" 8 (Arch.Block.total_ces a);
+  match a.Arch.Block.blocks with
+  | Arch.Block.Pipelined { first = 0; last = 4; _ } :: rest ->
+    check "3 tail blocks" 3 (List.length rest)
+  | _ -> Alcotest.fail "expected leading pipelined block"
+
+let test_custom_spec_validation () =
+  Alcotest.check_raises "bad boundary"
+    (Invalid_argument "Custom.arch_of_spec: bad tail boundary") (fun () ->
+      ignore
+        (Arch.Custom.arch_of_spec mobv2
+           { Arch.Custom.pipelined_layers = 5; tail_boundaries = [ 4 ] }))
+
+let test_custom_total_ces () =
+  check "spec ces" 7
+    (Arch.Custom.total_ces
+       { Arch.Custom.pipelined_layers = 4; tail_boundaries = [ 10; 20 ] })
+
+(* ------------------------------------------------------- properties *)
+
+let prop_baseline_coverage =
+  QCheck2.Test.make ~name:"baselines cover every layer exactly once"
+    QCheck2.Gen.(pair (int_range 2 11) (oneofl [ `Seg; `Rr; `Hyb ]))
+    (fun (ces, which) ->
+      let a =
+        match which with
+        | `Seg -> Arch.Baselines.segmented ~ces res50
+        | `Rr -> Arch.Baselines.segmented_rr ~ces res50
+        | `Hyb -> Arch.Baselines.hybrid ~ces res50
+      in
+      let covered =
+        List.concat_map
+          (fun b ->
+            let first, last = Arch.Block.layer_range b in
+            List.init (last - first + 1) (fun i -> first + i))
+          a.Arch.Block.blocks
+      in
+      covered = List.init (Cnn.Model.num_layers res50) Fun.id)
+
+let prop_notation_round_trip =
+  QCheck2.Test.make ~name:"notation round trip on random customs"
+    QCheck2.Gen.(pair (int_range 1 10) (int_range 1 5))
+    (fun (f, s) ->
+      QCheck2.assume (f + s <= 20);
+      let model = mobv2 in
+      QCheck2.assume (Cnn.Model.num_layers model - f >= s);
+      let a = Arch.Custom.balanced model ~pipelined_layers:f ~tail_segments:s in
+      let str = Arch.Notation.to_string a in
+      match
+        Arch.Notation.parse_arch ~coarse_pipelined:true
+          ~num_layers:(Cnn.Model.num_layers model) str
+      with
+      | Error _ -> false
+      | Ok parsed -> Arch.Notation.to_string parsed = str)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_baseline_coverage; prop_notation_round_trip ]
+
+let () =
+  Alcotest.run "arch"
+    [
+      ( "block",
+        [
+          Alcotest.test_case "accessors" `Quick test_block_accessors;
+          Alcotest.test_case "validation gap" `Quick test_arch_validation_gap;
+          Alcotest.test_case "validation short" `Quick test_arch_validation_short;
+          Alcotest.test_case "total ces dedup" `Quick test_total_ces_dedup;
+        ] );
+      ( "notation",
+        [
+          Alcotest.test_case "parse segmented" `Quick test_notation_parse_segmented;
+          Alcotest.test_case "parse round robin" `Quick test_notation_parse_rr;
+          Alcotest.test_case "single layer" `Quick test_notation_single_layer;
+          Alcotest.test_case "whitespace/case" `Quick test_notation_whitespace_and_case;
+          Alcotest.test_case "errors" `Quick test_notation_errors;
+          Alcotest.test_case "round trip baselines" `Quick
+            test_notation_round_trip_baselines;
+          Alcotest.test_case "non-contiguous" `Quick test_parse_arch_non_contiguous;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "segmented structure" `Quick test_segmented_structure;
+          Alcotest.test_case "segmented balanced" `Quick test_segmented_balanced;
+          Alcotest.test_case "segmented_rr structure" `Quick test_segmented_rr_structure;
+          Alcotest.test_case "hybrid structure" `Quick test_hybrid_structure;
+          Alcotest.test_case "hybrid dual structure" `Quick
+            test_hybrid_dual_structure;
+          Alcotest.test_case "hybrid dual invalid" `Quick
+            test_hybrid_dual_invalid;
+          Alcotest.test_case "extremes structure" `Quick
+            test_extremes_structure;
+          Alcotest.test_case "invalid ces" `Quick test_baseline_invalid_ces;
+          Alcotest.test_case "all instances" `Quick test_all_instances;
+        ] );
+      ( "shorthand",
+        [
+          Alcotest.test_case "baselines" `Quick test_shorthand_baselines;
+          Alcotest.test_case "notation" `Quick test_shorthand_notation;
+          Alcotest.test_case "errors" `Quick test_shorthand_errors;
+        ] );
+      ( "custom",
+        [
+          Alcotest.test_case "balanced" `Quick test_custom_balanced;
+          Alcotest.test_case "spec validation" `Quick test_custom_spec_validation;
+          Alcotest.test_case "total ces" `Quick test_custom_total_ces;
+        ] );
+      ("properties", properties);
+    ]

@@ -1,0 +1,147 @@
+(* Tests for the compression what-if analysis (Use Case 2). *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let res50 = Cnn.Model_zoo.resnet50 ()
+
+let segrr2_breakdown () =
+  (Mccm.Evaluate.evaluate res50 Platform.Board.zc706
+     (Arch.Baselines.segmented_rr ~ces:2 res50))
+    .Mccm.Evaluate.breakdown
+
+let board = Platform.Board.zc706
+
+let test_invalid_ratio () =
+  let b = segrr2_breakdown () in
+  Alcotest.check_raises "ratio 1.0"
+    (Invalid_argument "Compression.apply: ratio must exceed 1.0") (fun () ->
+      ignore
+        (Mccm.Compression.apply ~board
+           (Mccm.Compression.uniform_weights ~ratio:2.0
+           |> fun p -> { p with Mccm.Compression.ratio = 1.0 })
+           b))
+
+let test_speedup_at_least_one () =
+  let b = segrr2_breakdown () in
+  List.iter
+    (fun policy ->
+      let o = Mccm.Compression.apply ~board policy b in
+      checkb "speedup >= 1" true (o.Mccm.Compression.speedup >= 1.0 -. 1e-12);
+      checkb "time does not grow" true
+        (o.Mccm.Compression.compressed_time_s
+        <= o.Mccm.Compression.baseline_time_s +. 1e-12))
+    [
+      Mccm.Compression.uniform_weights ~ratio:2.0;
+      Mccm.Compression.bottleneck_weights ~ratio:2.0;
+      { Mccm.Compression.target = Fms_only; ratio = 2.0;
+        memory_bound_only = true };
+    ]
+
+let test_bottleneck_weights_helps_segrr () =
+  (* SegmentedRR/2 on ZC706 is weight-traffic bound in its tail; the
+     paper's recommended policy must yield a real speedup. *)
+  let b = segrr2_breakdown () in
+  let o =
+    Mccm.Compression.apply ~board
+      (Mccm.Compression.bottleneck_weights ~ratio:2.0)
+      b
+  in
+  checkb "affects segments" true (o.Mccm.Compression.segments_affected > 0);
+  checkb "speedup over 3%" true (o.Mccm.Compression.speedup > 1.03)
+
+let test_fm_compression_useless_for_segrr () =
+  (* Fig. 7's reading: FM compression is pure overhead for SegmentedRR. *)
+  let b = segrr2_breakdown () in
+  let o =
+    Mccm.Compression.apply ~board
+      { Mccm.Compression.target = Fms_only; ratio = 4.0;
+        memory_bound_only = true }
+      b
+  in
+  checkb "speedup below 1%" true (o.Mccm.Compression.speedup < 1.01)
+
+let test_best_single_target_picks_weights () =
+  let b = segrr2_breakdown () in
+  let target, _ = Mccm.Compression.best_single_target ~board ~ratio:2.0 b in
+  checkb "weights win" true (target = Mccm.Compression.Weights_only)
+
+let test_accesses_reduced_exactly () =
+  (* Uniform 2x weight compression halves weight bytes everywhere. *)
+  let b = segrr2_breakdown () in
+  let o =
+    Mccm.Compression.apply ~board
+      (Mccm.Compression.uniform_weights ~ratio:2.0)
+      b
+  in
+  let base = o.Mccm.Compression.baseline_accesses in
+  let comp = o.Mccm.Compression.compressed_accesses in
+  (* Rounding per segment: allow one byte per segment of slack. *)
+  let segments = List.length (segrr2_breakdown ()).Mccm.Breakdown.segments in
+  checkb "weights halved" true
+    (abs ((base.Mccm.Access.weights_bytes / 2) - comp.Mccm.Access.weights_bytes)
+    <= segments);
+  check "FM bytes untouched" base.Mccm.Access.fms_bytes
+    comp.Mccm.Access.fms_bytes
+
+let test_memory_bound_only_filter () =
+  let b = segrr2_breakdown () in
+  let all = Mccm.Compression.apply ~board (Mccm.Compression.uniform_weights ~ratio:2.0) b in
+  let bound =
+    Mccm.Compression.apply ~board (Mccm.Compression.bottleneck_weights ~ratio:2.0) b
+  in
+  checkb "uniform touches more segments" true
+    (all.Mccm.Compression.segments_affected
+    >= bound.Mccm.Compression.segments_affected);
+  check "uniform touches all" (List.length b.Mccm.Breakdown.segments)
+    all.Mccm.Compression.segments_affected
+
+let test_baseline_time_matches_breakdown () =
+  let b = segrr2_breakdown () in
+  let o =
+    Mccm.Compression.apply ~board (Mccm.Compression.uniform_weights ~ratio:2.0) b
+  in
+  let expect =
+    List.fold_left
+      (fun acc (s : Mccm.Breakdown.segment) -> acc +. s.Mccm.Breakdown.time_s)
+      0.0 b.Mccm.Breakdown.segments
+  in
+  checkf "baseline time" expect o.Mccm.Compression.baseline_time_s
+
+let prop_higher_ratio_never_slower =
+  QCheck2.Test.make ~name:"higher ratio never reduces the speedup" ~count:20
+    QCheck2.Gen.(pair (float_range 1.1 4.0) (float_range 0.1 4.0))
+    (fun (r, dr) ->
+      let b = segrr2_breakdown () in
+      let s ratio =
+        (Mccm.Compression.apply ~board
+           (Mccm.Compression.bottleneck_weights ~ratio)
+           b)
+          .Mccm.Compression.speedup
+      in
+      s (r +. dr) >= s r -. 1e-9)
+
+let () =
+  Alcotest.run "compression"
+    [
+      ( "apply",
+        [
+          Alcotest.test_case "invalid ratio" `Quick test_invalid_ratio;
+          Alcotest.test_case "speedup >= 1" `Quick test_speedup_at_least_one;
+          Alcotest.test_case "bottleneck weights help" `Quick
+            test_bottleneck_weights_helps_segrr;
+          Alcotest.test_case "FM compression useless" `Quick
+            test_fm_compression_useless_for_segrr;
+          Alcotest.test_case "best target" `Quick
+            test_best_single_target_picks_weights;
+          Alcotest.test_case "accesses reduced exactly" `Quick
+            test_accesses_reduced_exactly;
+          Alcotest.test_case "memory-bound filter" `Quick
+            test_memory_bound_only_filter;
+          Alcotest.test_case "baseline time" `Quick
+            test_baseline_time_matches_breakdown;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_higher_ratio_never_slower ] );
+    ]

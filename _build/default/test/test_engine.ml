@@ -1,0 +1,217 @@
+(* Tests for compute-engine modelling: parallelism strategies, dataflows
+   and Eq. 1 latency. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+let layer ?(kind = Cnn.Layer.Standard) ?(in_c = 8) ?(out_c = 6) ?(hw = 8)
+    ?(k = 3) () =
+  Cnn.Layer.v ~index:0 ~name:"l" ~kind
+    ~in_shape:(Cnn.Shape.v ~channels:in_c ~height:hw ~width:hw)
+    ~out_channels:out_c ~kernel:k ~stride:1
+    ~padding:(Cnn.Shape.same_padding ~kernel:k)
+    ()
+
+(* ------------------------------------------------------ Parallelism *)
+
+let test_parallelism_degree () =
+  let p = Engine.Parallelism.three_d ~filters:4 ~height:2 ~width:2 in
+  check "degree" 16 (Engine.Parallelism.degree p);
+  check "filters" 4 (Engine.Parallelism.factor p Engine.Parallelism.Filters);
+  check "channels default" 1
+    (Engine.Parallelism.factor p Engine.Parallelism.Channels)
+
+let test_parallelism_invalid () =
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Parallelism.of_factors: non-positive factor")
+    (fun () ->
+      ignore (Engine.Parallelism.of_factors [ (Engine.Parallelism.Filters, 0) ]));
+  Alcotest.check_raises "repeated"
+    (Invalid_argument "Parallelism.of_factors: repeated dimension") (fun () ->
+      ignore
+        (Engine.Parallelism.of_factors
+           [ (Engine.Parallelism.Filters, 2); (Engine.Parallelism.Filters, 3) ]))
+
+let test_parallelism_pp () =
+  let p = Engine.Parallelism.three_d ~filters:4 ~height:2 ~width:2 in
+  Alcotest.(check string) "pp" "F4xH2xW2"
+    (Format.asprintf "%a" Engine.Parallelism.pp p);
+  Alcotest.(check string) "scalar" "scalar"
+    (Format.asprintf "%a" Engine.Parallelism.pp Engine.Parallelism.scalar)
+
+let test_dims_used () =
+  let p = Engine.Parallelism.three_d ~filters:4 ~height:1 ~width:2 in
+  check "two dims" 2 (List.length (Engine.Parallelism.dimensions_used p))
+
+(* --------------------------------------------------------- Dataflow *)
+
+let test_dataflow_strings () =
+  List.iter
+    (fun d ->
+      checkb "round trip" true
+        (Engine.Dataflow.of_string (Engine.Dataflow.to_string d) = Some d))
+    Engine.Dataflow.all;
+  checkb "case-insensitive" true
+    (Engine.Dataflow.of_string "ws" = Some Engine.Dataflow.Weight_stationary);
+  checkb "unknown" true (Engine.Dataflow.of_string "XX" = None)
+
+(* --------------------------------------------------------------- Ce *)
+
+let fig4c_engine () =
+  (* The paper's Fig. 4c single-CE: 16 PEs with parallelism 4x2x2. *)
+  Engine.Ce.v ~id:1 ~pes:16
+    ~parallelism:(Engine.Parallelism.three_d ~filters:4 ~height:2 ~width:2)
+    ~dataflow:Engine.Dataflow.Output_stationary
+
+(* Eq. 1 on the paper's own example: a 6-filter layer on a 4-filter-wide
+   engine needs ceil(6/4) = 2 filter passes, so the PEs are half idle on
+   the second pass. *)
+let test_eq1_fig4c () =
+  let ce = fig4c_engine () in
+  let l = layer ~out_c:6 ~hw:8 () in
+  let expected =
+    (* ceil(6/4) * ceil(8/1) [channels] * ceil(8/2) * ceil(8/2) * 3 * 3 *)
+    2 * 8 * 4 * 4 * 9
+  in
+  check "Eq. 1 cycles" expected (Engine.Ce.layer_cycles ce l)
+
+let test_eq1_exact_fit_is_ideal () =
+  (* When every factor divides its extent, utilization is exactly 1. *)
+  let ce =
+    Engine.Ce.v ~id:1 ~pes:16
+      ~parallelism:(Engine.Parallelism.three_d ~filters:4 ~height:2 ~width:2)
+      ~dataflow:Engine.Dataflow.Output_stationary
+  in
+  let l = layer ~out_c:4 ~hw:8 () in
+  checkf "full utilization" 1.0 (Engine.Ce.utilization ce l)
+
+let test_eq1_underutilization () =
+  let ce = fig4c_engine () in
+  let l = layer ~out_c:6 ~hw:8 () in
+  (* 6 filters on a 4-wide engine: 6/8 = 0.75 utilization. *)
+  checkf "three quarters" 0.75 (Engine.Ce.utilization ce l)
+
+let test_depthwise_wastes_filter_parallelism () =
+  let ce = fig4c_engine () in
+  let dw = layer ~kind:Cnn.Layer.Depthwise ~in_c:8 ~out_c:8 () in
+  (* Filter-parallel PEs idle on depthwise: cycles insensitive to the
+     filter factor. *)
+  let ce_nofilter =
+    Engine.Ce.v ~id:2 ~pes:16
+      ~parallelism:(Engine.Parallelism.three_d ~filters:1 ~height:2 ~width:2)
+      ~dataflow:Engine.Dataflow.Output_stationary
+  in
+  check "same cycles" (Engine.Ce.layer_cycles ce_nofilter dw)
+    (Engine.Ce.layer_cycles ce dw)
+
+let test_tile_cycles () =
+  let ce = fig4c_engine () in
+  let l = layer ~out_c:4 ~hw:8 () in
+  let full = Engine.Ce.layer_cycles ce l in
+  let half = Engine.Ce.tile_cycles ce l ~rows:4 in
+  check "half rows = half cycles" (full / 2) half;
+  check "clamped rows" full (Engine.Ce.tile_cycles ce l ~rows:100)
+
+let test_ideal_cycles () =
+  let l = layer ~out_c:4 ~hw:8 () in
+  check "ceil(macs/pes)"
+    (Util.Int_math.ceil_div (Cnn.Layer.macs l) 16)
+    (Engine.Ce.ideal_cycles ~pes:16 l)
+
+let test_engine_invalid () =
+  Alcotest.check_raises "degree over budget"
+    (Invalid_argument "Engine.v: parallelism degree exceeds PE budget")
+    (fun () ->
+      ignore
+        (Engine.Ce.v ~id:1 ~pes:8
+           ~parallelism:(Engine.Parallelism.three_d ~filters:4 ~height:2 ~width:2)
+           ~dataflow:Engine.Dataflow.Output_stationary))
+
+let test_average_utilization_weighted () =
+  let ce = fig4c_engine () in
+  let l_fit = layer ~out_c:4 ~hw:8 () in
+  let l_miss = layer ~out_c:6 ~hw:8 () in
+  let avg = Engine.Ce.average_utilization ce [ l_fit; l_miss ] in
+  checkb "between the two" true (avg > 0.75 && avg < 1.0)
+
+(* ------------------------------------------------------- properties *)
+
+let engine_gen =
+  QCheck2.Gen.(
+    let* f = oneofl [ 1; 2; 4; 8 ] in
+    let* h = oneofl [ 1; 2; 4 ] in
+    let* w = oneofl [ 1; 2; 4 ] in
+    return (f, h, w))
+
+let prop_utilization_bounds =
+  QCheck2.Test.make ~name:"utilization in (0, 1]"
+    QCheck2.Gen.(pair engine_gen (pair (int_range 1 32) (int_range 7 32)))
+    (fun ((f, h, w), (out_c, hw)) ->
+      let ce =
+        Engine.Ce.v ~id:1 ~pes:(f * h * w)
+          ~parallelism:(Engine.Parallelism.three_d ~filters:f ~height:h ~width:w)
+          ~dataflow:Engine.Dataflow.Output_stationary
+      in
+      let l = layer ~out_c ~hw () in
+      let u = Engine.Ce.utilization ce l in
+      u > 0.0 && u <= 1.0 +. 1e-9)
+
+let prop_more_parallelism_never_slower =
+  QCheck2.Test.make ~name:"doubling a factor never increases cycles"
+    QCheck2.Gen.(pair engine_gen (pair (int_range 1 32) (int_range 7 32)))
+    (fun ((f, h, w), (out_c, hw)) ->
+      let mk f' =
+        Engine.Ce.v ~id:1 ~pes:(f' * h * w)
+          ~parallelism:
+            (Engine.Parallelism.three_d ~filters:f' ~height:h ~width:w)
+          ~dataflow:Engine.Dataflow.Output_stationary
+      in
+      let l = layer ~out_c ~hw () in
+      Engine.Ce.layer_cycles (mk (2 * f)) l <= Engine.Ce.layer_cycles (mk f) l)
+
+let prop_tiles_cover_layer =
+  QCheck2.Test.make ~name:"sum of tile cycles >= layer cycles"
+    QCheck2.Gen.(pair engine_gen (pair (int_range 1 32) (int_range 7 32)))
+    (fun ((f, h, w), (out_c, hw)) ->
+      let ce =
+        Engine.Ce.v ~id:1 ~pes:(f * h * w)
+          ~parallelism:(Engine.Parallelism.three_d ~filters:f ~height:h ~width:w)
+          ~dataflow:Engine.Dataflow.Output_stationary
+      in
+      let l = layer ~out_c ~hw () in
+      let rows = max 1 (hw / 3) in
+      let tiles = Util.Int_math.ceil_div hw rows in
+      tiles * Engine.Ce.tile_cycles ce l ~rows >= Engine.Ce.layer_cycles ce l)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_utilization_bounds; prop_more_parallelism_never_slower;
+      prop_tiles_cover_layer ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "parallelism",
+        [
+          Alcotest.test_case "degree" `Quick test_parallelism_degree;
+          Alcotest.test_case "invalid" `Quick test_parallelism_invalid;
+          Alcotest.test_case "pp" `Quick test_parallelism_pp;
+          Alcotest.test_case "dims used" `Quick test_dims_used;
+        ] );
+      ("dataflow", [ Alcotest.test_case "strings" `Quick test_dataflow_strings ]);
+      ( "ce",
+        [
+          Alcotest.test_case "Eq.1 Fig.4c example" `Quick test_eq1_fig4c;
+          Alcotest.test_case "exact fit ideal" `Quick test_eq1_exact_fit_is_ideal;
+          Alcotest.test_case "underutilization" `Quick test_eq1_underutilization;
+          Alcotest.test_case "depthwise filter waste" `Quick
+            test_depthwise_wastes_filter_parallelism;
+          Alcotest.test_case "tile cycles" `Quick test_tile_cycles;
+          Alcotest.test_case "ideal cycles" `Quick test_ideal_cycles;
+          Alcotest.test_case "invalid engine" `Quick test_engine_invalid;
+          Alcotest.test_case "average utilization" `Quick
+            test_average_utilization_weighted;
+        ] );
+      ("properties", properties);
+    ]

@@ -1,0 +1,221 @@
+(* Tests for exhaustive enumeration and local search over custom
+   designs, plus the builder's ablation knobs. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let mobv2 = Cnn.Model_zoo.mobilenet_v2 ()
+let board = Platform.Board.vcu108
+
+(* -------------------------------------------------------- enumerate *)
+
+let test_enumeration_counts_match_space () =
+  (* The enumerated count must equal the analytic space size when under
+     the cap. *)
+  List.iter
+    (fun (n, ces) ->
+      let specs =
+        Dse.Enumerate.enumerate_specs ~num_layers:n ~ces ~max_specs:100000
+      in
+      check
+        (Printf.sprintf "n=%d ces=%d" n ces)
+        (int_of_float (Dse.Space.designs_for_ce_count ~num_layers:n ~ces))
+        (List.length specs))
+    [ (4, 2); (4, 3); (5, 3); (8, 4); (10, 3); (12, 5) ]
+
+let test_enumeration_specs_distinct_and_valid () =
+  let n = 10 and ces = 4 in
+  let specs =
+    Dse.Enumerate.enumerate_specs ~num_layers:n ~ces ~max_specs:100000
+  in
+  check "distinct" (List.length specs)
+    (List.length (List.sort_uniq compare specs));
+  List.iter
+    (fun spec ->
+      check "exact CE count" ces (Arch.Custom.total_ces spec);
+      (* Must materialise without raising. *)
+      let model =
+        (* a synthetic 10-layer chain *)
+        let layers =
+          List.init n (fun i ->
+              Cnn.Layer.v ~index:i ~name:(Printf.sprintf "l%d" i)
+                ~kind:Cnn.Layer.Standard
+                ~in_shape:(Cnn.Shape.v ~channels:8 ~height:16 ~width:16)
+                ~out_channels:8 ~kernel:3 ~stride:1 ~padding:1 ())
+        in
+        Cnn.Model.v ~name:"Chain10" ~abbreviation:"C10" ~layers
+      in
+      ignore (Arch.Custom.arch_of_spec model spec))
+    specs
+
+let test_enumeration_cap () =
+  let specs =
+    Dse.Enumerate.enumerate_specs ~num_layers:52 ~ces:8 ~max_specs:500
+  in
+  check "capped" 500 (List.length specs)
+
+let test_exhaustive_small () =
+  let evaluated = Dse.Enumerate.exhaustive ~ces:2 mobv2 board in
+  (* 52 layers, 2 CEs: f=1, s=1 -> exactly one design. *)
+  check "one design" 1 (List.length evaluated);
+  checkb "feasible" true
+    (List.for_all
+       (fun (e : Dse.Explore.evaluated) ->
+         e.Dse.Explore.metrics.Mccm.Metrics.feasible)
+       evaluated)
+
+(* ----------------------------------------------------- local search *)
+
+let objective m = m.Mccm.Metrics.throughput_ips
+
+let test_local_search_monotone () =
+  let seed = { Arch.Custom.pipelined_layers = 3; tail_boundaries = [ 20 ] } in
+  let steps = Dse.Enumerate.local_search ~objective mobv2 board seed in
+  checkb "has seed" true (List.length steps >= 1);
+  let scores =
+    List.map
+      (fun (s : Dse.Enumerate.step) -> objective s.Dse.Enumerate.metrics)
+      steps
+  in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  checkb "strictly improving" true (increasing scores)
+
+let test_local_search_beats_seed () =
+  let seed = { Arch.Custom.pipelined_layers = 2; tail_boundaries = [ 30 ] } in
+  let steps = Dse.Enumerate.local_search ~objective mobv2 board seed in
+  match (steps, List.rev steps) with
+  | first :: _, last :: _ ->
+    checkb "final >= seed" true
+      (objective last.Dse.Enumerate.metrics
+      >= objective first.Dse.Enumerate.metrics)
+  | _ -> Alcotest.fail "no steps"
+
+let test_local_search_respects_max_steps () =
+  let seed = { Arch.Custom.pipelined_layers = 2; tail_boundaries = [ 30 ] } in
+  let steps =
+    Dse.Enumerate.local_search ~objective ~max_steps:1 mobv2 board seed
+  in
+  checkb "at most seed + 1" true (List.length steps <= 2)
+
+let test_local_search_specs_valid () =
+  let seed = { Arch.Custom.pipelined_layers = 4; tail_boundaries = [ 15; 30 ] } in
+  let steps = Dse.Enumerate.local_search ~objective mobv2 board seed in
+  List.iter
+    (fun (s : Dse.Enumerate.step) ->
+      ignore (Arch.Custom.arch_of_spec mobv2 s.Dse.Enumerate.spec))
+    steps
+
+(* --------------------------------------------------- builder options *)
+
+let res50 = Cnn.Model_zoo.resnet50 ()
+
+let metrics_with options archi =
+  (Mccm.Evaluate.run (Builder.Build.build ~options res50 board archi))
+    .Mccm.Evaluate.metrics
+
+let test_naive_parallelism_never_faster () =
+  List.iter
+    (fun (_, archi) ->
+      let opt = metrics_with Builder.Build.default_options archi in
+      let naive =
+        metrics_with
+          { Builder.Build.default_options with parallelism = `Naive }
+          archi
+      in
+      checkb "optimized latency <= naive" true
+        (opt.Mccm.Metrics.latency_s <= naive.Mccm.Metrics.latency_s *. 1.001))
+    [
+      ("seg", Arch.Baselines.segmented ~ces:4 res50);
+      ("rr", Arch.Baselines.segmented_rr ~ces:4 res50);
+      ("hyb", Arch.Baselines.hybrid ~ces:4 res50);
+    ]
+
+let test_balanced_pe_allocation () =
+  (* Cycle balancing must narrow the busy-time spread of a round-robin
+     pipeline's engines (or leave it unchanged at a fixed point). *)
+  let spread options =
+    let built =
+      Builder.Build.build ~options res50 board
+        (Arch.Baselines.segmented_rr ~ces:4 res50)
+    in
+    let cycles =
+      Array.map
+        (fun e ->
+          List.fold_left
+            (fun acc i ->
+              if
+                (Builder.Build.engine_for_layer built i).Engine.Ce.id
+                = e.Engine.Ce.id
+              then acc + Engine.Ce.layer_cycles e (Cnn.Model.layer res50 i)
+              else acc)
+            0
+            (List.init (Cnn.Model.num_layers res50) Fun.id))
+        built.Builder.Build.engines
+    in
+    let mx = Array.fold_left max 1 cycles in
+    let mn = Array.fold_left min max_int cycles in
+    float_of_int mx /. float_of_int (max 1 mn)
+  in
+  let macs = spread Builder.Build.default_options in
+  let balanced =
+    spread { Builder.Build.default_options with pe_allocation = `Balanced }
+  in
+  checkb
+    (Printf.sprintf "balanced spread %.3f <= macs spread %.3f x 1.05" balanced
+       macs)
+    true
+    (balanced <= macs *. 1.05)
+
+let test_minimal_buffers_tradeoff () =
+  List.iter
+    (fun archi ->
+      let greedy = metrics_with Builder.Build.default_options archi in
+      let minimal =
+        metrics_with
+          { Builder.Build.default_options with buffers = `Minimal }
+          archi
+      in
+      checkb "minimal uses fewer buffers" true
+        (minimal.Mccm.Metrics.buffer_bytes <= greedy.Mccm.Metrics.buffer_bytes);
+      checkb "minimal never accesses less" true
+        (Mccm.Metrics.accesses_bytes minimal
+        >= Mccm.Metrics.accesses_bytes greedy))
+    [
+      Arch.Baselines.segmented ~ces:4 res50;
+      Arch.Baselines.segmented_rr ~ces:4 res50;
+      Arch.Baselines.hybrid ~ces:4 res50;
+    ]
+
+let () =
+  Alcotest.run "enumerate"
+    [
+      ( "enumeration",
+        [
+          Alcotest.test_case "counts match space" `Quick
+            test_enumeration_counts_match_space;
+          Alcotest.test_case "distinct and valid" `Quick
+            test_enumeration_specs_distinct_and_valid;
+          Alcotest.test_case "cap" `Quick test_enumeration_cap;
+          Alcotest.test_case "exhaustive small" `Quick test_exhaustive_small;
+        ] );
+      ( "local search",
+        [
+          Alcotest.test_case "monotone" `Quick test_local_search_monotone;
+          Alcotest.test_case "beats seed" `Quick test_local_search_beats_seed;
+          Alcotest.test_case "max steps" `Quick
+            test_local_search_respects_max_steps;
+          Alcotest.test_case "valid specs" `Quick test_local_search_specs_valid;
+        ] );
+      ( "builder options",
+        [
+          Alcotest.test_case "naive parallelism" `Slow
+            test_naive_parallelism_never_faster;
+          Alcotest.test_case "minimal buffers" `Quick
+            test_minimal_buffers_tradeoff;
+          Alcotest.test_case "balanced PE allocation" `Quick
+            test_balanced_pe_allocation;
+        ] );
+    ]

@@ -1,0 +1,174 @@
+(* Tests for the experiment-driver library: the shared sweep plumbing and
+   the beyond-the-paper studies (ablations, sensitivity, extremes). *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let res50 = Cnn.Model_zoo.resnet50 ()
+
+(* ------------------------------------------------------------ Common *)
+
+let test_sweep_size_and_labels () =
+  let instances = Experiments.Common.sweep res50 Platform.Board.zcu102 in
+  check "30 instances" 30 (List.length instances);
+  let labels = List.map Experiments.Common.label instances in
+  check "distinct labels" 30 (List.length (List.sort_uniq compare labels));
+  checkb "has SegmentedRR/7" true (List.mem "SegmentedRR/7" labels)
+
+let test_best_by_agrees_with_manual_scan () =
+  let instances = Experiments.Common.sweep res50 Platform.Board.zcu102 in
+  let best = Experiments.Common.best_by ~metric:`Latency instances in
+  List.iter
+    (fun (i : Experiments.Common.instance) ->
+      if i.Experiments.Common.metrics.Mccm.Metrics.feasible then
+        checkb "best is minimal" true
+          (best.Experiments.Common.metrics.Mccm.Metrics.latency_s
+          <= i.Experiments.Common.metrics.Mccm.Metrics.latency_s +. 1e-12))
+    instances
+
+let test_instances_of_style () =
+  let instances = Experiments.Common.sweep res50 Platform.Board.zcu102 in
+  check "10 per style" 10
+    (List.length
+       (Experiments.Common.instances_of_style Arch.Block.Hybrid instances))
+
+(* --------------------------------------------------------- Ablations *)
+
+let ablations = lazy (Experiments.Ablations.run ())
+
+let test_ablations_structure () =
+  let t = Lazy.force ablations in
+  let count ablation =
+    List.length
+      (List.filter
+         (fun (r : Experiments.Ablations.row) ->
+           r.Experiments.Ablations.ablation = ablation)
+         t.Experiments.Ablations.rows)
+  in
+  check "parallelism rows" 6 (count "parallelism selection");
+  check "buffer rows" 6 (count "buffer allocation");
+  check "PE allocation rows" 6 (count "PE allocation");
+  check "segmentation rows" 2 (count "segmentation")
+
+let test_ablations_naive_parallelism_worse () =
+  (* The builder variant must beat (or tie) the naive variant on
+     throughput for every instance — the heuristic earns its keep. *)
+  let t = Lazy.force ablations in
+  let find variant instance =
+    List.find
+      (fun (r : Experiments.Ablations.row) ->
+        r.Experiments.Ablations.ablation = "parallelism selection"
+        && r.Experiments.Ablations.variant = variant
+        && r.Experiments.Ablations.instance = instance)
+      t.Experiments.Ablations.rows
+  in
+  List.iter
+    (fun instance ->
+      let b = find "builder" instance and n = find "naive square" instance in
+      checkb
+        (instance ^ " builder throughput >= naive")
+        true
+        (b.Experiments.Ablations.metrics.Mccm.Metrics.throughput_ips
+        >= n.Experiments.Ablations.metrics.Mccm.Metrics.throughput_ips
+           *. 0.999))
+    [ "Segmented/4"; "SegmentedRR/4"; "Hybrid/4" ]
+
+(* ------------------------------------------------------- Sensitivity *)
+
+let sensitivity = lazy (Experiments.Sensitivity.run ())
+
+let test_sensitivity_structure () =
+  let t = Lazy.force sensitivity in
+  check "three sweeps" 3 (List.length t.Experiments.Sensitivity.sweeps);
+  List.iter
+    (fun (s : Experiments.Sensitivity.sweep) ->
+      checkb (s.Experiments.Sensitivity.resource ^ " non-empty") true
+        (s.Experiments.Sensitivity.points <> []))
+    t.Experiments.Sensitivity.sweeps
+
+let test_sensitivity_bandwidth_monotone () =
+  (* For a fixed design, more bandwidth never increases latency. *)
+  let t = Lazy.force sensitivity in
+  let bw_sweep =
+    List.find
+      (fun (s : Experiments.Sensitivity.sweep) ->
+        s.Experiments.Sensitivity.resource = "bandwidth (GB/s)")
+      t.Experiments.Sensitivity.sweeps
+  in
+  List.iter
+    (fun instance ->
+      let series =
+        List.filter
+          (fun (p : Experiments.Sensitivity.point) ->
+            p.Experiments.Sensitivity.instance = instance)
+          bw_sweep.Experiments.Sensitivity.points
+        |> List.sort (fun (a : Experiments.Sensitivity.point) b ->
+               compare a.Experiments.Sensitivity.value
+                 b.Experiments.Sensitivity.value)
+      in
+      let rec non_increasing = function
+        | (a : Experiments.Sensitivity.point)
+          :: (b :: _ as rest) ->
+          a.Experiments.Sensitivity.metrics.Mccm.Metrics.latency_s
+          >= b.Experiments.Sensitivity.metrics.Mccm.Metrics.latency_s
+             *. 0.999
+          && non_increasing rest
+        | _ -> true
+      in
+      checkb (instance ^ " latency non-increasing in BW") true
+        (non_increasing series))
+    [ "Segmented/4"; "SegmentedRR/4"; "Hybrid/4" ]
+
+let test_sensitivity_stalls_fade_with_bandwidth () =
+  let t = Lazy.force sensitivity in
+  let bw_sweep =
+    List.find
+      (fun (s : Experiments.Sensitivity.sweep) ->
+        s.Experiments.Sensitivity.resource = "bandwidth (GB/s)")
+      t.Experiments.Sensitivity.sweeps
+  in
+  let stall instance value =
+    (List.find
+       (fun (p : Experiments.Sensitivity.point) ->
+         p.Experiments.Sensitivity.instance = instance
+         && p.Experiments.Sensitivity.value = value)
+       bw_sweep.Experiments.Sensitivity.points)
+      .Experiments.Sensitivity.stall_fraction
+  in
+  checkb "SegRR stalls at 1 GB/s" true (stall "SegmentedRR/4" 1.0 > 0.2);
+  checkb "SegRR stalls fade at 32 GB/s" true
+    (stall "SegmentedRR/4" 32.0 < stall "SegmentedRR/4" 1.0)
+
+(* ------------------------------------------------------ Setup tables *)
+
+let test_setup_tables_print () =
+  (* Smoke: both print without raising. *)
+  Experiments.Setup_tables.print_table2 ();
+  Experiments.Setup_tables.print_table3 ()
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "common",
+        [
+          Alcotest.test_case "sweep size" `Quick test_sweep_size_and_labels;
+          Alcotest.test_case "best_by" `Quick test_best_by_agrees_with_manual_scan;
+          Alcotest.test_case "instances of style" `Quick test_instances_of_style;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "structure" `Slow test_ablations_structure;
+          Alcotest.test_case "naive worse" `Slow
+            test_ablations_naive_parallelism_worse;
+        ] );
+      ( "sensitivity",
+        [
+          Alcotest.test_case "structure" `Slow test_sensitivity_structure;
+          Alcotest.test_case "bandwidth monotone" `Slow
+            test_sensitivity_bandwidth_monotone;
+          Alcotest.test_case "stalls fade" `Slow
+            test_sensitivity_stalls_fade_with_bandwidth;
+        ] );
+      ( "setup tables",
+        [ Alcotest.test_case "print" `Quick test_setup_tables_print ] );
+    ]

@@ -1,0 +1,99 @@
+(* Golden regression tests: the whole stack is deterministic, so exact
+   metric values of canonical configurations are pinned here.  A change
+   to any heuristic or equation implementation that shifts results shows
+   up as a diff in these numbers — update them deliberately, with the
+   corresponding EXPERIMENTS.md refresh, never accidentally. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let res50 = lazy (Cnn.Model_zoo.resnet50 ())
+
+let metrics ~board archi = Mccm.Evaluate.metrics (Lazy.force res50) board archi
+
+(* Latency/throughput are floats; pin them to 0.1% rather than bit-exact
+   so a change of float summation order does not count as a regression. *)
+let close name expected actual =
+  checkb
+    (Printf.sprintf "%s: %.6g within 0.1%% of %.6g" name actual expected)
+    true
+    (Float.abs (actual -. expected) <= 0.001 *. Float.abs expected)
+
+let test_golden_hybrid4_zc706 () =
+  let m =
+    metrics ~board:Platform.Board.zc706
+      (Arch.Baselines.hybrid ~ces:4 (Lazy.force res50))
+  in
+  close "latency" 77.190e-3 m.Mccm.Metrics.latency_s;
+  close "throughput" 23.08 m.Mccm.Metrics.throughput_ips;
+  check "accesses bytes" 126_218_624 (Mccm.Metrics.accesses_bytes m);
+  check "buffer bytes" 2_509_858 m.Mccm.Metrics.buffer_bytes
+
+let test_golden_segmented4_zcu102 () =
+  let m =
+    metrics ~board:Platform.Board.zcu102
+      (Arch.Baselines.segmented ~ces:4 (Lazy.force res50))
+  in
+  close "latency" 34.77e-3 m.Mccm.Metrics.latency_s;
+  checkb "feasible" true m.Mccm.Metrics.feasible
+
+let test_golden_segmented_rr2_zcu102 () =
+  let m =
+    metrics ~board:Platform.Board.zcu102
+      (Arch.Baselines.segmented_rr ~ces:2 (Lazy.force res50))
+  in
+  close "latency" 13.0957e-3 m.Mccm.Metrics.latency_s;
+  checkb "buffer near BRAM" true
+    (m.Mccm.Metrics.buffer_bytes
+    > Platform.Board.zcu102.Platform.Board.bram_bytes * 9 / 10)
+
+let test_golden_notation () =
+  Alcotest.(check string)
+    "segmented/4 notation"
+    "{L1-L13:CE1, L14-L26:CE2, L27-L40:CE3, L41-L53:CE4}"
+    (Arch.Notation.to_string
+       (Arch.Baselines.segmented ~ces:4 (Lazy.force res50)))
+
+let test_golden_space_sizes () =
+  (* Custom-space sizes are pure combinatorics; pin them exactly. *)
+  (* 53 layers, 3 CEs: (f=1,s=2) C(51,1)=51 + (f=2,s=1) 1 = 52. *)
+  Alcotest.(check (float 0.0))
+    "Res50 ces=3" 52.0
+    (Dse.Space.designs_for_ce_count ~num_layers:53 ~ces:3);
+  Alcotest.(check (float 1e7))
+    "XCp total 2-11" 1.1234e11
+    (Dse.Space.total_designs ~num_layers:74
+       ~ce_counts:(List.init 10 (fun i -> i + 2)))
+
+let test_golden_dse_sample () =
+  (* The first feasible design drawn with the default seed is pinned. *)
+  let r =
+    Dse.Explore.run ~seed:42L ~samples:10 (Lazy.force res50)
+      Platform.Board.zcu102
+  in
+  match r.Dse.Explore.evaluated with
+  | e :: _ ->
+    checkb "first spec stable" true
+      (e.Dse.Explore.spec.Arch.Custom.pipelined_layers >= 1);
+    check "all ten feasible" 10 (List.length r.Dse.Explore.evaluated)
+  | [] -> Alcotest.fail "no designs"
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "Hybrid/4 on ZC706" `Quick
+            test_golden_hybrid4_zc706;
+          Alcotest.test_case "Segmented/4 on ZCU102" `Quick
+            test_golden_segmented4_zcu102;
+          Alcotest.test_case "SegmentedRR/2 on ZCU102" `Quick
+            test_golden_segmented_rr2_zcu102;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "notation" `Quick test_golden_notation;
+          Alcotest.test_case "space sizes" `Quick test_golden_space_sizes;
+          Alcotest.test_case "dse sample" `Quick test_golden_dse_sample;
+        ] );
+    ]

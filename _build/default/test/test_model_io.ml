@@ -1,0 +1,187 @@
+(* Tests for the textual CNN model format. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let tiny =
+  {|
+# a comment
+cnn TinyNet Tny
+input 3x32x32
+conv 16 k=3 s=1
+dw k=3 s=2
+pw 32
+pw 32 extra=16384
+pool s=2
+fc 10
+|}
+
+let parse_ok text =
+  match Cnn.Model_io.of_string text with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_parse_tiny () =
+  let m = parse_ok tiny in
+  Alcotest.(check string) "name" "TinyNet" m.Cnn.Model.name;
+  Alcotest.(check string) "abbrev" "Tny" m.Cnn.Model.abbreviation;
+  check "5 layers" 5 (Cnn.Model.num_layers m);
+  let l0 = Cnn.Model.layer m 0 in
+  checkb "conv kind" true (l0.Cnn.Layer.kind = Cnn.Layer.Standard);
+  check "out channels" 16 l0.Cnn.Layer.out_channels;
+  let l1 = Cnn.Model.layer m 1 in
+  checkb "dw kind" true (l1.Cnn.Layer.kind = Cnn.Layer.Depthwise);
+  check "dw stride" 2 l1.Cnn.Layer.stride;
+  let l3 = Cnn.Model.layer m 3 in
+  check "extra" 16384 l3.Cnn.Layer.extra_resident_elements;
+  let l4 = Cnn.Model.layer m 4 in
+  checkb "fc kind" true (l4.Cnn.Layer.kind = Cnn.Layer.Fully_connected);
+  (* fc sees the flattened, pooled feature map. *)
+  check "fc input flattened" 1 l4.Cnn.Layer.in_shape.Cnn.Shape.height
+
+let test_parse_shapes_chain () =
+  let m = parse_ok tiny in
+  (* input 32x32 -> conv (same) 32 -> dw s2 -> 16 -> pw 16 -> pool -> 8. *)
+  let l3 = Cnn.Model.layer m 3 in
+  check "pw at 16x16" 16 l3.Cnn.Layer.in_shape.Cnn.Shape.height
+
+let test_parse_branch_from () =
+  let m =
+    parse_ok
+      {|
+cnn Branchy Br
+input 8x16x16
+conv 16 s=2 k=1 name=proj
+conv 8 k=3 name=c1 from=8x16x16
+|}
+  in
+  let c1 = Cnn.Model.layer m 1 in
+  (* from= reads the explicit shape, not proj's output. *)
+  check "branch input height" 16 c1.Cnn.Layer.in_shape.Cnn.Shape.height;
+  check "branch input channels" 8 c1.Cnn.Layer.in_shape.Cnn.Shape.channels
+
+let test_parse_set () =
+  let m =
+    parse_ok
+      {|
+cnn Setty St
+input 3x8x8
+conv 4
+set 12x8x8
+pw 6
+|}
+  in
+  check "set channels" 12
+    (Cnn.Model.layer m 1).Cnn.Layer.in_shape.Cnn.Shape.channels
+
+let test_parse_errors () =
+  let bad text expect_fragment =
+    match Cnn.Model_io.of_string text with
+    | Ok _ -> Alcotest.failf "expected failure for %s" expect_fragment
+    | Error e ->
+      let contains =
+        let n = String.length expect_fragment and h = String.length e in
+        let rec go i =
+          i + n <= h && (String.sub e i n = expect_fragment || go (i + 1))
+        in
+        go 0
+      in
+      checkb (Printf.sprintf "error mentions %s: %s" expect_fragment e) true
+        contains
+  in
+  bad "input 3x8x8\nconv 4\n" "header";
+  bad "cnn X Y\nconv 4\n" "before 'input'";
+  bad "cnn X Y\ninput 3x8x8\nwobble 4\n" "unknown keyword";
+  bad "cnn X Y\ninput 3x8\nconv 4\n" "malformed shape";
+  bad "cnn X Y\ninput 3x8x8\ndw 4\n" "no output-channel";
+  bad "cnn X Y\ninput 3x8x8\nconv banana\n" "malformed output channels";
+  bad "cnn X Y\ninput 3x8x8\n" "no layers"
+
+let test_round_trip_zoo () =
+  List.iter
+    (fun m ->
+      let text = Cnn.Model_io.to_string m in
+      match Cnn.Model_io.of_string text with
+      | Error e -> Alcotest.failf "%s: %s" m.Cnn.Model.name e
+      | Ok m' ->
+        check
+          (m.Cnn.Model.name ^ " layers")
+          (Cnn.Model.num_layers m) (Cnn.Model.num_layers m');
+        check
+          (m.Cnn.Model.name ^ " weights")
+          (Cnn.Model.total_weights m)
+          (Cnn.Model.total_weights m');
+        check (m.Cnn.Model.name ^ " macs") (Cnn.Model.total_macs m)
+          (Cnn.Model.total_macs m');
+        List.iter2
+          (fun (a : Cnn.Layer.t) (b : Cnn.Layer.t) ->
+            checkb "same in_shape" true
+              (Cnn.Shape.equal a.Cnn.Layer.in_shape b.Cnn.Layer.in_shape);
+            checkb "same kind" true (a.Cnn.Layer.kind = b.Cnn.Layer.kind);
+            check "same extra" a.Cnn.Layer.extra_resident_elements
+              b.Cnn.Layer.extra_resident_elements)
+          (Cnn.Model.layers_in_range m ~first:0
+             ~last:(Cnn.Model.num_layers m - 1))
+          (Cnn.Model.layers_in_range m' ~first:0
+             ~last:(Cnn.Model.num_layers m' - 1)))
+    (Cnn.Model_zoo.extended ())
+
+let test_load_file_missing () =
+  checkb "missing file" true
+    (Result.is_error (Cnn.Model_io.load_file "/nonexistent/model.cnn"))
+
+let test_extended_zoo () =
+  check "8 models" 8 (List.length (Cnn.Model_zoo.extended ()));
+  let vgg = Cnn.Model_zoo.vgg16 () in
+  check "VGG16 layers" 13 (Cnn.Model.num_layers vgg);
+  (* Published conv weights: ~14.7M. *)
+  checkb "VGG16 weights ballpark" true
+    (Cnn.Model.total_weights vgg > 14_500_000
+    && Cnn.Model.total_weights vgg < 15_000_000);
+  (* Published conv MACs: ~15.3G. *)
+  checkb "VGG16 MACs ballpark" true
+    (Cnn.Model.total_macs vgg > 15_000_000_000
+    && Cnn.Model.total_macs vgg < 15_800_000_000);
+  let eff = Cnn.Model_zoo.efficientnet_b0 () in
+  let mnas = Cnn.Model_zoo.mnasnet_a1 () in
+  check "EffB0 layers" 49 (Cnn.Model.num_layers eff);
+  check "MnasA1 layers" 49 (Cnn.Model.num_layers mnas);
+  (* Published MAC counts: ~390M and ~312M. *)
+  checkb "EffB0 MACs ballpark" true
+    (Cnn.Model.total_macs eff > 360_000_000
+    && Cnn.Model.total_macs eff < 410_000_000);
+  checkb "MnasA1 MACs ballpark" true
+    (Cnn.Model.total_macs mnas > 290_000_000
+    && Cnn.Model.total_macs mnas < 330_000_000);
+  checkb "lookup EffB0" true (Cnn.Model_zoo.by_abbreviation "effb0" <> None)
+
+(* A parsed custom model must flow through the whole methodology. *)
+let test_custom_model_end_to_end () =
+  let m = parse_ok tiny in
+  let archi = Arch.Baselines.segmented_rr ~ces:2 m in
+  let metrics = Mccm.Evaluate.metrics m Platform.Board.zc706 archi in
+  checkb "feasible" true metrics.Mccm.Metrics.feasible;
+  checkb "positive throughput" true (metrics.Mccm.Metrics.throughput_ips > 0.0)
+
+let () =
+  Alcotest.run "model_io"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "tiny model" `Quick test_parse_tiny;
+          Alcotest.test_case "shape chain" `Quick test_parse_shapes_chain;
+          Alcotest.test_case "branch from=" `Quick test_parse_branch_from;
+          Alcotest.test_case "set" `Quick test_parse_set;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "round-trip",
+        [
+          Alcotest.test_case "zoo models" `Quick test_round_trip_zoo;
+          Alcotest.test_case "missing file" `Quick test_load_file_missing;
+        ] );
+      ( "extended zoo",
+        [
+          Alcotest.test_case "models" `Quick test_extended_zoo;
+          Alcotest.test_case "end to end" `Quick test_custom_model_end_to_end;
+        ] );
+    ]

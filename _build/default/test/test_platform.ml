@@ -1,0 +1,69 @@
+(* Tests for the FPGA platform descriptions (paper Table II). *)
+
+let check = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-6))
+let checkb = Alcotest.(check bool)
+
+let test_table2_values () =
+  check "ZC706 DSPs" 900 Platform.Board.zc706.Platform.Board.dsps;
+  check "VCU108 DSPs" 768 Platform.Board.vcu108.Platform.Board.dsps;
+  check "VCU110 DSPs" 1800 Platform.Board.vcu110.Platform.Board.dsps;
+  check "ZCU102 DSPs" 2520 Platform.Board.zcu102.Platform.Board.dsps;
+  checkf "ZC706 BRAM MiB" 2.4
+    (Util.Units.mib_of_bytes Platform.Board.zc706.Platform.Board.bram_bytes);
+  checkf "ZCU102 BRAM MiB" 16.6
+    (Util.Units.mib_of_bytes Platform.Board.zcu102.Platform.Board.bram_bytes);
+  checkf "ZC706 BW" 3.2e9
+    Platform.Board.zc706.Platform.Board.bandwidth_bytes_per_sec;
+  checkf "VCU110 BW" 19.2e9
+    Platform.Board.vcu110.Platform.Board.bandwidth_bytes_per_sec
+
+let test_all_and_lookup () =
+  check "four boards" 4 (List.length Platform.Board.all);
+  checkb "lookup zcu102" true (Platform.Board.by_name "zcu102" <> None);
+  checkb "lookup ZC706" true (Platform.Board.by_name "ZC706" <> None);
+  checkb "lookup unknown" true (Platform.Board.by_name "zc999" = None)
+
+let test_conversions () =
+  let b = Platform.Board.zc706 in
+  (* 200 MHz default clock: 200e6 cycles is one second. *)
+  checkf "cycles to seconds" 1.0
+    (Platform.Board.cycles_to_seconds b 200_000_000);
+  (* 3.2 GB/s: 3.2e9 bytes in one second. *)
+  checkf "bytes to seconds" 1.0
+    (Platform.Board.bytes_to_seconds b 3_200_000_000)
+
+let test_custom_board () =
+  let b =
+    Platform.Board.v ~name:"X" ~dsps:100 ~bram_mib:1.0
+      ~bandwidth_gb_per_sec:10.0 ~clock_mhz:100.0 ~bytes_per_element:1 ()
+  in
+  check "bpe" 1 b.Platform.Board.bytes_per_element;
+  checkf "clock" 1e8 b.Platform.Board.clock_hz
+
+let test_invalid_board () =
+  Alcotest.check_raises "no DSPs"
+    (Invalid_argument "Board.v: non-positive DSP count") (fun () ->
+      ignore
+        (Platform.Board.v ~name:"X" ~dsps:0 ~bram_mib:1.0
+           ~bandwidth_gb_per_sec:1.0 ()))
+
+let test_default_element_size () =
+  (* 16-bit fixed point, matching the baseline accelerators. *)
+  List.iter
+    (fun b -> check "2 bytes" 2 b.Platform.Board.bytes_per_element)
+    Platform.Board.all
+
+let () =
+  Alcotest.run "platform"
+    [
+      ( "board",
+        [
+          Alcotest.test_case "Table II values" `Quick test_table2_values;
+          Alcotest.test_case "all and lookup" `Quick test_all_and_lookup;
+          Alcotest.test_case "conversions" `Quick test_conversions;
+          Alcotest.test_case "custom board" `Quick test_custom_board;
+          Alcotest.test_case "invalid board" `Quick test_invalid_board;
+          Alcotest.test_case "element size" `Quick test_default_element_size;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+(* Tests for accuracy computation (Eq. 10), normalisation, the tie rule
+   and scatter rendering. *)
+
+let checkf = Alcotest.(check (float 1e-9))
+let checkb = Alcotest.(check bool)
+
+let test_accuracy_eq10 () =
+  checkf "perfect" 100.0 (Report.Accuracy.accuracy ~reference:10.0 ~estimated:10.0);
+  checkf "10% off" 90.0 (Report.Accuracy.accuracy ~reference:10.0 ~estimated:9.0);
+  checkf "over-estimate symmetric" 90.0
+    (Report.Accuracy.accuracy ~reference:10.0 ~estimated:11.0);
+  checkf "200% off goes negative" (-100.0)
+    (Report.Accuracy.accuracy ~reference:10.0 ~estimated:30.0)
+
+let test_accuracy_zero_reference () =
+  Alcotest.check_raises "zero" (Invalid_argument "Accuracy.accuracy: zero reference")
+    (fun () -> ignore (Report.Accuracy.accuracy ~reference:0.0 ~estimated:1.0))
+
+let test_summarize () =
+  let s = Report.Accuracy.summarize [ 80.0; 90.0; 100.0 ] in
+  checkf "max" 100.0 s.Report.Accuracy.max;
+  checkf "min" 80.0 s.Report.Accuracy.min;
+  checkf "avg" 90.0 s.Report.Accuracy.average
+
+let test_compare_metrics () =
+  let m latency =
+    {
+      Mccm.Metrics.latency_s = latency;
+      throughput_ips = 1.0 /. latency;
+      buffer_bytes = 1000;
+      accesses = Mccm.Access.weights 500;
+      feasible = true;
+    }
+  in
+  let c = Report.Accuracy.compare_metrics ~reference:(m 1.0) ~estimated:(m 0.9) in
+  checkf "latency 90%" 90.0 c.Report.Accuracy.latency;
+  checkf "accesses exact" 100.0 c.Report.Accuracy.accesses
+
+let test_normalize_lower_better () =
+  Alcotest.(check (list (float 1e-9)))
+    "to best" [ 1.0; 2.0; 4.0 ]
+    (Report.Normalize.to_best ~higher_is_better:false [ 2.0; 4.0; 8.0 ])
+
+let test_normalize_higher_better () =
+  Alcotest.(check (list (float 1e-9)))
+    "inverted ratios" [ 4.0; 2.0; 1.0 ]
+    (Report.Normalize.to_best ~higher_is_better:true [ 2.0; 4.0; 8.0 ])
+
+let test_tie_rule () =
+  checkb "within 10%" true (Report.Normalize.within_tie ~best:1.0 1.09);
+  checkb "outside 10%" false (Report.Normalize.within_tie ~best:1.0 1.11)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_scatter_renders () =
+  let s =
+    Report.Scatter.render ~x_label:"x" ~y_label:"y"
+      [
+        { Report.Scatter.name = "a"; marker = '*';
+          points = [ (1.0, 1.0); (2.0, 3.0) ] };
+        { Report.Scatter.name = "b"; marker = 'o'; points = [ (1.5, 2.0) ] };
+      ]
+  in
+  checkb "has markers" true (contains s "*" && contains s "o");
+  checkb "has legend" true (contains s "* = a" && contains s "o = b")
+
+let test_scatter_log () =
+  let s =
+    Report.Scatter.render ~log_y:true ~x_label:"x" ~y_label:"y"
+      [ { Report.Scatter.name = "a"; marker = '*';
+          points = [ (1.0, 1.0); (2.0, 1000.0) ] } ]
+  in
+  checkb "renders" true (String.length s > 0)
+
+let test_scatter_empty () =
+  Alcotest.check_raises "no points" (Invalid_argument "Scatter.render: no points")
+    (fun () ->
+      ignore
+        (Report.Scatter.render ~x_label:"x" ~y_label:"y"
+           [ { Report.Scatter.name = "a"; marker = '*'; points = [] } ]))
+
+let prop_accuracy_bounded_above =
+  QCheck2.Test.make ~name:"accuracy never exceeds 100"
+    QCheck2.Gen.(pair (float_range 0.1 100.0) (float_range 0.0 200.0))
+    (fun (r, e) -> Report.Accuracy.accuracy ~reference:r ~estimated:e <= 100.0)
+
+let prop_normalize_best_is_one =
+  QCheck2.Test.make ~name:"normalised best is exactly 1"
+    QCheck2.Gen.(list_size (int_range 1 10) (float_range 0.1 100.0))
+    (fun vs ->
+      let n = Report.Normalize.to_best ~higher_is_better:false vs in
+      List.exists (fun v -> Float.abs (v -. 1.0) < 1e-9) n
+      && List.for_all (fun v -> v >= 1.0 -. 1e-9) n)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_accuracy_bounded_above; prop_normalize_best_is_one ]
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "accuracy",
+        [
+          Alcotest.test_case "Eq. 10" `Quick test_accuracy_eq10;
+          Alcotest.test_case "zero reference" `Quick test_accuracy_zero_reference;
+          Alcotest.test_case "summarize" `Quick test_summarize;
+          Alcotest.test_case "compare metrics" `Quick test_compare_metrics;
+        ] );
+      ( "normalize",
+        [
+          Alcotest.test_case "lower better" `Quick test_normalize_lower_better;
+          Alcotest.test_case "higher better" `Quick test_normalize_higher_better;
+          Alcotest.test_case "tie rule" `Quick test_tie_rule;
+        ] );
+      ( "scatter",
+        [
+          Alcotest.test_case "renders" `Quick test_scatter_renders;
+          Alcotest.test_case "log scale" `Quick test_scatter_log;
+          Alcotest.test_case "empty" `Quick test_scatter_empty;
+        ] );
+      ("properties", properties);
+    ]

@@ -1,0 +1,4 @@
+(* Tiny shared helper for builder tests. *)
+
+let assignment () =
+  Builder.Workload.pipelined_assignment ~ces:3 ~first:0 ~last:6
