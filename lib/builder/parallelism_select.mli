@@ -1,0 +1,25 @@
+(** Unroll-degree (parallelism) selection for a compute engine.
+
+    MCCM engines unroll three loop dimensions (paper Section II-B):
+    filters (or channels for depthwise-dominated engines), OFM height
+    and OFM width.  Unroll degrees are kept 7-smooth — every prime
+    factor is at most 7 — matching the divisor structure of real CNN
+    loop extents so that ceil-division waste stays low. *)
+
+val smooth_degree : int -> int
+(** [smooth_degree n] is the largest 7-smooth number that is at most
+    [n], or 1 when [n < 1]. *)
+
+val choose : pes:int -> layers:Cnn.Layer.t list -> Engine.Parallelism.t
+(** [choose ~pes ~layers] picks a 3-D parallelism whose total degree is
+    at most [pes], minimising the summed Eq.-1 cycle count of [layers].
+
+    The unrolled dimensions are (Filters, Height, Width) unless the
+    layer list is dominated by depthwise MACs, in which case
+    (Channels, Height, Width) is unrolled instead — depthwise layers
+    have a filter extent of 1, so filter unrolling would leave the
+    engine idle.  Ties prefer a larger first-dimension factor, then a
+    larger height factor.  Returns {!Engine.Parallelism.scalar} for an
+    empty layer list.
+
+    @raise Invalid_argument if [pes < 1]. *)

@@ -1,0 +1,35 @@
+let distribute ~budget ~workloads =
+  let n = Array.length workloads in
+  if n = 0 then [||]
+  else begin
+    if budget < n then
+      invalid_arg
+        (Printf.sprintf
+           "Pe_allocation.distribute: budget %d cannot give %d engines a PE"
+           budget n);
+    Array.iter
+      (fun w ->
+        if w < 0 then
+          invalid_arg "Pe_allocation.distribute: negative workload")
+      workloads;
+    let total = Array.fold_left ( + ) 0 workloads in
+    let weights = if total = 0 then Array.make n 1 else workloads in
+    let wsum = Array.fold_left ( + ) 0 weights in
+    (* Floor of one PE per engine, then proportional shares of the rest. *)
+    let spare = budget - n in
+    let extra = Array.map (fun w -> spare * w / wsum) weights in
+    let leftover = spare - Array.fold_left ( + ) 0 extra in
+    let idx = Array.init n Fun.id in
+    let remainder i = (spare * weights.(i)) - (extra.(i) * wsum) in
+    Array.sort
+      (fun a b ->
+        match compare (remainder b) (remainder a) with
+        | 0 -> compare a b
+        | c -> c)
+      idx;
+    for k = 0 to leftover - 1 do
+      let i = idx.(k) in
+      extra.(i) <- extra.(i) + 1
+    done;
+    Array.map (fun e -> 1 + e) extra
+  end

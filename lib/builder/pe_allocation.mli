@@ -1,0 +1,17 @@
+(** Distribution of the board's PE (DSP) budget across compute engines. *)
+
+val distribute : budget:int -> workloads:int array -> int array
+(** [distribute ~budget ~workloads] splits [budget] PEs over
+    [Array.length workloads] engines proportionally to each engine's
+    workload (MACs or cycle estimate), with two invariants:
+
+    - every engine receives at least one PE;
+    - the allocations sum to exactly [budget].
+
+    The fractional shares left after the proportional floor are handed
+    out by largest remainder, so the result is deterministic.  An
+    all-zero workload array is treated as uniform.
+
+    @raise Invalid_argument if [budget < Array.length workloads] (the
+    budget cannot give every engine a PE) or if any workload is
+    negative. *)

@@ -1,0 +1,7 @@
+let pipelined_assignment ~ces ~first ~last =
+  if ces < 1 then invalid_arg "Workload.pipelined_assignment: ces < 1";
+  if last < first then
+    invalid_arg "Workload.pipelined_assignment: empty layer range";
+  Array.init ces (fun s ->
+      let rec collect i = if i > last then [] else i :: collect (i + ces) in
+      collect (first + s))

@@ -1,0 +1,9 @@
+(** Layer-to-engine assignment inside a pipelined block. *)
+
+val pipelined_assignment : ces:int -> first:int -> last:int -> int list array
+(** [pipelined_assignment ~ces ~first ~last] assigns the layer indices
+    [first..last] to [ces] engines round-robin: engine slot [s] runs
+    layers [first+s, first+s+ces, first+s+2*ces, ...].  Slot lists are
+    in ascending layer order; slots beyond the layer count are empty.
+
+    @raise Invalid_argument if [ces < 1] or [last < first]. *)

@@ -294,7 +294,42 @@ let prop_pe_distribution =
       let pes = Builder.Pe_allocation.distribute ~budget ~workloads in
       Array.fold_left ( + ) 0 pes = budget && Array.for_all (fun p -> p >= 1) pes)
 
-let properties = List.map QCheck_alcotest.to_alcotest [ prop_pe_distribution ]
+let prop_ifm_rows_monotone =
+  QCheck2.Test.make ~name:"IFM rows monotone in OFM rows, never below kernel"
+    QCheck2.Gen.(
+      triple (int_range 0 52) (int_range 1 112) (int_range 1 112))
+    (fun (li, r1, r2) ->
+      let l = Cnn.Model.layer res50 li in
+      let lo = min r1 r2 and hi = max r1 r2 in
+      let a = Builder.Tiling.ifm_rows_for_ofm_rows l ~rows:lo in
+      let b = Builder.Tiling.ifm_rows_for_ofm_rows l ~rows:hi in
+      a <= b && a >= l.Cnn.Layer.kernel)
+
+let prop_row_tiles_roundtrip =
+  QCheck2.Test.make ~name:"tile_rows for n tiles never yields more than n"
+    QCheck2.Gen.(pair (int_range 0 52) (int_range 1 200))
+    (fun (li, n) ->
+      let l = Cnn.Model.layer res50 li in
+      Builder.Tiling.num_row_tiles l ~rows:(Builder.Tiling.tile_rows l ~tiles:n)
+      <= n)
+
+let prop_producer_tile_range =
+  QCheck2.Test.make ~name:"producer tile stays in range"
+    QCheck2.Gen.(
+      triple (int_range 1 64) (int_range 1 64) (int_range 0 63))
+    (fun (pt, ct, t) ->
+      QCheck2.assume (t < ct);
+      let p =
+        Builder.Tiling.producer_tile ~producer_tiles:pt ~consumer_tiles:ct t
+      in
+      0 <= p && p < pt)
+
+let properties =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_pe_distribution; prop_ifm_rows_monotone; prop_row_tiles_roundtrip;
+      prop_producer_tile_range;
+    ]
 
 let () =
   Alcotest.run "builder"

@@ -24,17 +24,17 @@ let test_golden_hybrid4_zc706 () =
     metrics ~board:Platform.Board.zc706
       (Arch.Baselines.hybrid ~ces:4 (Lazy.force res50))
   in
-  close "latency" 77.190e-3 m.Mccm.Metrics.latency_s;
-  close "throughput" 23.08 m.Mccm.Metrics.throughput_ips;
-  check "accesses bytes" 126_218_624 (Mccm.Metrics.accesses_bytes m);
-  check "buffer bytes" 2_509_858 m.Mccm.Metrics.buffer_bytes
+  close "latency" 54.4192e-3 m.Mccm.Metrics.latency_s;
+  close "throughput" 32.8298 m.Mccm.Metrics.throughput_ips;
+  check "accesses bytes" 58_651_008 (Mccm.Metrics.accesses_bytes m);
+  check "buffer bytes" 2_515_054 m.Mccm.Metrics.buffer_bytes
 
 let test_golden_segmented4_zcu102 () =
   let m =
     metrics ~board:Platform.Board.zcu102
       (Arch.Baselines.segmented ~ces:4 (Lazy.force res50))
   in
-  close "latency" 34.77e-3 m.Mccm.Metrics.latency_s;
+  close "latency" 34.3046e-3 m.Mccm.Metrics.latency_s;
   checkb "feasible" true m.Mccm.Metrics.feasible
 
 let test_golden_segmented_rr2_zcu102 () =
@@ -42,7 +42,7 @@ let test_golden_segmented_rr2_zcu102 () =
     metrics ~board:Platform.Board.zcu102
       (Arch.Baselines.segmented_rr ~ces:2 (Lazy.force res50))
   in
-  close "latency" 13.0957e-3 m.Mccm.Metrics.latency_s;
+  close "latency" 12.6451e-3 m.Mccm.Metrics.latency_s;
   checkb "buffer near BRAM" true
     (m.Mccm.Metrics.buffer_bytes
     > Platform.Board.zcu102.Platform.Board.bram_bytes * 9 / 10)
