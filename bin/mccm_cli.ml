@@ -1,11 +1,12 @@
 (* mccm: command-line front-end to the MCCM evaluation methodology.
 
    Subcommands:
-     eval     evaluate one accelerator (baseline name or paper notation)
-     sweep    evaluate all baseline instances on a (CNN, board) pair
-     explore  random design-space exploration of custom accelerators
-     models   list the CNN model zoo
-     boards   list the FPGA boards *)
+     eval      evaluate one accelerator (baseline name or paper notation)
+     sweep     evaluate all baseline instances on a (CNN, board) pair
+     explore   random design-space exploration of custom accelerators
+     validate  differential model-vs-simulator validation sweep
+     models    list the CNN model zoo
+     boards    list the FPGA boards *)
 
 open Cmdliner
 
@@ -239,6 +240,81 @@ let explore_cmd =
       const run $ model_arg $ board_arg $ samples_arg $ seed_arg
       $ domains_arg)
 
+(* --------------------------------------------------------- validate *)
+
+let validate_cmd =
+  let samples_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "n"; "samples" ] ~docv:"N"
+          ~doc:"Number of random (CNN, board, architecture) cases to check.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (runs are deterministic).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "domains" ] ~docv:"N"
+          ~doc:
+            "Parallel OCaml domains to spread the sweep over (the verdicts \
+             are identical for every N).")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"PATH"
+          ~doc:
+            "Regression corpus to replay before the random sweep (see \
+             test/corpus/validate.corpus).")
+  in
+  let update_arg =
+    Arg.(
+      value & flag
+      & info [ "update-corpus" ]
+          ~doc:
+            "Append newly found (shrunk) counterexamples to the corpus \
+             file, so they replay on every future run.")
+  in
+  let run samples seed domains corpus update =
+    let t =
+      Validate.Sweep.run ~samples ~seed:(Int64.of_int seed) ~domains ?corpus ()
+    in
+    Format.printf "%a@." Validate.Sweep.pp t;
+    if Validate.Sweep.ok t then 0
+    else begin
+      (match (update, corpus) with
+      | true, Some path ->
+        List.iter
+          (fun (f : Validate.Sweep.failure) ->
+            let v =
+              Option.value f.Validate.Sweep.shrunk
+                ~default:f.Validate.Sweep.verdict
+            in
+            Validate.Corpus.append path v.Validate.Oracle.case)
+          t.Validate.Sweep.failures;
+        Format.printf "appended %d counterexample(s) to %s@."
+          (List.length t.Validate.Sweep.failures)
+          path
+      | true, None ->
+        Format.eprintf "--update-corpus needs --corpus PATH@."
+      | false, _ -> ());
+      1
+    end
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Differential validation: cross-check the analytical model \
+          against the simulator on randomized cases, with metamorphic \
+          invariants and counterexample shrinking.")
+    Term.(
+      const run $ samples_arg $ seed_arg $ domains_arg $ corpus_arg
+      $ update_arg)
+
 (* ----------------------------------------------------------- layers *)
 
 let layers_cmd =
@@ -466,5 +542,5 @@ let () =
   let doc = "Analytical cost model for multiple compute-engine CNN accelerators" in
   let info = Cmd.info "mccm" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
-          [ eval_cmd; sweep_cmd; explore_cmd; compress_cmd; refine_cmd;
-            layers_cmd; trace_cmd; models_cmd; boards_cmd ]))
+          [ eval_cmd; sweep_cmd; explore_cmd; validate_cmd; compress_cmd;
+            refine_cmd; layers_cmd; trace_cmd; models_cmd; boards_cmd ]))

@@ -14,13 +14,12 @@ let point (e : evaluated) =
     objective_down = float_of_int e.metrics.Mccm.Metrics.buffer_bytes;
   }
 
-(* One worker's share of the sweep: its own PRNG stream, its own chunk. *)
-let run_chunk ~seed ~ce_counts ~samples model board =
-  let rng = Util.Prng.create ~seed in
-  let num_layers = Cnn.Model.num_layers model in
+(* Evaluate a contiguous slice of the pre-drawn spec array, keeping
+   evaluation order. *)
+let eval_slice ~specs ~lo ~hi model board =
   let evaluated = ref [] in
-  for _ = 1 to samples do
-    let spec = Space.random_spec rng ~num_layers ~ce_counts in
+  for i = lo to hi - 1 do
+    let spec = specs.(i) in
     let archi = Arch.Custom.arch_of_spec model spec in
     let metrics = Mccm.Evaluate.metrics model board archi in
     if metrics.Mccm.Metrics.feasible then
@@ -36,21 +35,25 @@ let run ?(seed = 42L) ?(ce_counts = Arch.Baselines.default_ce_counts)
      synchronises all domains); clamp to what the runtime recommends. *)
   let domains = min domains (Domain.recommended_domain_count ()) in
   let started = Unix.gettimeofday () in
+  (* Sampling is decoupled from evaluation: the whole design set is drawn
+     up front from one PRNG stream, so the sampled set — and hence the
+     result — depends only on [seed], never on how many domains evaluate
+     it (evaluation itself is pure). *)
+  let specs =
+    let rng = Util.Prng.create ~seed in
+    let num_layers = Cnn.Model.num_layers model in
+    Array.init samples (fun _ -> Space.random_spec rng ~num_layers ~ce_counts)
+  in
   let evaluated =
-    if domains = 1 then run_chunk ~seed ~ce_counts ~samples model board
+    if domains = 1 then eval_slice ~specs ~lo:0 ~hi:samples model board
     else begin
-      (* Split samples across domains; derive per-domain seeds so the
-         result is a deterministic function of (seed, domains). *)
+      (* Contiguous slices per domain, concatenated back in order. *)
       let per = samples / domains and rem = samples mod domains in
-      let chunk i = per + if i < rem then 1 else 0 in
+      let bound i = (i * per) + min i rem in
       let spawned =
         List.init domains (fun i ->
-            let seed_i =
-              if i = 0 then seed
-              else Int64.add seed (Int64.of_int (0x9E37 * i))
-            in
             Domain.spawn (fun () ->
-                run_chunk ~seed:seed_i ~ce_counts ~samples:(chunk i) model
+                eval_slice ~specs ~lo:(bound i) ~hi:(bound (i + 1)) model
                   board))
       in
       List.concat_map Domain.join spawned

@@ -29,14 +29,12 @@ val run :
     and fixed [domains].
 
     [domains] (default 1) spreads the evaluation over that many parallel
-    OCaml domains; each domain draws from its own seed derived from
-    [seed], so a given [(seed, domains, samples)] triple always yields
-    the same design set, and [domains = 1] reproduces the sequential
-    stream exactly.  The value is clamped to
-    [Domain.recommended_domain_count ()] — oversubscribing cores only
-    adds garbage-collector synchronisation — so the effective domain
-    count (and hence the sampled set) can differ on machines with fewer
-    cores than requested. *)
+    OCaml domains.  The whole design set is drawn from a single PRNG
+    stream before any evaluation starts, so a given [(seed, samples)]
+    pair yields the same designs — and the same result, in the same
+    order — for every domain count.  The value is clamped to
+    [Domain.recommended_domain_count ()]; oversubscribing cores only
+    adds garbage-collector synchronisation. *)
 
 val improvement_over :
   result -> reference:Mccm.Metrics.t -> (float * float) option

@@ -17,6 +17,13 @@ type t = {
 
 let underutilization s = 1.0 -. s.utilization
 
+let memory_bound s = s.memory_s > s.compute_s
+
+let memory_bound_count t =
+  List.length (List.filter memory_bound t.segments)
+
+let segment_times t = List.map (fun s -> s.time_s) t.segments
+
 let of_segments (segments : segment list) =
   let accesses =
     Access.sum (List.map (fun (s : segment) -> s.accesses) segments)

@@ -29,6 +29,18 @@ type t = {
 val underutilization : segment -> float
 (** [1 - utilization]: the quantity Fig. 9b plots. *)
 
+val memory_bound : segment -> bool
+(** True when the segment's transfer time exceeds its compute time — the
+    paper's criterion for where compression (and more bandwidth) pays. *)
+
+val memory_bound_count : t -> int
+(** Number of memory-bound segments; the quantity the differential
+    validator's bandwidth-monotonicity law tracks. *)
+
+val segment_times : t -> float list
+(** Per-segment execution times in execution order, for per-segment
+    comparison against a reference. *)
+
 val of_segments : segment list -> t
 (** Aggregates totals and the stall fraction from per-segment data. *)
 

@@ -16,12 +16,15 @@ type result = {
   utilization : float;
 }
 
-(* Eq. 6 for one layer.  [ifm_in_cap] is true when the IFM occupies this
-   block's FM capacity (it was produced by the previous layer); when the
-   IFM sits in an inter-segment buffer it is on-chip but costs no
-   capacity.  [ofm_to_interseg] likewise frees the OFM from the
-   capacity.  *)
-let layer_accesses ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
+(* Eq. 6 for one layer, as a set of legal buffering decisions rather
+   than a single greedy pick.  Each candidate is [(accesses, stays)]:
+   the off-chip traffic the decision costs and whether it leaves the
+   OFM resident for the next layer.  [ifm_in_cap] is true when the IFM
+   occupies this block's FM capacity (it was produced by the previous
+   layer); when the IFM sits in an inter-segment buffer it is on-chip
+   but costs no capacity.  [ofm_to_interseg] frees the OFM from the
+   capacity and forbids spilling it. *)
+let layer_candidates ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
     ~ofm_to_interseg =
   let bpe = board.Platform.Board.bytes_per_element in
   let cap = plan.Builder.Buffer_alloc.fm_capacity_bytes in
@@ -31,106 +34,167 @@ let layer_accesses ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
   let extra = layer.Cnn.Layer.extra_resident_elements * bpe in
   let ifm_cap_bytes = if ifm_in_cap then ifm else 0 in
   let ofm_cap_bytes = if ofm_to_interseg then 0 else ofm in
-  let footprint = ifm_cap_bytes + ofm_cap_bytes + extra in
   (* A resident shortcut stays on-chip only while everything fits; when a
      layer spills, the shortcut spills too, at roughly one pass of its
      bytes per carrying layer (a residual chain of two carrying layers
      pays its store once and its reload once). *)
   let extra_spill = Access.fms extra in
-  if ifm_on_chip then
-    if footprint <= cap then
+  let cands = ref [] in
+  let add acc stays = cands := (acc, stays) :: !cands in
+  if ifm_on_chip then begin
+    if ifm_cap_bytes + ofm_cap_bytes + extra <= cap then begin
       (* Ideal case: one access per weight. *)
-      (Access.weights w, true)
+      add (Access.weights w) true;
+      (* Voluntarily spilling the OFM can still pay off when the next
+         layer would otherwise be squeezed out of its capacity. *)
+      if not ofm_to_interseg then
+        add (Access.add (Access.weights w) (Access.fms ofm)) false
+    end
     else begin
+      (* Keep the OFM resident by evicting the shortcut instead. *)
+      if extra > 0 && ifm_cap_bytes + ofm_cap_bytes <= cap then
+        add (Access.add (Access.weights w) extra_spill) true;
       (* IFM is resident but the OFM cannot stay: stream it out.  The
          shortcut only spills if it no longer fits beside the IFM. *)
-      let extra_spill =
+      let es =
         if ifm_cap_bytes + extra <= cap then Access.zero else extra_spill
       in
-      let acc =
-        Access.add
-          (Access.add (Access.weights w) extra_spill)
-          (if ofm_to_interseg then Access.zero else Access.fms ofm)
-      in
-      (acc, ofm_to_interseg)
+      add
+        (Access.add
+           (Access.add (Access.weights w) es)
+           (if ofm_to_interseg then Access.zero else Access.fms ofm))
+        ofm_to_interseg
     end
+  end
   else begin
-    (* IFM off-chip.  Decide whether the OFM can accumulate on-chip, then
-       charge the cheaper of Eq. 6's two streaming options. *)
+    (* IFM off-chip. *)
     let ifm_band =
       Builder.Tiling.ifm_rows_for_ofm_rows layer ~rows:1
       * layer.Cnn.Layer.in_shape.Cnn.Shape.width
       * layer.Cnn.Layer.in_shape.Cnn.Shape.channels
       * bpe
     in
-    let ifm_fits_whole = ifm + ofm_cap_bytes + extra <= cap in
-    if ifm_fits_whole then
+    if ifm + ofm_cap_bytes + extra <= cap then begin
       (* Load the IFM once; everything is buffered afterwards. *)
-      (Access.add (Access.weights w) (Access.fms ifm), true)
+      add (Access.add (Access.weights w) (Access.fms ifm)) true;
+      if not ofm_to_interseg then
+        add (Access.add (Access.weights w) (Access.fms (ifm + ofm))) false
+    end
     else begin
-      let extra_kept = extra + ofm_cap_bytes + ifm_band <= cap in
-      let extra_reserved = if extra_kept then extra else 0 in
-      let extra_spill = if extra_kept then Access.zero else extra_spill in
-      let keep_ofm =
+      if extra > 0 && ifm + ofm_cap_bytes <= cap then
+        add
+          (Access.add (Access.weights w)
+             (Access.add (Access.fms ifm) extra_spill))
+          true;
+      (* Streaming regime: charge the cheaper of Eq. 6's two options
+         under each feasible reservation of the capacity. *)
+      let stream ~extra_kept ~keep_ofm =
+        let extra_reserved = if extra_kept then extra else 0 in
+        let es = if extra_kept then Access.zero else extra_spill in
+        let reserved = extra_reserved + if keep_ofm then ofm else 0 in
+        let avail = max 1 (cap - reserved) in
+        (* Option 1 — OS, locally input-stationary: each IFM chunk is
+           loaded once and the weights re-streamed per chunk. *)
+        let opt1_w = w * Util.Int_math.ceil_div ifm avail in
+        let opt1_fm = ifm in
+        (* Option 2 — OS, locally weight-stationary: each weight chunk is
+           loaded once and the IFM re-streamed per chunk. *)
+        let opt2_w = w in
+        let opt2_fm = ifm * Util.Int_math.ceil_div w avail in
+        let w_acc, ifm_acc =
+          if opt1_w + opt1_fm <= opt2_w + opt2_fm then (opt1_w, opt1_fm)
+          else (opt2_w, opt2_fm)
+        in
+        let ofm_acc = if keep_ofm || ofm_to_interseg then 0 else ofm in
+        add
+          (Access.add es
+             (Access.add (Access.weights w_acc) (Access.fms (ifm_acc + ofm_acc))))
+          (keep_ofm || ofm_to_interseg)
+      in
+      let extra_fits = extra + ofm_cap_bytes + ifm_band <= cap in
+      let keep_fits ~extra_reserved =
         (not ofm_to_interseg) && ofm + extra_reserved + ifm_band <= cap
       in
-      let avail =
-        let reserved = extra_reserved + if keep_ofm then ofm else 0 in
-        max 1 (cap - reserved)
-      in
-      (* Option 1 — OS, locally input-stationary: each IFM chunk is loaded
-         once and the weights re-streamed per chunk. *)
-      let opt1_w = w * Util.Int_math.ceil_div ifm avail in
-      let opt1_fm = ifm in
-      (* Option 2 — OS, locally weight-stationary: each weight chunk is
-         loaded once and the IFM re-streamed per chunk. *)
-      let opt2_w = w in
-      let opt2_fm = ifm * Util.Int_math.ceil_div w avail in
-      let w_acc, ifm_acc =
-        if opt1_w + opt1_fm <= opt2_w + opt2_fm then (opt1_w, opt1_fm)
-        else (opt2_w, opt2_fm)
-      in
-      let ofm_acc = if keep_ofm || ofm_to_interseg then 0 else ofm in
-      ( Access.add extra_spill
-          (Access.add (Access.weights w_acc) (Access.fms (ifm_acc + ofm_acc))),
-        keep_ofm || ofm_to_interseg )
+      stream ~extra_kept:false ~keep_ofm:false;
+      if extra_fits then stream ~extra_kept:true ~keep_ofm:false;
+      if keep_fits ~extra_reserved:0 then stream ~extra_kept:false ~keep_ofm:true;
+      if extra_fits && keep_fits ~extra_reserved:extra then
+        stream ~extra_kept:true ~keep_ofm:true
     end
-  end
+  end;
+  List.rev !cands
 
 let evaluate ~model ~board ~engine ~plan ~first ~last ~input_on_chip
     ~output_on_chip =
-  let rec walk i ~ifm_on_chip ~ifm_in_cap acc =
-    if i > last then List.rev acc
-    else begin
-      let layer = Cnn.Model.layer model i in
-      let is_last = i = last in
-      let ofm_to_interseg = is_last && output_on_chip in
-      let accesses, ofm_stays =
-        layer_accesses ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
-          ~ofm_to_interseg
-      in
-      (* A last layer writing off-chip does not leave its OFM for anyone. *)
-      let accesses =
-        if is_last && (not output_on_chip) && ofm_stays then
-          Access.add accesses
-            (Access.fms (Cnn.Layer.ofm_elements layer
-                         * board.Platform.Board.bytes_per_element))
-        else accesses
-      in
-      let r =
-        {
-          layer_index = i;
-          compute_cycles = Engine.Ce.layer_cycles engine layer;
-          accesses;
-          ifm_on_chip;
-          ofm_stays_on_chip = ofm_stays;
-        }
-      in
-      walk (i + 1) ~ifm_on_chip:ofm_stays ~ifm_in_cap:true (r :: acc)
-    end
+  let bpe = board.Platform.Board.bytes_per_element in
+  (* Two-state DP over the layer chain: a state is whether the layer's
+     IFM is resident in the block's FM capacity.  Charging the cheapest
+     chain (not a per-layer greedy) keeps the modelled traffic monotone
+     in the capacity: a keep-the-OFM decision that squeezes a later
+     layer's streaming window is outbid by the spill chain. *)
+  let better a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some (ta, _), Some (tb, _) ->
+      if Access.total ta <= Access.total tb then a else b
   in
-  let layers : layer_result list =
-    walk first ~ifm_on_chip:input_on_chip ~ifm_in_cap:false []
+  let step i states =
+    let layer = Cnn.Model.layer model i in
+    let is_last = i = last in
+    let ofm_to_interseg = is_last && output_on_chip in
+    let compute_cycles = Engine.Ce.layer_cycles engine layer in
+    let next = [| None; None |] in
+    List.iter
+      (fun (ifm_on_chip, ifm_in_cap, state) ->
+        match state with
+        | None -> ()
+        | Some (total, trace) ->
+          List.iter
+            (fun (accesses, stays) ->
+              (* A last layer writing off-chip does not leave its OFM for
+                 anyone. *)
+              let accesses =
+                if is_last && (not output_on_chip) && stays then
+                  Access.add accesses
+                    (Access.fms (Cnn.Layer.ofm_elements layer * bpe))
+                else accesses
+              in
+              let r =
+                {
+                  layer_index = i;
+                  compute_cycles;
+                  accesses;
+                  ifm_on_chip;
+                  ofm_stays_on_chip = stays;
+                }
+              in
+              let j = if stays then 1 else 0 in
+              next.(j) <-
+                better next.(j) (Some (Access.add total accesses, r :: trace)))
+            (layer_candidates ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
+               ~ofm_to_interseg))
+      states;
+    next
+  in
+  (* The block input arrives either off-chip or through an inter-segment
+     buffer: on-chip but outside the capacity. *)
+  let after_first =
+    step first
+      [ (input_on_chip, false, Some (Access.zero, [])) ]
+  in
+  let final =
+    let rec loop i states =
+      if i > last then states
+      else
+        loop (i + 1)
+          (step i [ (false, true, states.(0)); (true, true, states.(1)) ])
+    in
+    loop (first + 1) after_first
+  in
+  let layers =
+    match better final.(0) final.(1) with
+    | Some (_, trace) -> List.rev trace
+    | None -> assert false (* every layer contributes >= 1 candidate *)
   in
   let compute_cycles =
     List.fold_left (fun a (r : layer_result) -> a + r.compute_cycles) 0 layers

@@ -6,7 +6,12 @@
     cycle counts; off-chip accesses follow Eq. 6 — when a layer's IFM and
     OFM fit in the block's FM capacity the layer costs exactly its weights,
     otherwise the cheaper of the output-stationary local-input-stationary
-    and local-weight-stationary streaming schemes is charged. *)
+    and local-weight-stationary streaming schemes is charged.  Whether
+    each layer's OFM stays resident for its successor is not decided
+    greedily: the evaluator enumerates the legal per-layer buffering
+    decisions and charges the cheapest chain (a two-state dynamic
+    program), which keeps the modelled traffic monotone in the block's
+    FM capacity. *)
 
 type layer_result = {
   layer_index : int;

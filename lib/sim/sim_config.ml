@@ -6,6 +6,7 @@ type t = {
   base_clock_margin : float;
   dsp_fill_margin : float;
   bram_fill_margin : float;
+  perfect_overlap : bool;
 }
 
 let default =
@@ -17,6 +18,7 @@ let default =
     base_clock_margin = 0.015;
     dsp_fill_margin = 0.03;
     bram_fill_margin = 0.03;
+    perfect_overlap = false;
   }
 
 let ideal =
@@ -28,6 +30,7 @@ let ideal =
     base_clock_margin = 0.0;
     dsp_fill_margin = 0.0;
     bram_fill_margin = 0.0;
+    perfect_overlap = true;
   }
 
 let achieved_clock_hz cfg board ~dsps_used ~bram_used =

@@ -25,6 +25,15 @@ type t = {
   base_clock_margin : float;     (** fixed achieved-clock derating *)
   dsp_fill_margin : float;       (** extra derating at 100% DSP use *)
   bram_fill_margin : float;      (** extra derating at 100% BRAM use *)
+  perfect_overlap : bool;
+      (** model an infinitely deep prefetcher: transfers never gate
+          compute directly; instead each schedule step pays the larger of
+          its compute and transfer time, and a block can never finish
+          before the port has streamed its traffic.  This is precisely the
+          double-buffering limit the analytical model assumes, so with the
+          other overheads at zero the simulator and the model must agree
+          exactly — the property the differential validator
+          ({!Validate.Oracle}) checks. *)
 }
 
 val default : t

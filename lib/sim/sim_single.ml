@@ -27,6 +27,24 @@ let simulate ~cfg ~dma ~model ~board ~engine ~plan ~first ~last ~input_on_chip
   in
   let port_cycles = ref 0.0 in
   let t = ref start in
+  if cfg.Sim_config.perfect_overlap then
+    (* Infinitely deep prefetch: every stream is double-buffered behind
+       the previous layer, so a layer advances time by the larger of its
+       compute and its transfer, never their interleaving. *)
+    List.iter
+      (fun (lr : Mccm.Single_ce_model.layer_result) ->
+        let bytes = Mccm.Access.total lr.Mccm.Single_ce_model.accesses in
+        let transfer = Dma.transfer_cycles dma ~bytes in
+        ignore (Dma.request dma ~at:!t ~bytes);
+        port_cycles := !port_cycles +. transfer;
+        t :=
+          !t
+          +. float_of_int cfg.Sim_config.layer_setup_cycles
+          +. Float.max
+               (float_of_int lr.Mccm.Single_ce_model.compute_cycles)
+               transfer)
+      reference.Mccm.Single_ce_model.layers
+  else
   List.iter
     (fun (lr : Mccm.Single_ce_model.layer_result) ->
       let layer = Cnn.Model.layer model lr.Mccm.Single_ce_model.layer_index in

@@ -36,6 +36,23 @@ let span t =
         (Float.min lo s, Float.max hi f))
       (infinity, neg_infinity) es
 
+let export_csv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "event,layer,tile,engine,bytes,label,start,finish\n";
+  List.iter
+    (fun e ->
+      match e with
+      | Tile { layer; tile; engine; start; finish } ->
+        Buffer.add_string buf
+          (Printf.sprintf "tile,%d,%d,%d,,,%.0f,%.0f\n" layer tile engine
+             start finish)
+      | Burst { bytes; start; finish; label } ->
+        Buffer.add_string buf
+          (Printf.sprintf "burst,,,,%d,%s,%.0f,%.0f\n" bytes label start
+             finish))
+    (events t);
+  Buffer.contents buf
+
 let render_gantt ?(width = 100) t =
   match t.rev_events with
   | [] -> "(empty trace)\n"

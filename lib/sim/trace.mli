@@ -39,6 +39,12 @@ val span : t -> float * float
 (** [(earliest start, latest finish)] over all events; [(0., 0.)] when
     empty. *)
 
+val export_csv : t -> string
+(** One CSV row per event
+    ([event,layer,tile,engine,bytes,label,start,finish]) in emission
+    order — the machine-readable export the differential validator
+    attaches to failing pipelined cases. *)
+
 val render_gantt : ?width:int -> t -> string
 (** [render_gantt t] draws one lane per engine (tiles as ['#'] runs,
     different layers alternating ['#']/['=']) and one lane for the DMA

@@ -1,0 +1,172 @@
+type arch_spec =
+  | Segmented of int
+  | Segmented_rr of int
+  | Hybrid of int
+  | Custom of Arch.Custom.spec
+
+type t = {
+  label : string;
+  model : Cnn.Model.t;
+  board : Platform.Board.t;
+  arch : arch_spec;
+}
+
+let v ?(label = "case") model board arch = { label; model; board; arch }
+
+let ces = function
+  | Segmented n | Segmented_rr n | Hybrid n -> n
+  | Custom spec -> Arch.Custom.total_ces spec
+
+let materialize t =
+  match t.arch with
+  | Segmented ces -> Arch.Baselines.segmented ~ces t.model
+  | Segmented_rr ces -> Arch.Baselines.segmented_rr ~ces t.model
+  | Hybrid ces -> Arch.Baselines.hybrid ~ces t.model
+  | Custom spec -> Arch.Custom.arch_of_spec t.model spec
+
+let arch_to_string = function
+  | Segmented n -> Printf.sprintf "segmented %d" n
+  | Segmented_rr n -> Printf.sprintf "segmented_rr %d" n
+  | Hybrid n -> Printf.sprintf "hybrid %d" n
+  | Custom { Arch.Custom.pipelined_layers; tail_boundaries } ->
+    Printf.sprintf "custom %d %s" pipelined_layers
+      (match tail_boundaries with
+      | [] -> "-"
+      | bs -> String.concat "," (List.map string_of_int bs))
+
+let arch_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "segmented"; n ] -> Ok (Segmented (int_of_string n))
+  | [ "segmented_rr"; n ] -> Ok (Segmented_rr (int_of_string n))
+  | [ "hybrid"; n ] -> Ok (Hybrid (int_of_string n))
+  | [ "custom"; f; bs ] ->
+    let tail_boundaries =
+      if bs = "-" then []
+      else List.map int_of_string (String.split_on_char ',' bs)
+    in
+    Ok (Custom { Arch.Custom.pipelined_layers = int_of_string f; tail_boundaries })
+  | _ -> Error (Printf.sprintf "unreadable arch %S" s)
+
+let arch_of_string s =
+  try arch_of_string s
+  with Failure _ -> Error (Printf.sprintf "unreadable arch %S" s)
+
+(* Boards serialise by name when they are catalogue boards and by raw
+   parameters otherwise.  [bram_bytes / 1048576.] and the [%h] hex floats
+   round-trip bit-exactly, which the corpus relies on: a replayed case
+   must evaluate to the very same numbers. *)
+let board_to_string (b : Platform.Board.t) =
+  match Platform.Board.by_name b.Platform.Board.name with
+  | Some known when known = b -> Printf.sprintf "board %s" b.Platform.Board.name
+  | Some _ | None ->
+    Printf.sprintf "board raw %s %d %d %h %h %d"
+      (String.map (fun c -> if c = ' ' then '-' else c) b.Platform.Board.name)
+      b.Platform.Board.dsps b.Platform.Board.bram_bytes
+      b.Platform.Board.bandwidth_bytes_per_sec b.Platform.Board.clock_hz
+      b.Platform.Board.bytes_per_element
+
+let board_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "board"; name ] -> (
+    match Platform.Board.by_name name with
+    | Some b -> Ok b
+    | None -> Error (Printf.sprintf "unknown board %S" name))
+  | [ "board"; "raw"; name; dsps; bram_bytes; bw; clock; bpe ] -> (
+    try
+      Ok
+        (Platform.Board.v ~name ~dsps:(int_of_string dsps)
+           ~bram_mib:(float_of_string bram_bytes /. 1048576.0)
+           ~bandwidth_gb_per_sec:(float_of_string bw /. 1e9)
+           ~clock_mhz:(float_of_string clock /. 1e6)
+           ~bytes_per_element:(int_of_string bpe) ())
+    with Failure _ | Invalid_argument _ ->
+      Error (Printf.sprintf "unreadable raw board %S" s))
+  | _ -> Error (Printf.sprintf "unreadable board %S" s)
+
+let scale_board ?(dsps_x = 1) ?(bram_x = 1) ?(bw_x = 1.0) (b : Platform.Board.t)
+    =
+  Platform.Board.v
+    ~name:(b.Platform.Board.name ^ "+")
+    ~dsps:(b.Platform.Board.dsps * dsps_x)
+    ~bram_mib:(float_of_int (b.Platform.Board.bram_bytes * bram_x) /. 1048576.0)
+    ~bandwidth_gb_per_sec:(b.Platform.Board.bandwidth_bytes_per_sec *. bw_x /. 1e9)
+    ~clock_mhz:(b.Platform.Board.clock_hz /. 1e6)
+    ~bytes_per_element:b.Platform.Board.bytes_per_element ()
+
+let to_string t =
+  String.concat "\n"
+    [
+      Printf.sprintf "case %s" t.label;
+      board_to_string t.board;
+      Printf.sprintf "arch %s" (arch_to_string t.arch);
+      "model";
+      String.trim (Cnn.Model_io.to_string t.model);
+      "endmodel";
+      "endcase";
+      "";
+    ]
+
+(* Consume one [case .. endcase] block from [lines]; returns the parsed
+   case and the remaining lines.  Blank lines and ['#'] comments between
+   cases are skipped. *)
+let of_lines lines =
+  let ( let* ) = Result.bind in
+  let rec skip_blank = function
+    | l :: rest when String.trim l = "" || String.trim l <> "" && (String.trim l).[0] = '#'
+      -> skip_blank rest
+    | rest -> rest
+  in
+  match skip_blank lines with
+  | [] -> Ok None
+  | first :: rest ->
+    let* label =
+      match String.split_on_char ' ' (String.trim first) with
+      | "case" :: l -> Ok (String.concat " " l)
+      | _ -> Error (Printf.sprintf "expected 'case <label>', got %S" first)
+    in
+    let* board, rest =
+      match rest with
+      | b :: rest -> Result.map (fun b -> (b, rest)) (board_of_string b)
+      | [] -> Error "missing board line"
+    in
+    let* arch, rest =
+      match rest with
+      | a :: rest -> (
+        match String.split_on_char ' ' (String.trim a) with
+        | "arch" :: spec ->
+          Result.map
+            (fun a -> (a, rest))
+            (arch_of_string (String.concat " " spec))
+        | _ -> Error (Printf.sprintf "expected 'arch ...', got %S" a))
+      | [] -> Error "missing arch line"
+    in
+    let* rest =
+      match rest with
+      | m :: rest when String.trim m = "model" -> Ok rest
+      | _ -> Error "expected 'model'"
+    in
+    let rec take_model acc = function
+      | l :: rest when String.trim l = "endmodel" -> Ok (List.rev acc, rest)
+      | l :: rest -> take_model (l :: acc) rest
+      | [] -> Error "unterminated model block"
+    in
+    let* model_lines, rest = take_model [] rest in
+    let* model = Cnn.Model_io.of_string (String.concat "\n" model_lines) in
+    let* rest =
+      match rest with
+      | e :: rest when String.trim e = "endcase" -> Ok rest
+      | _ -> Error "expected 'endcase'"
+    in
+    Ok (Some ({ label; model; board; arch }, rest))
+
+let of_string s =
+  match of_lines (String.split_on_char '\n' s) with
+  | Ok (Some (t, _)) -> Ok t
+  | Ok None -> Error "empty case text"
+  | Error e -> Error e
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %s (%d layers) on %s, %s" t.label
+    t.model.Cnn.Model.abbreviation
+    (Cnn.Model.num_layers t.model)
+    t.board.Platform.Board.name (arch_to_string t.arch)

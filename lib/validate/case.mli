@@ -1,0 +1,57 @@
+(** One differential-validation case: a (CNN model, board, architecture)
+    triple.
+
+    The architecture is kept as a {e recipe} (baseline style + CE count,
+    or a custom spec) rather than a materialised block list, so cases can
+    be shrunk — a recipe re-materialises against a truncated model — and
+    serialised to the regression corpus.  Serialisation is exact: known
+    boards round-trip by name, synthetic boards by raw parameters with
+    hex ([%h]) floats, and models through {!Cnn.Model_io}, so a replayed
+    case evaluates to bit-identical metrics. *)
+
+type arch_spec =
+  | Segmented of int       (** [Arch.Baselines.segmented ~ces] *)
+  | Segmented_rr of int    (** [Arch.Baselines.segmented_rr ~ces] *)
+  | Hybrid of int          (** [Arch.Baselines.hybrid ~ces] *)
+  | Custom of Arch.Custom.spec
+
+type t = {
+  label : string;
+  model : Cnn.Model.t;
+  board : Platform.Board.t;
+  arch : arch_spec;
+}
+
+val v : ?label:string -> Cnn.Model.t -> Platform.Board.t -> arch_spec -> t
+
+val ces : arch_spec -> int
+(** Engines the recipe uses. *)
+
+val materialize : t -> Arch.Block.arch
+(** Instantiate the recipe against the case's model.
+    @raise Invalid_argument when the recipe is out of range for the
+    model (shrinkers must guard against this). *)
+
+val scale_board :
+  ?dsps_x:int -> ?bram_x:int -> ?bw_x:float -> Platform.Board.t ->
+  Platform.Board.t
+(** Multiply a board's resource budgets — the metamorphic step of the
+    monotonicity invariants. *)
+
+val arch_to_string : arch_spec -> string
+val arch_of_string : string -> (arch_spec, string) result
+
+val to_string : t -> string
+(** Render as a [case .. endcase] text block, newline-terminated. *)
+
+val of_string : string -> (t, string) result
+(** Parse a single [case .. endcase] block. *)
+
+val of_lines :
+  string list -> ((t * string list) option, string) result
+(** Consume one case block from a line stream, skipping leading blank and
+    comment lines; [Ok None] at end of input.  Returns the remaining
+    lines, so a corpus file parses by iteration. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line description. *)

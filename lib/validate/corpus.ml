@@ -1,0 +1,29 @@
+let of_string s =
+  let rec loop acc lines =
+    match Case.of_lines lines with
+    | Ok None -> Ok (List.rev acc)
+    | Ok (Some (case, rest)) -> loop (case :: acc) rest
+    | Error e ->
+      Error (Printf.sprintf "corpus entry %d: %s" (List.length acc + 1) e)
+  in
+  loop [] (String.split_on_char '\n' s)
+
+let to_string cases = String.concat "\n" (List.map Case.to_string cases)
+
+let load path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let save path cases =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string cases))
+
+let append path case =
+  let existing = match load path with Ok cs -> cs | Error _ -> [] in
+  save path (existing @ [ case ])

@@ -1,0 +1,18 @@
+(** The committed regression corpus: a text file of [case .. endcase]
+    blocks ({!Case.to_string} format).
+
+    Every case that ever failed validation is appended here (shrunk
+    form) and replayed at the start of every sweep, before any random
+    generation — a fixed bug stays fixed.  Serialisation is exact, so a
+    replayed case exercises the very same numbers that failed. *)
+
+val of_string : string -> (Case.t list, string) result
+val to_string : Case.t list -> string
+
+val load : string -> (Case.t list, string) result
+(** [Error] carries the system or parse error message. *)
+
+val save : string -> Case.t list -> unit
+val append : string -> Case.t -> unit
+(** Append one case, preserving existing entries (an unreadable file is
+    treated as empty). *)

@@ -1,0 +1,72 @@
+type t = {
+  latency : float;
+  throughput : float;
+  accesses : float;
+  buffers : float;
+}
+
+type errors = t
+
+(* "Exact" allows for float summation-order differences only: the model
+   sums seconds where the simulator sums cycles, so agreement is ulp
+   level (worst observed 5e-14), never bit level.  Byte counts carry no
+   rounding and must match exactly. *)
+let exact = { latency = 1e-9; throughput = 1e-9; accesses = 0.0; buffers = 0.0 }
+
+(* Bounds for the realistic simulator configuration on workloads above
+   the overhead floor (see {!Invariant.realistic_envelope}), set with
+   margin over the worst errors measured across seeded 400-case sweeps
+   (docs/MODEL.md records the measurement: latency <= 0.40,
+   throughput <= 1.19, buffers <= 0.57 at the 1 ms floor).  Access
+   replay is exact by construction; throughput carries the widest band
+   because the simulated initiation interval also pays per-burst DMA
+   latency and per-tile sync that Eq. 3 folds away. *)
+let default =
+  { latency = 0.50; throughput = 1.50; accesses = 0.0; buffers = 0.75 }
+
+let rel ~reference actual =
+  if Float.abs reference > 0.0 then
+    Float.abs (actual -. reference) /. Float.abs reference
+  else Float.abs actual
+
+let errors ~model ~sim =
+  {
+    latency =
+      rel ~reference:sim.Mccm.Metrics.latency_s model.Mccm.Metrics.latency_s;
+    throughput =
+      rel ~reference:sim.Mccm.Metrics.throughput_ips
+        model.Mccm.Metrics.throughput_ips;
+    accesses =
+      rel
+        ~reference:(float_of_int (Mccm.Metrics.accesses_bytes sim))
+        (float_of_int (Mccm.Metrics.accesses_bytes model));
+    buffers =
+      rel
+        ~reference:(float_of_int sim.Mccm.Metrics.buffer_bytes)
+        (float_of_int model.Mccm.Metrics.buffer_bytes);
+  }
+
+let worst a b =
+  {
+    latency = Float.max a.latency b.latency;
+    throughput = Float.max a.throughput b.throughput;
+    accesses = Float.max a.accesses b.accesses;
+    buffers = Float.max a.buffers b.buffers;
+  }
+
+let zero = { latency = 0.0; throughput = 0.0; accesses = 0.0; buffers = 0.0 }
+
+let violations t (e : errors) =
+  List.filter_map
+    (fun (name, err, bound) -> if err > bound then Some (name, err, bound) else None)
+    [
+      ("latency", e.latency, t.latency);
+      ("throughput", e.throughput, t.throughput);
+      ("accesses", e.accesses, t.accesses);
+      ("buffers", e.buffers, t.buffers);
+    ]
+
+let pp ppf e =
+  Format.fprintf ppf
+    "latency %.2e  throughput %.2e  accesses %.2e  buffers %.2e" e.latency
+    e.throughput e.accesses e.buffers

@@ -1,0 +1,36 @@
+(** Per-metric relative-error envelopes for analytical-vs-simulated
+    comparison.
+
+    The simulator is treated as ground truth (the role Vitis HLS plays
+    in the paper's Table IV): errors are [|model - sim| / |sim|], per
+    metric.  An envelope states how far the analytical model may deviate
+    before the comparison counts as a failure. *)
+
+type t = {
+  latency : float;
+  throughput : float;
+  accesses : float;   (** byte counts replay exactly: bound is 0 *)
+  buffers : float;
+}
+
+type errors = t
+(** Measured relative errors, same shape as the bounds. *)
+
+val exact : t
+(** The ideal-configuration envelope: 1e-9 on the time metrics (float
+    summation order only), exact byte counts. *)
+
+val default : t
+(** The realistic-configuration envelope documented in docs/MODEL.md. *)
+
+val errors : model:Mccm.Metrics.t -> sim:Mccm.Metrics.t -> errors
+(** Per-metric relative errors of [model] against [sim]. *)
+
+val zero : errors
+val worst : errors -> errors -> errors
+(** Componentwise maximum — fold it over a sweep for the error table. *)
+
+val violations : t -> errors -> (string * float * float) list
+(** [(metric, error, bound)] for every metric exceeding its bound. *)
+
+val pp : Format.formatter -> errors -> unit

@@ -1,0 +1,97 @@
+let zoo = lazy (Array.of_list (Cnn.Model_zoo.extended ()))
+let boards = Array.of_list Platform.Board.all
+
+(* Synthetic CNNs stress shapes the zoo does not: odd channel counts,
+   aggressive stride chains, shortcut residency on arbitrary layers. *)
+let synthetic_model rng ~index =
+  let n = Util.Prng.int_in_range rng ~lo:4 ~hi:18 in
+  let spatial = Util.Prng.choose rng [| 8; 14; 16; 28; 32; 56 |] in
+  let ch0 = Util.Prng.choose rng [| 3; 8; 16; 24 |] in
+  let shape = ref (Cnn.Shape.v ~channels:ch0 ~height:spatial ~width:spatial) in
+  let layers =
+    List.init n (fun i ->
+        let in_shape = !shape in
+        let c = in_shape.Cnn.Shape.channels in
+        let kind =
+          match Util.Prng.int rng ~bound:10 with
+          | 0 | 1 -> Cnn.Layer.Depthwise
+          | 2 | 3 | 4 -> Cnn.Layer.Pointwise
+          | _ -> Cnn.Layer.Standard
+        in
+        let kernel =
+          match kind with
+          | Cnn.Layer.Pointwise | Cnn.Layer.Fully_connected -> 1
+          | Cnn.Layer.Depthwise | Cnn.Layer.Standard ->
+            Util.Prng.choose rng [| 3; 3; 3; 5 |]
+        in
+        let stride =
+          if
+            in_shape.Cnn.Shape.height >= 4
+            && Util.Prng.int rng ~bound:5 = 0
+          then 2
+          else 1
+        in
+        let out_channels =
+          match kind with
+          | Cnn.Layer.Depthwise -> c
+          | _ -> min 256 (c * Util.Prng.choose rng [| 1; 1; 2 |])
+        in
+        let extra_resident_elements =
+          if Util.Prng.int rng ~bound:8 = 0 then
+            Cnn.Shape.elements in_shape
+          else 0
+        in
+        let l =
+          Cnn.Layer.v ~index:i
+            ~name:(Printf.sprintf "l%d" (i + 1))
+            ~kind ~in_shape ~out_channels ~kernel ~stride
+            ~padding:(kernel / 2) ~extra_resident_elements ()
+        in
+        shape := Cnn.Layer.out_shape l;
+        l)
+  in
+  Cnn.Model.v
+    ~name:(Printf.sprintf "Synthetic-%d" index)
+    ~abbreviation:(Printf.sprintf "Syn%d" index)
+    ~layers
+
+let model rng ~index =
+  if Util.Prng.int rng ~bound:10 < 3 then
+    Util.Prng.choose rng (Lazy.force zoo)
+  else synthetic_model rng ~index
+
+let board rng ~index =
+  if Util.Prng.bool rng then Util.Prng.choose rng boards
+  else
+    let kib = Util.Prng.int_in_range rng ~lo:512 ~hi:32768 in
+    Platform.Board.v
+      ~name:(Printf.sprintf "RB%d" index)
+      ~dsps:(Util.Prng.int_in_range rng ~lo:64 ~hi:4096)
+      ~bram_mib:(float_of_int kib /. 1024.0)
+      ~bandwidth_gb_per_sec:
+        (float_of_int (Util.Prng.int_in_range rng ~lo:10 ~hi:400) /. 10.0)
+      ~clock_mhz:(float_of_int (Util.Prng.int_in_range rng ~lo:100 ~hi:400))
+      ~bytes_per_element:(Util.Prng.choose rng [| 1; 2; 2; 4 |])
+      ()
+
+let arch rng ~num_layers =
+  let max_ces = min 8 num_layers in
+  let baseline_ces = Util.Prng.int_in_range rng ~lo:2 ~hi:(max 2 max_ces) in
+  match Util.Prng.int rng ~bound:4 with
+  | 0 -> Case.Segmented baseline_ces
+  | 1 -> Case.Segmented_rr baseline_ces
+  | 2 -> Case.Hybrid baseline_ces
+  | _ ->
+    let ce_counts =
+      List.filter (fun c -> c <= num_layers - 1)
+        (List.init 7 (fun i -> i + 2))
+    in
+    if ce_counts = [] then Case.Segmented baseline_ces
+    else Case.Custom (Dse.Space.random_spec rng ~num_layers ~ce_counts)
+
+let case rng ~index =
+  let m = model rng ~index in
+  Case.v
+    ~label:(Printf.sprintf "gen-%d" index)
+    m (board rng ~index)
+    (arch rng ~num_layers:(Cnn.Model.num_layers m))

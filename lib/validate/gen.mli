@@ -1,0 +1,21 @@
+(** Seeded random generation of validation cases.
+
+    Draws (model, board, architecture) triples from a {!Util.Prng}
+    stream: ~30% zoo networks / 70% synthetic CNNs, ~50% catalogue
+    boards / 50% random boards, and a uniform mix of the three baseline
+    styles and random custom specs.  Every generated recipe is valid for
+    its model (CE counts are clamped to the layer count), so
+    {!Case.materialize} never raises on a generated case.  Equal seeds
+    yield equal case streams. *)
+
+val synthetic_model : Util.Prng.t -> index:int -> Cnn.Model.t
+(** A random 4-18 layer CNN mixing standard/depthwise/pointwise
+    convolutions, strides and residual residency.  [index] only names
+    the model. *)
+
+val model : Util.Prng.t -> index:int -> Cnn.Model.t
+val board : Util.Prng.t -> index:int -> Platform.Board.t
+val arch : Util.Prng.t -> num_layers:int -> Case.arch_spec
+
+val case : Util.Prng.t -> index:int -> Case.t
+(** One full triple, labelled ["gen-<index>"]. *)

@@ -1,0 +1,45 @@
+type verdict = {
+  case : Case.t;
+  failures : (string * string) list;
+  skipped : (string * string) list;
+  errors : Envelope.errors option;
+}
+
+let ok v = v.failures = []
+
+let check ~suite case =
+  match Invariant.context case with
+  | exception (Invalid_argument msg | Failure msg) ->
+    (* A case whose evaluation raises is itself a finding: the builder
+       and both evaluators must accept every valid triple. *)
+    { case; failures = [ ("evaluate", msg) ]; skipped = []; errors = None }
+  | ctx ->
+    let failures = ref [] and skipped = ref [] in
+    List.iter
+      (fun (inv : Invariant.t) ->
+        match inv.Invariant.check ctx with
+        | Invariant.Pass -> ()
+        | Invariant.Skip reason ->
+          skipped := (inv.Invariant.name, reason) :: !skipped
+        | Invariant.Fail detail ->
+          failures := (inv.Invariant.name, detail) :: !failures
+        | exception (Invalid_argument msg | Failure msg) ->
+          failures := (inv.Invariant.name, "raised: " ^ msg) :: !failures)
+      suite;
+    {
+      case;
+      failures = List.rev !failures;
+      skipped = List.rev !skipped;
+      errors =
+        Some
+          (Envelope.errors
+             ~model:ctx.Invariant.model_eval.Mccm.Evaluate.metrics
+             ~sim:ctx.Invariant.sim_real.Sim.Simulate.metrics);
+    }
+
+let pp ppf v =
+  Format.fprintf ppf "%a: %s" Case.pp v.case
+    (if ok v then "ok"
+     else
+       String.concat "; "
+         (List.map (fun (n, d) -> Printf.sprintf "%s: %s" n d) v.failures))

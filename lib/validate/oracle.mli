@@ -1,0 +1,26 @@
+(** The differential-testing oracle: one case in, one verdict out.
+
+    Evaluates the case through the analytical model and both simulator
+    configurations, runs every invariant of the given suite, and
+    collects failures rather than stopping at the first — a failing case
+    usually violates related laws together, and the full list helps the
+    shrinker preserve the interesting failure. *)
+
+type verdict = {
+  case : Case.t;
+  failures : (string * string) list;  (** (invariant, detail), in suite order *)
+  skipped : (string * string) list;   (** (invariant, reason) *)
+  errors : Envelope.errors option;
+      (** analytical-vs-realistic-sim errors; [None] when evaluation
+          itself raised *)
+}
+
+val ok : verdict -> bool
+(** No failures (skips are fine). *)
+
+val check : suite:Invariant.t list -> Case.t -> verdict
+(** Exceptions from materialisation or evaluation are reported as an
+    ["evaluate"] failure — the toolchain must accept every valid
+    triple. *)
+
+val pp : Format.formatter -> verdict -> unit

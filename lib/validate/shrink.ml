@@ -1,0 +1,164 @@
+(* Rebuild a model with every channel count divided by [cdiv] and every
+   spatial extent divided by [sdiv] (floors, clamped to 1).  Shape
+   discontinuities between consecutive layers (pooling) scale along. *)
+let scaled_model (m : Cnn.Model.t) ~cdiv ~sdiv =
+  let sc c = max 1 (c / cdiv) in
+  let sp x = max 1 (x / sdiv) in
+  let shape (s : Cnn.Shape.t) =
+    Cnn.Shape.v ~channels:(sc s.Cnn.Shape.channels)
+      ~height:(sp s.Cnn.Shape.height) ~width:(sp s.Cnn.Shape.width)
+  in
+  let layers =
+    List.init (Cnn.Model.num_layers m) (fun i ->
+        let l = Cnn.Model.layer m i in
+        let in_shape = shape l.Cnn.Layer.in_shape in
+        Cnn.Layer.v ~index:i ~name:l.Cnn.Layer.name ~kind:l.Cnn.Layer.kind
+          ~in_shape
+          ~out_channels:
+            (match l.Cnn.Layer.kind with
+            | Cnn.Layer.Depthwise -> in_shape.Cnn.Shape.channels
+            | _ -> sc l.Cnn.Layer.out_channels)
+          ~kernel:l.Cnn.Layer.kernel ~stride:l.Cnn.Layer.stride
+          ~padding:l.Cnn.Layer.padding
+          ~extra_resident_elements:
+            (l.Cnn.Layer.extra_resident_elements / (cdiv * sdiv * sdiv))
+          ())
+  in
+  Cnn.Model.v ~name:m.Cnn.Model.name ~abbreviation:m.Cnn.Model.abbreviation
+    ~layers
+
+let truncated_model (m : Cnn.Model.t) ~keep =
+  let layers = List.init keep (Cnn.Model.layer m) in
+  Cnn.Model.v ~name:m.Cnn.Model.name ~abbreviation:m.Cnn.Model.abbreviation
+    ~layers
+
+(* Clamp an arch recipe to a model with [n] layers. *)
+let clamp_arch arch ~n =
+  if n < 2 then None
+  else
+    match arch with
+    | Case.Segmented c -> Some (Case.Segmented (max 2 (min c n)))
+    | Case.Segmented_rr c -> Some (Case.Segmented_rr (max 2 (min c n)))
+    | Case.Hybrid c -> Some (Case.Hybrid (max 2 (min c n)))
+    | Case.Custom { Arch.Custom.pipelined_layers; tail_boundaries } ->
+      let f = max 1 (min pipelined_layers (n - 1)) in
+      let bs = List.filter (fun b -> b > f && b < n) tail_boundaries in
+      Some (Case.Custom { Arch.Custom.pipelined_layers = f; tail_boundaries = bs })
+
+let scale_case (case : Case.t) ~cdiv ~sdiv =
+  let model = scaled_model case.Case.model ~cdiv ~sdiv in
+  Some { case with Case.model }
+
+let truncate_case (case : Case.t) ~keep =
+  if keep >= Cnn.Model.num_layers case.Case.model then None
+  else
+    let model = truncated_model case.Case.model ~keep in
+    Option.map
+      (fun arch -> { case with Case.model; arch })
+      (clamp_arch case.Case.arch ~n:keep)
+
+let shrink_board (case : Case.t) ~dsps_div ~bram_div ~bw_div =
+  let b = case.Case.board in
+  let dsps = max 16 (b.Platform.Board.dsps / dsps_div) in
+  let bram = max 65536 (b.Platform.Board.bram_bytes / bram_div) in
+  let bw = Float.max 1e8 (b.Platform.Board.bandwidth_bytes_per_sec /. bw_div) in
+  if
+    dsps = b.Platform.Board.dsps
+    && bram = b.Platform.Board.bram_bytes
+    && bw = b.Platform.Board.bandwidth_bytes_per_sec
+  then None
+  else
+    Some
+      {
+        case with
+        Case.board =
+          Platform.Board.v ~name:b.Platform.Board.name ~dsps
+            ~bram_mib:(float_of_int bram /. 1048576.0)
+            ~bandwidth_gb_per_sec:(bw /. 1e9)
+            ~clock_mhz:(b.Platform.Board.clock_hz /. 1e6)
+            ~bytes_per_element:b.Platform.Board.bytes_per_element ();
+      }
+
+let fewer_ces (case : Case.t) =
+  match case.Case.arch with
+  | Case.Segmented c when c > 2 -> Some { case with Case.arch = Case.Segmented (c - 1) }
+  | Case.Segmented_rr c when c > 2 ->
+    Some { case with Case.arch = Case.Segmented_rr (c - 1) }
+  | Case.Hybrid c when c > 2 -> Some { case with Case.arch = Case.Hybrid (c - 1) }
+  | Case.Custom { Arch.Custom.pipelined_layers = f; tail_boundaries = bs } -> (
+    match (List.rev bs, f) with
+    | b :: rest, _ ->
+      ignore b;
+      Some
+        {
+          case with
+          Case.arch =
+            Case.Custom
+              { Arch.Custom.pipelined_layers = f; tail_boundaries = List.rev rest };
+        }
+    | [], f when f > 1 ->
+      Some
+        {
+          case with
+          Case.arch =
+            Case.Custom
+              { Arch.Custom.pipelined_layers = f - 1; tail_boundaries = [] };
+        }
+    | [], _ -> None)
+  | _ -> None
+
+(* Candidate shrinking steps, most aggressive first: halve the network,
+   then halve its tensors, then halve the board, then simplify the
+   architecture, then chip off single layers. *)
+let steps (case : Case.t) =
+  let n = Cnn.Model.num_layers case.Case.model in
+  (* A halving step that has already floored (channels at 1, board at its
+     minimum) yields a case identical to the input; accepting it would
+     spin the greedy loop without progress, so such no-ops are dropped. *)
+  let changed (c : Case.t) =
+    c.Case.model <> case.Case.model
+    || c.Case.board <> case.Case.board
+    || c.Case.arch <> case.Case.arch
+  in
+  List.filter_map
+    (fun f ->
+      match f () with
+      | Some c when changed c -> Some c
+      | Some _ | None -> None
+      | exception Invalid_argument _ -> None)
+    [
+      (fun () -> truncate_case case ~keep:(max 2 (n / 2)));
+      (fun () -> scale_case case ~cdiv:2 ~sdiv:1);
+      (fun () -> scale_case case ~cdiv:1 ~sdiv:2);
+      (fun () -> shrink_board case ~dsps_div:2 ~bram_div:1 ~bw_div:1.0);
+      (fun () -> shrink_board case ~dsps_div:1 ~bram_div:2 ~bw_div:1.0);
+      (fun () -> shrink_board case ~dsps_div:1 ~bram_div:1 ~bw_div:2.0);
+      (fun () -> fewer_ces case);
+      (fun () -> truncate_case case ~keep:(n - 1));
+    ]
+
+(* A shrunk case must reproduce at least one of the original failing
+   invariants — shrinking onto a different failure would hide the
+   finding being minimised. *)
+let still_fails ~suite ~names case =
+  let v = Oracle.check ~suite case in
+  List.exists (fun (n, _) -> List.mem n names) v.Oracle.failures
+
+let minimize ?(max_steps = 64) ~suite verdict =
+  match verdict.Oracle.failures with
+  | [] -> None
+  | failures ->
+    let names = List.map fst failures in
+    let rec loop case budget =
+      if budget <= 0 then case
+      else
+        match
+          List.find_opt (still_fails ~suite ~names) (steps case)
+        with
+        | Some smaller ->
+          loop { smaller with Case.label = smaller.Case.label ^ "'" } (budget - 1)
+        | None -> case
+    in
+    let shrunk = loop verdict.Oracle.case max_steps in
+    if shrunk == verdict.Oracle.case then None
+    else Some (Oracle.check ~suite shrunk)

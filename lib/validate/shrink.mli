@@ -1,0 +1,26 @@
+(** Counterexample shrinking.
+
+    A failing validation case from the randomized generator is rarely
+    minimal; this module greedily applies size-reducing transformations
+    — truncate the network, halve channel counts, halve spatial extents,
+    halve board budgets, simplify the architecture — accepting a step
+    only while the shrunk case still fails {e one of the same
+    invariants} as the original (failing differently would hide the
+    finding being minimised).  Steps that produce invalid layers or
+    recipes are skipped, so the result is always a well-formed,
+    corpus-serialisable case. *)
+
+val steps : Case.t -> Case.t list
+(** The candidate one-step reductions of a case, most aggressive first,
+    with ill-formed candidates already filtered out.  Exposed for tests
+    and shrink debugging. *)
+
+val minimize :
+  ?max_steps:int ->
+  suite:Invariant.t list ->
+  Oracle.verdict ->
+  Oracle.verdict option
+(** [minimize ~suite verdict] shrinks a failing verdict's case;
+    [max_steps] (default 64) bounds accepted shrink steps.  Returns the
+    re-checked verdict of the smaller case, or [None] when the verdict
+    was passing or no step could shrink it. *)

@@ -1,0 +1,101 @@
+type failure = { verdict : Oracle.verdict; shrunk : Oracle.verdict option }
+
+type t = {
+  corpus_cases : int;
+  generated_cases : int;
+  failures : failure list;
+  worst : Envelope.errors;
+  elapsed_s : float;
+}
+
+let ok t = t.failures = []
+
+let check_slice ~suite cases lo hi =
+  let out = ref [] in
+  for i = lo to hi - 1 do
+    out := Oracle.check ~suite cases.(i) :: !out
+  done;
+  List.rev !out
+
+let run ?(suite = Invariant.default_suite ()) ?(samples = 200) ?(seed = 42L)
+    ?(domains = 1) ?corpus () =
+  if samples < 0 then invalid_arg "Sweep.run: negative sample count";
+  if domains <= 0 then invalid_arg "Sweep.run: non-positive domain count";
+  let domains = min domains (Domain.recommended_domain_count ()) in
+  let started = Unix.gettimeofday () in
+  (* The regression corpus replays first, sequentially: committed
+     counterexamples are few, and a regression there should surface
+     before any random search time is spent. *)
+  let corpus_cases =
+    match corpus with
+    | None -> []
+    | Some path -> (
+      match Corpus.load path with
+      | Ok cases -> cases
+      | Error e -> failwith (Printf.sprintf "corpus %s: %s" path e))
+  in
+  let corpus_verdicts = List.map (Oracle.check ~suite) corpus_cases in
+  (* Cases are drawn from one PRNG stream before evaluation starts, so
+     the sweep is a deterministic function of [seed] alone — never of
+     the domain count (same discipline as {!Dse.Explore.run}). *)
+  let cases =
+    let rng = Util.Prng.create ~seed in
+    let a = ref [] in
+    for i = 0 to samples - 1 do
+      a := Gen.case rng ~index:i :: !a
+    done;
+    Array.of_list (List.rev !a)
+  in
+  let generated_verdicts =
+    if domains = 1 then check_slice ~suite cases 0 samples
+    else begin
+      let per = samples / domains and rem = samples mod domains in
+      let bound i = (i * per) + min i rem in
+      let spawned =
+        List.init domains (fun i ->
+            Domain.spawn (fun () ->
+                check_slice ~suite cases (bound i) (bound (i + 1))))
+      in
+      List.concat_map Domain.join spawned
+    end
+  in
+  let verdicts = corpus_verdicts @ generated_verdicts in
+  let failures =
+    List.filter_map
+      (fun v ->
+        if Oracle.ok v then None
+        else Some { verdict = v; shrunk = Shrink.minimize ~suite v })
+      verdicts
+  in
+  let worst =
+    List.fold_left
+      (fun acc (v : Oracle.verdict) ->
+        match v.Oracle.errors with
+        | Some e -> Envelope.worst acc e
+        | None -> acc)
+      Envelope.zero verdicts
+  in
+  {
+    corpus_cases = List.length corpus_verdicts;
+    generated_cases = List.length generated_verdicts;
+    failures;
+    worst;
+    elapsed_s = Unix.gettimeofday () -. started;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>validated %d corpus + %d generated cases in %.1f s@,\
+     worst analytical-vs-sim error: %a@,%s@]" t.corpus_cases
+    t.generated_cases t.elapsed_s Envelope.pp t.worst
+    (if t.failures = [] then "all invariants hold"
+     else Printf.sprintf "%d FAILING case(s)" (List.length t.failures));
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "@,FAIL %a" Oracle.pp f.verdict;
+      match f.shrunk with
+      | Some s ->
+        Format.fprintf ppf "@,  shrunk to: %a@,%s" Oracle.pp s
+          (Case.to_string s.Oracle.case)
+      | None -> ())
+    t.failures

@@ -1,0 +1,41 @@
+(** The differential-validation sweep driver.
+
+    A sweep replays the committed regression corpus first (sequentially
+    — those cases are few and a regression there must surface before
+    any random search time is spent), then draws [samples] fresh cases
+    from a seeded generator and checks every one against the invariant
+    suite.  Generated cases are drawn from a single PRNG stream before
+    evaluation begins, so the sweep result is a deterministic function
+    of [seed] alone: running with [domains = 4] produces exactly the
+    same verdicts as [domains = 1].  Failing cases are shrunk to
+    minimal counterexamples after the parallel phase. *)
+
+type failure = { verdict : Oracle.verdict; shrunk : Oracle.verdict option }
+
+type t = {
+  corpus_cases : int;
+  generated_cases : int;
+  failures : failure list;
+  worst : Envelope.errors;
+      (** componentwise worst analytical-vs-realistic-sim relative error
+          over every case that evaluated cleanly *)
+  elapsed_s : float;
+}
+
+val ok : t -> bool
+
+val run :
+  ?suite:Invariant.t list ->
+  ?samples:int ->
+  ?seed:int64 ->
+  ?domains:int ->
+  ?corpus:string ->
+  unit ->
+  t
+(** [run ()] checks 200 seeded cases on one domain with the default
+    suite and no corpus.  [domains] is clamped to
+    [Domain.recommended_domain_count ()].  Raises [Failure] when
+    [corpus] is given but unreadable — a committed corpus that cannot
+    be replayed is itself a failure. *)
+
+val pp : Format.formatter -> t -> unit

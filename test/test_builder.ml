@@ -287,8 +287,7 @@ let test_workload_assignment () =
 
 let prop_pe_distribution =
   QCheck2.Test.make ~name:"PE distribution spends budget with floor 1"
-    QCheck2.Gen.(
-      pair (int_range 10 3000) (array_size (int_range 1 8) (int_range 0 1000)))
+    Generators.pe_budget_workloads
     (fun (budget, workloads) ->
       QCheck2.assume (budget >= Array.length workloads);
       let pes = Builder.Pe_allocation.distribute ~budget ~workloads in
@@ -297,7 +296,7 @@ let prop_pe_distribution =
 let prop_ifm_rows_monotone =
   QCheck2.Test.make ~name:"IFM rows monotone in OFM rows, never below kernel"
     QCheck2.Gen.(
-      triple (int_range 0 52) (int_range 1 112) (int_range 1 112))
+      triple Generators.res50_layer_index (int_range 1 112) (int_range 1 112))
     (fun (li, r1, r2) ->
       let l = Cnn.Model.layer res50 li in
       let lo = min r1 r2 and hi = max r1 r2 in
@@ -307,7 +306,7 @@ let prop_ifm_rows_monotone =
 
 let prop_row_tiles_roundtrip =
   QCheck2.Test.make ~name:"tile_rows for n tiles never yields more than n"
-    QCheck2.Gen.(pair (int_range 0 52) (int_range 1 200))
+    QCheck2.Gen.(pair Generators.res50_layer_index Generators.tile_count)
     (fun (li, n) ->
       let l = Cnn.Model.layer res50 li in
       Builder.Tiling.num_row_tiles l ~rows:(Builder.Tiling.tile_rows l ~tiles:n)

@@ -109,6 +109,104 @@ let test_baseline_time_matches_breakdown () =
   in
   checkf "baseline time" expect o.Mccm.Compression.baseline_time_s
 
+(* ------------------------------------------------------- edge cases *)
+
+(* A 1x1-only (pointwise) network: no kernel reuse at all, so FM traffic
+   dominates and the weight/FM trade-off flips relative to ResNet. *)
+let pointwise_only_model () =
+  let shape = Cnn.Shape.v ~channels:64 ~height:28 ~width:28 in
+  let layers =
+    List.init 6 (fun i ->
+        Cnn.Layer.v ~index:i
+          ~name:(Printf.sprintf "pw%d" (i + 1))
+          ~kind:Cnn.Layer.Pointwise ~in_shape:shape ~out_channels:64 ~kernel:1
+          ~stride:1 ~padding:0 ())
+  in
+  Cnn.Model.v ~name:"PointwiseOnly" ~abbreviation:"PwOnly" ~layers
+
+let test_pointwise_only_model () =
+  let m = pointwise_only_model () in
+  let b =
+    (Mccm.Evaluate.evaluate m Platform.Board.zc706
+       (Arch.Baselines.segmented ~ces:2 m))
+      .Mccm.Evaluate.breakdown
+  in
+  List.iter
+    (fun policy ->
+      let o = Mccm.Compression.apply ~board policy b in
+      checkb "speedup >= 1" true (o.Mccm.Compression.speedup >= 1.0 -. 1e-12))
+    [
+      Mccm.Compression.uniform_weights ~ratio:2.0;
+      Mccm.Compression.bottleneck_weights ~ratio:2.0;
+      { Mccm.Compression.target = Fms_only; ratio = 2.0;
+        memory_bound_only = false };
+    ];
+  (* The analysis must still nominate a target, whichever it is. *)
+  let _target, o = Mccm.Compression.best_single_target ~board ~ratio:2.0 b in
+  checkb "best target sane" true
+    (o.Mccm.Compression.compressed_time_s
+    <= o.Mccm.Compression.baseline_time_s +. 1e-12)
+
+let test_zero_fm_traffic_segments () =
+  (* A network small enough to keep every feature map on chip: interior
+     segments move zero FM bytes, so FM compression must be an exact
+     no-op on them (and division by the ratio must not manufacture
+     traffic from nothing). *)
+  let shape = Cnn.Shape.v ~channels:8 ~height:8 ~width:8 in
+  let layers =
+    List.init 4 (fun i ->
+        Cnn.Layer.v ~index:i
+          ~name:(Printf.sprintf "t%d" (i + 1))
+          ~kind:Cnn.Layer.Pointwise ~in_shape:shape ~out_channels:8 ~kernel:1
+          ~stride:1 ~padding:0 ())
+  in
+  let m = Cnn.Model.v ~name:"Tiny" ~abbreviation:"Tiny" ~layers in
+  let b =
+    (Mccm.Evaluate.evaluate m Platform.Board.vcu108
+       (Arch.Baselines.segmented ~ces:2 m))
+      .Mccm.Evaluate.breakdown
+  in
+  let o =
+    Mccm.Compression.apply ~board:Platform.Board.vcu108
+      { Mccm.Compression.target = Fms_only; ratio = 4.0;
+        memory_bound_only = false }
+      b
+  in
+  checkb "fm bytes do not grow" true
+    (o.Mccm.Compression.compressed_accesses.Mccm.Access.fms_bytes
+    <= o.Mccm.Compression.baseline_accesses.Mccm.Access.fms_bytes);
+  check "weight bytes untouched"
+    o.Mccm.Compression.baseline_accesses.Mccm.Access.weights_bytes
+    o.Mccm.Compression.compressed_accesses.Mccm.Access.weights_bytes
+
+let test_no_memory_bound_segments () =
+  (* Fully compute-bound design: a memory-bound-only policy finds no
+     segment to touch and reports an exact 1.0x speedup. *)
+  let shape = Cnn.Shape.v ~channels:8 ~height:8 ~width:8 in
+  let layers =
+    List.init 4 (fun i ->
+        Cnn.Layer.v ~index:i
+          ~name:(Printf.sprintf "c%d" (i + 1))
+          ~kind:Cnn.Layer.Standard ~in_shape:shape ~out_channels:8 ~kernel:3
+          ~stride:1 ~padding:1 ())
+  in
+  let m = Cnn.Model.v ~name:"ComputeBound" ~abbreviation:"CB" ~layers in
+  let b =
+    (Mccm.Evaluate.evaluate m Platform.Board.vcu108
+       (Arch.Baselines.segmented ~ces:2 m))
+      .Mccm.Evaluate.breakdown
+  in
+  if Mccm.Breakdown.memory_bound_count b = 0 then begin
+    let o =
+      Mccm.Compression.apply ~board:Platform.Board.vcu108
+        (Mccm.Compression.bottleneck_weights ~ratio:4.0)
+        b
+    in
+    check "no segments affected" 0 o.Mccm.Compression.segments_affected;
+    checkf "speedup exactly 1" 1.0 o.Mccm.Compression.speedup
+  end
+  else Alcotest.fail "expected a compute-bound design on VCU108"
+
 let prop_higher_ratio_never_slower =
   QCheck2.Test.make ~name:"higher ratio never reduces the speedup" ~count:20
     QCheck2.Gen.(pair (float_range 1.1 4.0) (float_range 0.1 4.0))
@@ -141,6 +239,15 @@ let () =
             test_memory_bound_only_filter;
           Alcotest.test_case "baseline time" `Quick
             test_baseline_time_matches_breakdown;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "pointwise-only model" `Quick
+            test_pointwise_only_model;
+          Alcotest.test_case "zero FM-traffic segments" `Quick
+            test_zero_fm_traffic_segments;
+          Alcotest.test_case "no memory-bound segments" `Quick
+            test_no_memory_bound_segments;
         ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest prop_higher_ratio_never_slower ] );

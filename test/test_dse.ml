@@ -75,9 +75,7 @@ let test_dominates () =
 
 let prop_pareto_sound =
   QCheck2.Test.make ~name:"front members are mutually non-dominated" ~count:100
-    QCheck2.Gen.(
-      list_size (int_range 1 40)
-        (pair (float_range 0.0 10.0) (float_range 0.0 10.0)))
+    (Generators.pareto_coords ~max_points:40)
     (fun coords ->
       let pts = List.map (fun (x, y) -> pt x y) coords in
       let front = Dse.Pareto.front pts in
@@ -90,9 +88,7 @@ let prop_pareto_sound =
 let prop_pareto_complete =
   QCheck2.Test.make ~name:"non-dominated inputs appear on the front"
     ~count:100
-    QCheck2.Gen.(
-      list_size (int_range 1 30)
-        (pair (float_range 0.0 10.0) (float_range 0.0 10.0)))
+    (Generators.pareto_coords ~max_points:30)
     (fun coords ->
       let pts = List.map (fun (x, y) -> pt x y) coords in
       let front = Dse.Pareto.front pts in
@@ -181,6 +177,31 @@ let test_explore_parallel_deterministic () =
        (fun (x : Dse.Explore.evaluated) (y : Dse.Explore.evaluated) ->
          x.Dse.Explore.spec = y.Dse.Explore.spec)
        a b)
+
+let test_explore_domain_count_invariant () =
+  (* The design set is drawn from one PRNG stream before any domain is
+     spawned, so the whole result — the Pareto front included — is a
+     function of the seed alone, never of the parallelism. *)
+  let run domains =
+    Dse.Explore.run ~seed:11L ~domains ~samples:64 mobv2 Platform.Board.vcu110
+  in
+  let a = run 1 and b = run 4 in
+  checkb "same evaluated specs" true
+    (List.for_all2
+       (fun (x : Dse.Explore.evaluated) (y : Dse.Explore.evaluated) ->
+         x.Dse.Explore.spec = y.Dse.Explore.spec)
+       a.Dse.Explore.evaluated b.Dse.Explore.evaluated);
+  check "same front size"
+    (List.length a.Dse.Explore.front)
+    (List.length b.Dse.Explore.front);
+  checkb "identical fronts" true
+    (List.for_all2
+       (fun (p : Dse.Explore.evaluated Dse.Pareto.point)
+            (q : Dse.Explore.evaluated Dse.Pareto.point) ->
+         p.Dse.Pareto.item.Dse.Explore.spec = q.Dse.Pareto.item.Dse.Explore.spec
+         && p.Dse.Pareto.item.Dse.Explore.metrics
+            = q.Dse.Pareto.item.Dse.Explore.metrics)
+       a.Dse.Explore.front b.Dse.Explore.front)
 
 let test_explore_parallel_matches_metrics () =
   (* Parallel evaluation must compute the same metrics for the same
@@ -327,6 +348,8 @@ let () =
             test_improvement_over_self;
           Alcotest.test_case "parallel deterministic" `Quick
             test_explore_parallel_deterministic;
+          Alcotest.test_case "domain-count invariant" `Quick
+            test_explore_domain_count_invariant;
           Alcotest.test_case "parallel metrics" `Quick
             test_explore_parallel_matches_metrics;
         ] );

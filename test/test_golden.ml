@@ -24,9 +24,12 @@ let test_golden_hybrid4_zc706 () =
     metrics ~board:Platform.Board.zc706
       (Arch.Baselines.hybrid ~ces:4 (Lazy.force res50))
   in
-  close "latency" 54.4192e-3 m.Mccm.Metrics.latency_s;
-  close "throughput" 32.8298 m.Mccm.Metrics.throughput_ips;
-  check "accesses bytes" 58_651_008 (Mccm.Metrics.accesses_bytes m);
+  (* Pins updated when Single_ce_model moved from greedy per-layer OFM
+     decisions to the cheapest-chain DP: Hybrid/4's single-CE tail found
+     a schedule 1.6 MiB of traffic cheaper. *)
+  close "latency" 54.2349e-3 m.Mccm.Metrics.latency_s;
+  close "throughput" 33.0296 m.Mccm.Metrics.throughput_ips;
+  check "accesses bytes" 57_045_376 (Mccm.Metrics.accesses_bytes m);
   check "buffer bytes" 2_515_054 m.Mccm.Metrics.buffer_bytes
 
 let test_golden_segmented4_zcu102 () =

@@ -126,6 +126,39 @@ let test_round_trip_zoo () =
              ~last:(Cnn.Model.num_layers m' - 1)))
     (Cnn.Model_zoo.extended ())
 
+let test_print_parse_print_fixpoint () =
+  (* to_string must be a fixpoint under parsing: the printed form of the
+     reparsed model is byte-identical.  This pins the printer (pool
+     strides, set-shape escape hatches, residual annotations) far more
+     tightly than comparing aggregate counts. *)
+  List.iter
+    (fun m ->
+      let t1 = Cnn.Model_io.to_string m in
+      match Cnn.Model_io.of_string t1 with
+      | Error e -> Alcotest.failf "%s: %s" m.Cnn.Model.name e
+      | Ok m' ->
+        Alcotest.(check string) m.Cnn.Model.name t1 (Cnn.Model_io.to_string m'))
+    (Cnn.Model_zoo.extended ())
+
+let test_round_trip_synthetic () =
+  (* Generator-produced models exercise shapes the zoo never does (1x1
+     spatial chains, stray strides); they must all serialize exactly,
+     since the validation corpus depends on it. *)
+  let rng = Util.Prng.create ~seed:2024L in
+  for i = 0 to 49 do
+    let m = Validate.Gen.synthetic_model rng ~index:i in
+    let t1 = Cnn.Model_io.to_string m in
+    match Cnn.Model_io.of_string t1 with
+    | Error e -> Alcotest.failf "synthetic %d: %s" i e
+    | Ok m' ->
+      check
+        (Printf.sprintf "synthetic %d macs" i)
+        (Cnn.Model.total_macs m) (Cnn.Model.total_macs m');
+      Alcotest.(check string)
+        (Printf.sprintf "synthetic %d fixpoint" i)
+        t1 (Cnn.Model_io.to_string m')
+  done
+
 let test_load_file_missing () =
   checkb "missing file" true
     (Result.is_error (Cnn.Model_io.load_file "/nonexistent/model.cnn"))
@@ -177,6 +210,10 @@ let () =
       ( "round-trip",
         [
           Alcotest.test_case "zoo models" `Quick test_round_trip_zoo;
+          Alcotest.test_case "print-parse-print fixpoint" `Quick
+            test_print_parse_print_fixpoint;
+          Alcotest.test_case "synthetic models" `Quick
+            test_round_trip_synthetic;
           Alcotest.test_case "missing file" `Quick test_load_file_missing;
         ] );
       ( "extended zoo",

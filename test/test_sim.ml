@@ -120,9 +120,9 @@ let test_accuracy_floor_vcu108 () =
   accuracy_floor ~board:Platform.Board.vcu108 ~model:mobv2 ~floor:75.0
 
 let test_ideal_config_matches_model () =
-  (* With all overheads disabled, the surrogate's latency converges on
-     the analytical model's to within a few percent (residual: burst
-     granularity effects in the single-CE replay). *)
+  (* With all overheads disabled, the surrogate collapses exactly onto
+     the analytical model: agreement is ulp-level (the two sum in
+     different units), and byte counts match to the byte. *)
   List.iter
     (fun archi ->
       let built = Builder.Build.build mobv2 Platform.Board.zcu102 archi in
@@ -132,10 +132,14 @@ let test_ideal_config_matches_model () =
       in
       let ratio = ref_.Mccm.Metrics.latency_s /. est.Mccm.Metrics.latency_s in
       checkb
-        (Printf.sprintf "%s ideal ratio %.3f in [0.95, 1.10]"
+        (Printf.sprintf "%s ideal latency ratio %.15f exact"
            archi.Arch.Block.name ratio)
         true
-        (ratio >= 0.95 && ratio <= 1.10))
+        (Float.abs (ratio -. 1.0) <= 1e-9);
+      check
+        (archi.Arch.Block.name ^ " ideal accesses exact")
+        (Mccm.Metrics.accesses_bytes est)
+        (Mccm.Metrics.accesses_bytes ref_))
     [
       Arch.Baselines.segmented ~ces:4 mobv2;
       Arch.Baselines.segmented_rr ~ces:4 mobv2;
