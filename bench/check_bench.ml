@@ -1,0 +1,193 @@
+(* Benchmark-regression gate over BENCH_dse.json.
+
+   Usage:  check_bench <current.json> <baseline.json> [tolerance]
+
+   Fails (exit 1) when any workload's cached evals/sec in the current
+   file has regressed by more than [tolerance] (default 0.20) relative
+   to the committed baseline, or when a baseline workload is missing.
+   The toolchain has no JSON library, so a minimal recursive-descent
+   parser covering the emitted schema lives here. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some x when x = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+        | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+        | Some c -> Buffer.add_char b c; advance (); go ()
+        | None -> fail "unterminated escape")
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); Obj [] end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ((key, v) :: acc)
+          | Some '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); Arr [] end
+      else begin
+        let rec elements acc =
+          let v = value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elements (v :: acc)
+          | Some ']' -> advance (); Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let load path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  parse content
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None
+
+let num_exn what = function
+  | Some (Num f) -> f
+  | _ -> failwith (what ^ ": missing or non-numeric")
+
+let str_exn what = function
+  | Some (Str s) -> s
+  | _ -> failwith (what ^ ": missing or non-string")
+
+(* name -> cached evals/sec for every workload entry. *)
+let cached_rates json =
+  match member "workloads" json with
+  | Some (Arr ws) ->
+    List.map
+      (fun w ->
+        ( str_exn "workload name" (member "name" w),
+          num_exn "cached_evals_per_sec" (member "cached_evals_per_sec" w) ))
+      ws
+  | _ -> failwith "workloads: missing or not an array"
+
+let () =
+  let current_path, baseline_path, tolerance =
+    match Array.to_list Sys.argv with
+    | [ _; c; b ] -> (c, b, 0.20)
+    | [ _; c; b; t ] -> (c, b, float_of_string t)
+    | _ ->
+      prerr_endline "usage: check_bench <current.json> <baseline.json> [tolerance]";
+      exit 2
+  in
+  let current = cached_rates (load current_path) in
+  let baseline = cached_rates (load baseline_path) in
+  let failures = ref 0 in
+  List.iter
+    (fun (name, base_rate) ->
+      match List.assoc_opt name current with
+      | None ->
+        incr failures;
+        Printf.printf "FAIL %-16s missing from %s\n" name current_path
+      | Some rate ->
+        let floor = base_rate *. (1.0 -. tolerance) in
+        let verdict = if rate >= floor then "ok  " else (incr failures; "FAIL") in
+        Printf.printf
+          "%s %-16s cached %.0f evals/s (baseline %.0f, floor %.0f)\n" verdict
+          name rate base_rate floor)
+    baseline;
+  if !failures > 0 then begin
+    Printf.printf "%d workload(s) regressed more than %.0f%%\n" !failures
+      (100.0 *. tolerance);
+    exit 1
+  end
+  else Printf.printf "all workloads within %.0f%% of baseline\n"
+      (100.0 *. tolerance)

@@ -3,15 +3,29 @@
    Bechamel (one Test.make per artifact), plus the headline
    evaluations-per-second measurement behind the paper's 100000x claim.
 
+   Every run also benchmarks the DSE evaluation-session cache (cached
+   vs. uncached evals/sec on local-search, exhaustive and random-sweep
+   workloads, with a bit-exactness cross-check) and writes the numbers,
+   together with per-artifact regeneration times, to a machine-readable
+   BENCH_dse.json — the perf trajectory this and future PRs gate on
+   (see check_bench.ml).
+
    Usage:
      dune exec bench/main.exe                 # all artifacts + timings
      dune exec bench/main.exe -- table4 fig5  # selected artifacts
      dune exec bench/main.exe -- --full       # Fig. 10 with 100000 samples
-     dune exec bench/main.exe -- --no-bench   # skip the Bechamel timings *)
+     dune exec bench/main.exe -- --no-bench   # skip the Bechamel timings
+     dune exec bench/main.exe -- --fig10-samples 200   # shrink fig10
+     dune exec bench/main.exe -- --json out.json       # BENCH_dse target *)
+
+(* (artifact name, wall-clock seconds), in execution order. *)
+let artifact_times : (string * float) list ref = ref []
 
 let section name f =
   Format.printf "@.===================== %s =====================@.@." name;
+  let t0 = Unix.gettimeofday () in
   f ();
+  artifact_times := !artifact_times @ [ (name, Unix.gettimeofday () -. t0) ];
   Format.printf "@."
 
 let fig10_samples = ref 5000
@@ -136,9 +150,148 @@ let run_bechamel () =
       (3600.0 /. per_design_s)
   | _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* DSE evaluation-session benchmark: the same workload run through an
+   uncached session (every request recomputed) and a memoized one, with
+   the results compared bit for bit.  The cached/uncached evals-per-sec
+   pair per workload is the number BENCH_dse.json records and CI gates
+   on. *)
+
+type dse_row = {
+  workload : string;
+  evals : int;          (* evaluation requests per arm (identical) *)
+  uncached_s : float;
+  cached_s : float;
+}
+
+let evals_per_sec n s = float_of_int n /. Float.max 1e-9 s
+let speedup_of r = r.uncached_s /. Float.max 1e-9 r.cached_s
+
+let bench_dse () =
+  let model = Cnn.Model_zoo.mobilenet_v2 () in
+  let board = Platform.Board.vcu108 in
+  let num_layers = Cnn.Model.num_layers model in
+  let objective (m : Mccm.Metrics.t) = m.Mccm.Metrics.throughput_ips in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Each workload takes the session to evaluate through and returns a
+     comparable payload; both arms must agree exactly. *)
+  let arm run memoize =
+    let session = Mccm.Eval_session.create ~memoize model board in
+    let payload, seconds = time (fun () -> run session) in
+    ((Mccm.Eval_session.stats session).Mccm.Eval_session.evaluations,
+     payload, seconds)
+  in
+  let workload name run =
+    (* Untimed warm-up pass so the pre-existing global parallelism memo
+       is equally warm for both arms; only session caching is measured. *)
+    ignore (arm run false);
+    let un_evals, un_payload, un_s = arm run false in
+    let ca_evals, ca_payload, ca_s = arm run true in
+    if un_evals <> ca_evals then
+      failwith (name ^ ": cached arm issued a different evaluation count");
+    if un_payload <> ca_payload then
+      failwith (name ^ ": cached results are not bit-identical to uncached");
+    { workload = name; evals = un_evals; uncached_s = un_s; cached_s = ca_s }
+  in
+  (* Multi-start refinement: the standard DSE flow this cache targets —
+     many short hill climbs whose trajectories overlap heavily in the
+     segments (and often the architectures) they evaluate. *)
+  let seeds =
+    let rng = Util.Prng.create ~seed:7L in
+    List.concat_map
+      (fun ces ->
+        List.init 24 (fun _ ->
+            Dse.Space.random_spec rng ~num_layers ~ce_counts:[ ces ]))
+      [ 4; 5; 6 ]
+  in
+  let rows =
+    [
+      workload "local_search" (fun session ->
+          List.concat_map
+            (fun seed ->
+              Dse.Enumerate.local_search ~objective ~session model board seed)
+            seeds);
+      workload "exhaustive" (fun session ->
+          Dse.Enumerate.exhaustive ~session ~ces:5 model board);
+      workload "explore_random" (fun session ->
+          (Dse.Explore.run ~seed:11L ~session ~samples:10000 model board)
+            .Dse.Explore.evaluated);
+    ]
+  in
+  let table =
+    Util.Table.create ~title:"DSE session cache (MobileNetV2 / VCU108)"
+      ~columns:
+        [ ("workload", Util.Table.Left); ("evals", Util.Table.Right);
+          ("uncached evals/s", Util.Table.Right);
+          ("cached evals/s", Util.Table.Right);
+          ("speedup", Util.Table.Right) ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Util.Table.add_row table
+        [ r.workload; string_of_int r.evals;
+          Format.sprintf "%.0f" (evals_per_sec r.evals r.uncached_s);
+          Format.sprintf "%.0f" (evals_per_sec r.evals r.cached_s);
+          Format.sprintf "%.1fx" (speedup_of r) ])
+    rows;
+  Util.Table.print table;
+  rows
+
+(* Hand-rolled JSON emission (the toolchain has no JSON library); the
+   schema is consumed by check_bench.ml and CI. *)
+let write_bench_json ~path rows =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.bprintf buf fmt in
+  add "{\n  \"schema\": \"mccm-bench-dse/1\",\n";
+  add "  \"fig10_samples\": %d,\n" !fig10_samples;
+  add "  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "    { \"name\": \"%s\", \"evals\": %d, \"uncached_s\": %.6f, \
+         \"cached_s\": %.6f, \"uncached_evals_per_sec\": %.1f, \
+         \"cached_evals_per_sec\": %.1f, \"speedup\": %.2f }%s\n"
+        r.workload r.evals r.uncached_s r.cached_s
+        (evals_per_sec r.evals r.uncached_s)
+        (evals_per_sec r.evals r.cached_s)
+        (speedup_of r)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  add "  ],\n  \"artifacts\": [\n";
+  (* Only paper artifacts; the Bechamel and cache sections time themselves. *)
+  let times =
+    List.filter (fun (name, _) -> List.mem_assoc name artifacts) !artifact_times
+  in
+  let n = List.length times in
+  List.iteri
+    (fun i (name, s) ->
+      add "    { \"name\": \"%s\", \"seconds\": %.3f }%s\n" name s
+        (if i = n - 1 then "" else ","))
+    times;
+  add "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "wrote %s@." path
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let flags, picks = List.partition (fun a -> String.length a > 1 && a.[0] = '-') args in
+  let rec parse flags picks json = function
+    | [] -> (List.rev flags, List.rev picks, json)
+    | "--fig10-samples" :: n :: rest ->
+      fig10_samples := int_of_string n;
+      parse flags picks json rest
+    | "--json" :: path :: rest -> parse flags picks (Some path) rest
+    | a :: rest when String.length a > 1 && a.[0] = '-' ->
+      parse (a :: flags) picks json rest
+    | a :: rest -> parse flags (a :: picks) json rest
+  in
+  let flags, picks, json = parse [] [] None args in
   if List.mem "--full" flags then fig10_samples := 100000;
   let run_bench = not (List.mem "--no-bench" flags) in
   let selected =
@@ -155,4 +308,7 @@ let () =
         picks
   in
   List.iter (fun (name, f) -> section name f) selected;
-  if run_bench && picks = [] then section "speed (Bechamel)" run_bechamel
+  if run_bench && picks = [] then section "speed (Bechamel)" run_bechamel;
+  let rows = ref [] in
+  section "DSE session cache" (fun () -> rows := bench_dse ());
+  write_bench_json ~path:(Option.value json ~default:"BENCH_dse.json") !rows

@@ -216,10 +216,12 @@ let explore_cmd =
       Dse.Explore.run ~seed:(Int64.of_int seed) ~domains ~samples model board
     in
     Format.printf
-      "%d designs sampled, %d feasible, %.1f s (%.2f ms per design)@." samples
+      "%d designs sampled, %d feasible, %.1f s (%.0f designs/s)@." samples
       (List.length r.Dse.Explore.evaluated)
       r.Dse.Explore.elapsed_s
-      (1000.0 *. r.Dse.Explore.elapsed_s /. float_of_int samples);
+      (float_of_int samples /. Float.max 1e-9 r.Dse.Explore.elapsed_s);
+    Format.printf "session: %a@." Mccm.Eval_session.pp_stats
+      r.Dse.Explore.stats;
     Format.printf "Pareto front (throughput vs buffers):@.";
     List.iter
       (fun (p : Dse.Explore.evaluated Dse.Pareto.point) ->

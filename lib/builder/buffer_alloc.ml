@@ -60,7 +60,134 @@ let fm_tile_bytes_of ~bpe ~width_split layer ~rows =
    same number of times); only the BRAM carve-out shrinks. *)
 let weight_stream_granule_elements = 16384
 
-let plan ?(minimal = false) model board archi ~engines =
+(* ------------------------------------------------------------ cache *)
+
+(* The pipelined tile-count/width-split search is the planner's hot spot
+   and a pure function of the block's layer range and its engines'
+   parallelisms for a fixed (model, board): its soft BRAM budget derives
+   from the block's own MAC share, never from the rest of the
+   architecture.  A cache is scoped to one (model, board) pair by its
+   owner (an evaluation session), so keys carry only the layer range and
+   the engine signatures; the greedy passes that later mutate the floor
+   stay per-architecture and uncached. *)
+
+type engine_sig = {
+  e_pes : int;
+  e_par : int * int * int * int * int * int;
+  e_df : Engine.Dataflow.t;
+}
+
+let engine_sig (e : Engine.Ce.t) =
+  let f d = Engine.Parallelism.factor e.Engine.Ce.parallelism d in
+  {
+    e_pes = e.Engine.Ce.pes;
+    e_par =
+      ( f Engine.Parallelism.Filters,
+        f Engine.Parallelism.Channels,
+        f Engine.Parallelism.Height,
+        f Engine.Parallelism.Width,
+        f Engine.Parallelism.Kernel_h,
+        f Engine.Parallelism.Kernel_w );
+    e_df = e.Engine.Ce.dataflow;
+  }
+
+let fp_engine_sig h s =
+  let a, b, c, d, e, f = s.e_par in
+  let h = Util.Fingerprint.int h s.e_pes in
+  let h = List.fold_left Util.Fingerprint.int h [ a; b; c; d; e; f ] in
+  Util.Fingerprint.int h
+    (match s.e_df with
+    | Engine.Dataflow.Weight_stationary -> 0
+    | Engine.Dataflow.Output_stationary -> 1
+    | Engine.Dataflow.Input_stationary -> 2)
+
+type block_key = {
+  k_fp : int;
+  k_first : int;
+  k_last : int;
+  k_engs : engine_sig array;
+}
+
+let block_key ~first ~last engs =
+  let h = Util.Fingerprint.empty in
+  let h = Util.Fingerprint.int h first in
+  let h = Util.Fingerprint.int h last in
+  let h = Util.Fingerprint.array fp_engine_sig h engs in
+  { k_fp = Util.Fingerprint.to_int h; k_first = first; k_last = last;
+    k_engs = engs }
+
+module Block_tbl = Hashtbl.Make (struct
+  type t = block_key
+
+  let hash k = k.k_fp
+
+  let equal a b =
+    a.k_fp = b.k_fp && a.k_first = b.k_first && a.k_last = b.k_last
+    && a.k_engs = b.k_engs
+end)
+
+(* Immutable floors; the working copies handed to the greedy passes are
+   rebuilt fresh on every hit. *)
+type pipe_floor = {
+  pf_ws : int;
+  pf_rows : int array;
+  pf_fm_tile : int array;
+  pf_aligned_min : int array;
+}
+
+type single_floor = {
+  sf_weights_tile : int;
+  sf_fm_min : int;
+  sf_fm_ideal : int;
+}
+
+type cache = {
+  pipes : pipe_floor Block_tbl.t;
+  singles : single_floor Block_tbl.t;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+let create_cache () =
+  { pipes = Block_tbl.create 128; singles = Block_tbl.create 128;
+    cache_hits = 0; cache_misses = 0 }
+
+let cache_hits c = c.cache_hits
+let cache_misses c = c.cache_misses
+
+(* The copy starts with fresh counters so a later [absorb_cache] adds
+   only the fork's own activity, not a second copy of the parent's. *)
+let copy_cache c =
+  { pipes = Block_tbl.copy c.pipes; singles = Block_tbl.copy c.singles;
+    cache_hits = 0; cache_misses = 0 }
+
+let absorb_cache ~into c =
+  Block_tbl.iter
+    (fun k v -> if not (Block_tbl.mem into.pipes k) then Block_tbl.add into.pipes k v)
+    c.pipes;
+  Block_tbl.iter
+    (fun k v ->
+      if not (Block_tbl.mem into.singles k) then Block_tbl.add into.singles k v)
+    c.singles;
+  into.cache_hits <- into.cache_hits + c.cache_hits;
+  into.cache_misses <- into.cache_misses + c.cache_misses
+
+let memo_block tbl cache key compute =
+  match cache with
+  | None -> compute ()
+  | Some c -> (
+    let tbl = tbl c in
+    match Block_tbl.find_opt tbl key with
+    | Some v ->
+      c.cache_hits <- c.cache_hits + 1;
+      v
+    | None ->
+      c.cache_misses <- c.cache_misses + 1;
+      let v = compute () in
+      Block_tbl.add tbl key v;
+      v)
+
+let plan ?(minimal = false) ?cache model board archi ~engines =
   let bpe = board.Platform.Board.bytes_per_element in
   let bram = board.Platform.Board.bram_bytes in
   let blocks = Array.of_list archi.Arch.Block.blocks in
@@ -71,26 +198,36 @@ let plan ?(minimal = false) model board archi ~engines =
   in
   let make_single ~ce ~first ~last =
     let engine = engines.(ce) in
-    let range = Cnn.Model.layers_in_range model ~first ~last in
-    let weights_tile =
-      2 * bpe
-      * min weight_stream_granule_elements
-          (List.fold_left
-             (fun a l -> max a (Tiling.weight_tile_elements engine l))
-             1 range)
-    in
-    let fm_ideal = bpe * Cnn.Model.max_fms_elements model ~first ~last in
-    let fm_min =
-      min fm_ideal
-        (bpe * List.fold_left (fun a l -> max a (Tiling.min_fm_elements l)) 1 range)
+    let floor =
+      memo_block
+        (fun c -> c.singles)
+        cache
+        (block_key ~first ~last [| engine_sig engine |])
+        (fun () ->
+          let range = Cnn.Model.layers_in_range model ~first ~last in
+          let weights_tile =
+            2 * bpe
+            * min weight_stream_granule_elements
+                (List.fold_left
+                   (fun a l -> max a (Tiling.weight_tile_elements engine l))
+                   1 range)
+          in
+          let fm_ideal = bpe * Cnn.Model.max_fms_elements model ~first ~last in
+          let fm_min =
+            min fm_ideal
+              (bpe
+              * List.fold_left (fun a l -> max a (Tiling.min_fm_elements l)) 1 range
+              )
+          in
+          { sf_weights_tile = weights_tile; sf_fm_min = fm_min;
+            sf_fm_ideal = fm_ideal })
     in
     Wsingle
-      { s_weights_tile = weights_tile; s_fm_min = fm_min; s_fm_ideal = fm_ideal;
-        s_fm_cap = fm_min }
+      { s_weights_tile = floor.sf_weights_tile; s_fm_min = floor.sf_fm_min;
+        s_fm_ideal = floor.sf_fm_ideal; s_fm_cap = floor.sf_fm_min }
   in
-  let make_pipe ~ce_first ~ce_last ~first ~last =
-    let ces = ce_last - ce_first + 1 in
-    let engs = Array.sub engines ce_first ces in
+  let pipe_floor ~engs ~first ~last () =
+    let ces = Array.length engs in
     let n = last - first + 1 in
     let layer i = Cnn.Model.layer model (first + i) in
     let out_h i = (Cnn.Layer.out_shape (layer i)).Cnn.Shape.height in
@@ -240,10 +377,28 @@ let plan ?(minimal = false) model board archi ~engines =
       Array.init n (fun i ->
           fm_tile_bytes_of ~bpe ~width_split:ws (layer i) ~rows:rows.(i))
     in
+    { pf_ws = ws; pf_rows = rows; pf_fm_tile = fm_tile rows;
+      pf_aligned_min = aligned_min }
+  in
+  let make_pipe ~ce_first ~ce_last ~first ~last =
+    let ces = ce_last - ce_first + 1 in
+    let engs = Array.sub engines ce_first ces in
+    let floor =
+      memo_block
+        (fun c -> c.pipes)
+        cache
+        (block_key ~first ~last (Array.map engine_sig engs))
+        (pipe_floor ~engs ~first ~last)
+    in
+    (* The greedy passes mutate rows/tiles in place; the cached floor must
+       stay pristine, so hand them copies.  [pf_aligned_min] is read-only
+       downstream and may be shared. *)
     Wpipe
-      { p_first = first; p_engs = engs; p_ws = ws; p_rows = rows;
-        p_fm_tile = fm_tile rows; p_aligned_min = aligned_min;
-        p_retained = Array.make n false; p_staging = 0 }
+      { p_first = first; p_engs = engs; p_ws = floor.pf_ws;
+        p_rows = Array.copy floor.pf_rows;
+        p_fm_tile = Array.copy floor.pf_fm_tile;
+        p_aligned_min = floor.pf_aligned_min;
+        p_retained = Array.make (last - first + 1) false; p_staging = 0 }
   in
   let work =
     Array.map

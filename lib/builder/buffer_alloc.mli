@@ -49,8 +49,36 @@ type t = {
   feasible : bool;    (** [total_bytes <= board.bram_bytes] *)
 }
 
+type cache
+(** Memo table for the per-block planning floors — the pipelined
+    tile-count/width-split search (the planner's hot spot) and the
+    single-CE weight-tile/FM bounds.  Both are pure functions of the
+    block's layer range and its engines' signatures (PE count,
+    parallelism factors, dataflow) for a fixed (model, board) pair, so a
+    cache must only ever be used with the (model, board) it first saw;
+    {!Mccm.Eval_session} enforces this scoping.  The greedy passes that
+    spend leftover BRAM across blocks remain per-architecture and are
+    never cached.  A cache is not thread-safe; use {!copy_cache} to give
+    each domain its own and {!absorb_cache} to merge afterwards. *)
+
+val create_cache : unit -> cache
+
+val copy_cache : cache -> cache
+(** Snapshot for handing to another domain.  The copy's hit/miss
+    counters start at zero so {!absorb_cache} adds only the fork's own
+    activity. *)
+
+val absorb_cache : into:cache -> cache -> unit
+(** Merge entries (and hit/miss counters) from a forked cache;
+    first-writer wins on key clashes (entries are content-keyed, so
+    clashing values are equal anyway). *)
+
+val cache_hits : cache -> int
+val cache_misses : cache -> int
+
 val plan :
   ?minimal:bool ->
+  ?cache:cache ->
   Cnn.Model.t ->
   Platform.Board.t ->
   Arch.Block.arch ->
@@ -66,6 +94,10 @@ val plan :
     streamed weights.  With [minimal:true] the floor plan is returned
     unchanged.  The plan never exceeds the BRAM budget unless even the
     floor does not fit, in which case [feasible] is [false].
+
+    [cache] memoizes the per-block floors across calls; plans produced
+    with and without a cache are bit-identical (the cache only skips
+    recomputing pure functions).
 
     [engines] must be the architecture's engines indexed by CE id
     (as produced by {!Build.build}). *)

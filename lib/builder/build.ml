@@ -33,24 +33,56 @@ let naive_parallelism pes =
   done;
   Engine.Parallelism.three_d ~filters:!s ~height:!s ~width:!s
 
-let build ?(options = default_options) model board archi =
+(* Build-time memo shared across calls scoped to one (model, board,
+   options) triple by its owner ({!Mccm.Eval_session}): the
+   {!Buffer_alloc} planning floors, plus the parallelism chosen for a
+   CE's layer assignment.  The parallelism key is the assignment's
+   descriptor — (kind, block first/last, slot, slot count, PE count) —
+   which fully determines the layer list, so the per-call construction
+   of the layers and of {!Parallelism_select}'s loop-extent signature is
+   skipped entirely on a hit.  Only the chosen {!Engine.Parallelism.t}
+   is cached; the {!Engine.Ce.t} is rebuilt per call so display ids
+   stay correct. *)
+type cache = {
+  c_plans : Buffer_alloc.cache;
+  c_pars : (int * int * int * int * int * int, Engine.Parallelism.t) Hashtbl.t;
+}
+
+let create_cache () =
+  { c_plans = Buffer_alloc.create_cache (); c_pars = Hashtbl.create 64 }
+
+let copy_cache c =
+  { c_plans = Buffer_alloc.copy_cache c.c_plans;
+    c_pars = Hashtbl.copy c.c_pars }
+
+let absorb_cache ~into c =
+  Buffer_alloc.absorb_cache ~into:into.c_plans c.c_plans;
+  Hashtbl.iter
+    (fun k v -> if not (Hashtbl.mem into.c_pars k) then Hashtbl.add into.c_pars k v)
+    c.c_pars
+
+let plan_cache c = c.c_plans
+
+let build ?(options = default_options) ?cache model board archi =
   let blocks = Array.of_list archi.Arch.Block.blocks in
   let num_ces = Arch.Block.total_ces archi in
   let layer_lists = Array.make num_ces [] in
   let in_pipeline = Array.make num_ces false in
+  (* Per-CE assignment descriptor, the parallelism-memo key prefix. *)
+  let desc = Array.make num_ces (0, 0, 0, 0, 0) in
   Array.iter
     (function
       | Arch.Block.Single { ce; first; last } ->
-        layer_lists.(ce) <- List.init (last - first + 1) (fun k -> first + k)
+        layer_lists.(ce) <- List.init (last - first + 1) (fun k -> first + k);
+        desc.(ce) <- (0, first, last, 0, 1)
       | Arch.Block.Pipelined { ce_first; ce_last; first; last } ->
-        let slots =
-          Workload.pipelined_assignment ~ces:(ce_last - ce_first + 1) ~first
-            ~last
-        in
+        let ces = ce_last - ce_first + 1 in
+        let slots = Workload.pipelined_assignment ~ces ~first ~last in
         Array.iteri
           (fun s ls ->
             layer_lists.(ce_first + s) <- ls;
-            in_pipeline.(ce_first + s) <- true)
+            in_pipeline.(ce_first + s) <- true;
+            desc.(ce_first + s) <- (1, first, last, s, ces))
           slots)
     blocks;
   let macs_of ls =
@@ -60,11 +92,25 @@ let build ?(options = default_options) model board archi =
   in
   let make_engines pes =
     Array.init num_ces (fun ce ->
-        let layers = List.map (Cnn.Model.layer model) layer_lists.(ce) in
         let parallelism =
           match options.parallelism with
           | `Naive -> naive_parallelism pes.(ce)
-          | `Optimized -> Parallelism_select.choose ~pes:pes.(ce) ~layers
+          | `Optimized -> (
+            let compute () =
+              Parallelism_select.choose ~pes:pes.(ce)
+                ~layers:(List.map (Cnn.Model.layer model) layer_lists.(ce))
+            in
+            match cache with
+            | None -> compute ()
+            | Some c -> (
+              let kind, first, last, slot, ces = desc.(ce) in
+              let key = (kind, first, last, slot, ces, pes.(ce)) in
+              match Hashtbl.find_opt c.c_pars key with
+              | Some p -> p
+              | None ->
+                let p = compute () in
+                Hashtbl.add c.c_pars key p;
+                p))
         in
         Engine.Ce.v ~id:(ce + 1) ~pes:pes.(ce) ~parallelism
           ~dataflow:
@@ -134,7 +180,7 @@ let build ?(options = default_options) model board archi =
   let plan =
     Buffer_alloc.plan
       ~minimal:(options.buffers = `Minimal)
-      model board archi ~engines
+      ?cache:(Option.map plan_cache cache) model board archi ~engines
   in
   { model; board; archi; engines; blocks = built_blocks; plan }
 

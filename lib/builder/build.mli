@@ -42,11 +42,40 @@ type t = {
   plan : Buffer_alloc.t;
 }
 
+type cache
+(** Build-time memo: {!Buffer_alloc} planning floors plus the
+    parallelism chosen per CE layer assignment.  A cache must only be
+    used with the one (model, board, options) triple it was created
+    for — {!Mccm.Eval_session} enforces that scoping.  Results are
+    bit-identical with and without it.  Not thread-safe: hand each
+    domain its own {!copy_cache} and merge with {!absorb_cache}. *)
+
+val create_cache : unit -> cache
+
+val copy_cache : cache -> cache
+(** Snapshot for handing to another domain (planning-floor counters in
+    the copy start at zero so {!absorb_cache} adds only the fork's own
+    activity). *)
+
+val absorb_cache : into:cache -> cache -> unit
+(** Merge entries and counters from a forked cache; first writer wins
+    on key clashes (content-keyed, so clashing values are equal). *)
+
+val plan_cache : cache -> Buffer_alloc.cache
+(** The embedded planning-floor cache (for its hit/miss counters). *)
+
 val build :
-  ?options:options -> Cnn.Model.t -> Platform.Board.t -> Arch.Block.arch -> t
+  ?options:options ->
+  ?cache:cache ->
+  Cnn.Model.t ->
+  Platform.Board.t ->
+  Arch.Block.arch ->
+  t
 (** [build model board archi] instantiates [archi] on [board].  Engine
     ids are 1-based CE indices; the PE allocations sum to exactly
-    [board.dsps].
+    [board.dsps].  [cache] memoizes {!Buffer_alloc} planning floors and
+    per-CE parallelism choices across calls that share (model, board,
+    options); results are bit-identical with and without it.
     @raise Invalid_argument if the architecture has more engines than
     the board has DSPs. *)
 

@@ -29,14 +29,22 @@ let enumerate_specs ~num_layers ~ces ~max_specs =
   done;
   List.rev !out
 
-let exhaustive ?(max_specs = 20000) ~ces model board =
+let session_or_fresh session model board =
+  match session with
+  | Some s -> s
+  | None -> Mccm.Eval_session.create model board
+
+let exhaustive ?(max_specs = 20000) ?session ~ces model board =
+  let session = session_or_fresh session model board in
   let specs =
     enumerate_specs ~num_layers:(Cnn.Model.num_layers model) ~ces ~max_specs
   in
+  (* Lexicographic neighbours share almost all their blocks, so the
+     session's segment/plan tables turn the scan largely into lookups. *)
   List.filter_map
     (fun spec ->
       let archi = Arch.Custom.arch_of_spec model spec in
-      let metrics = Mccm.Evaluate.metrics model board archi in
+      let metrics = Mccm.Eval_session.metrics session archi in
       if metrics.Mccm.Metrics.feasible then
         Some { Explore.spec; metrics }
       else None)
@@ -110,10 +118,15 @@ let neighbours ~num_layers (spec : Arch.Custom.spec) =
     (shifts @ [ change_depth 1; change_depth (-1) ] @ split_largest
     @ merge_each)
 
-let local_search ~objective ?(max_steps = 25) model board seed =
+let local_search ~objective ?(max_steps = 25) ?session model board seed =
   let num_layers = Cnn.Model.num_layers model in
+  let session = session_or_fresh session model board in
+  (* A move touches one or two block boundaries, so re-evaluating a
+     neighbour recomputes only the touched blocks; every other segment
+     (and the climb's revisits of the current spec's neighbours) comes
+     out of the session. *)
   let eval spec =
-    Mccm.Evaluate.metrics model board (Arch.Custom.arch_of_spec model spec)
+    Mccm.Eval_session.metrics session (Arch.Custom.arch_of_spec model spec)
   in
   let score m =
     if m.Mccm.Metrics.feasible then objective m else neg_infinity

@@ -16,13 +16,17 @@ val enumerate_specs :
 
 val exhaustive :
   ?max_specs:int ->
+  ?session:Mccm.Eval_session.t ->
   ces:int ->
   Cnn.Model.t ->
   Platform.Board.t ->
   Explore.evaluated list
 (** [exhaustive ~ces model board] evaluates every (up to [max_specs],
     default 20000) custom design with exactly [ces] engines; feasible
-    ones, in enumeration order. *)
+    ones, in enumeration order.  [session] (default: a fresh one)
+    memoizes segment terms across the lexicographic scan — neighbouring
+    specs share nearly all blocks — and across calls; results are
+    bit-identical with or without it. *)
 
 type step = {
   moved : string;                 (** human-readable description *)
@@ -30,16 +34,27 @@ type step = {
   metrics : Mccm.Metrics.t;
 }
 
+val neighbours :
+  num_layers:int -> Arch.Custom.spec -> (string * Arch.Custom.spec) list
+(** [neighbours ~num_layers spec] is the single-move neighbourhood
+    {!local_search} climbs over — every boundary shift by one layer,
+    pipelined-depth change by one, widest-tail-segment split and
+    single-boundary merge that stays a valid spec — each with a
+    human-readable move description. *)
+
 val local_search :
   objective:(Mccm.Metrics.t -> float) ->
   ?max_steps:int ->
+  ?session:Mccm.Eval_session.t ->
   Cnn.Model.t ->
   Platform.Board.t ->
   Arch.Custom.spec ->
   step list
 (** [local_search ~objective model board seed] hill-climbs from [seed],
-    at each step trying every single-boundary shift by one layer, every
-    pipelined-depth change by one, and tail-segment splits/merges,
-    keeping the neighbour that most improves [objective] (higher is
-    better).  Returns the improvement trajectory, seed first; stops at a
-    local optimum or after [max_steps] (default 25) moves. *)
+    at each step trying every {!neighbours} move, keeping the neighbour
+    that most improves [objective] (higher is better).  Returns the
+    improvement trajectory, seed first; stops at a local optimum or
+    after [max_steps] (default 25) moves.  [session] (default: a fresh
+    one) memoizes evaluation — a move touches at most two blocks, so
+    only those are recomputed; results are bit-identical with or
+    without it. *)

@@ -5,6 +5,7 @@ type result = {
   evaluated : evaluated list;
   front : evaluated Pareto.point list;
   elapsed_s : float;
+  stats : Mccm.Eval_session.stats;
 }
 
 let point (e : evaluated) =
@@ -16,47 +17,82 @@ let point (e : evaluated) =
 
 (* Evaluate a contiguous slice of the pre-drawn spec array, keeping
    evaluation order. *)
-let eval_slice ~specs ~lo ~hi model board =
+let eval_slice ~session ~specs ~lo ~hi model =
   let evaluated = ref [] in
   for i = lo to hi - 1 do
     let spec = specs.(i) in
     let archi = Arch.Custom.arch_of_spec model spec in
-    let metrics = Mccm.Evaluate.metrics model board archi in
+    let metrics = Mccm.Eval_session.metrics session archi in
     if metrics.Mccm.Metrics.feasible then
       evaluated := { spec; metrics } :: !evaluated
   done;
   List.rev !evaluated
 
 let run ?(seed = 42L) ?(ce_counts = Arch.Baselines.default_ce_counts)
-    ?(domains = 1) ~samples model board =
+    ?(domains = 1) ?session ~samples model board =
   if samples <= 0 then invalid_arg "Explore.run: non-positive sample count";
   if domains <= 0 then invalid_arg "Explore.run: non-positive domain count";
   (* More domains than cores is strictly harmful (every minor collection
      synchronises all domains); clamp to what the runtime recommends. *)
   let domains = min domains (Domain.recommended_domain_count ()) in
+  let session =
+    match session with
+    | None -> Mccm.Eval_session.create model board
+    | Some s ->
+      if Mccm.Eval_session.board s <> board then
+        invalid_arg "Explore.run: session bound to a different board";
+      s
+  in
   let started = Unix.gettimeofday () in
   (* Sampling is decoupled from evaluation: the whole design set is drawn
      up front from one PRNG stream, so the sampled set — and hence the
      result — depends only on [seed], never on how many domains evaluate
      it (evaluation itself is pure). *)
-  let specs =
+  let drawn =
     let rng = Util.Prng.create ~seed in
     let num_layers = Cnn.Model.num_layers model in
     Array.init samples (fun _ -> Space.random_spec rng ~num_layers ~ce_counts)
   in
+  (* Uniform sampling draws duplicate specs (often, in small spaces);
+     evaluate each distinct design once, in first-occurrence order.
+     [sampled] still counts every draw, so hit-rate statistics and the
+     seed-determinism contract are unchanged. *)
+  let specs =
+    let seen = Hashtbl.create (2 * samples) in
+    Array.to_list drawn
+    |> List.filter (fun s ->
+           if Hashtbl.mem seen s then false
+           else begin
+             Hashtbl.add seen s ();
+             true
+           end)
+    |> Array.of_list
+  in
+  let distinct = Array.length specs in
   let evaluated =
-    if domains = 1 then eval_slice ~specs ~lo:0 ~hi:samples model board
+    if domains = 1 then eval_slice ~session ~specs ~lo:0 ~hi:distinct model
     else begin
-      (* Contiguous slices per domain, concatenated back in order. *)
-      let per = samples / domains and rem = samples mod domains in
+      (* Contiguous slices per domain, concatenated back in order.  Each
+         domain works on its own session fork (the tables are not
+         thread-safe); forks merge back after the join, so a session
+         reused across runs keeps learning.  Caching is bit-invisible,
+         hence the result stays independent of the domain count. *)
+      let per = distinct / domains and rem = distinct mod domains in
       let bound i = (i * per) + min i rem in
       let spawned =
         List.init domains (fun i ->
-            Domain.spawn (fun () ->
-                eval_slice ~specs ~lo:(bound i) ~hi:(bound (i + 1)) model
-                  board))
+            let fork = Mccm.Eval_session.fork session in
+            ( fork,
+              Domain.spawn (fun () ->
+                  eval_slice ~session:fork ~specs ~lo:(bound i)
+                    ~hi:(bound (i + 1)) model) ))
       in
-      List.concat_map Domain.join spawned
+      List.concat_map
+        (fun (fork, d) ->
+          let ev = Domain.join d in
+          Mccm.Eval_session.absorb ~into:session fork;
+          ev)
+        spawned
     end
   in
   let elapsed_s = Unix.gettimeofday () -. started in
@@ -65,6 +101,7 @@ let run ?(seed = 42L) ?(ce_counts = Arch.Baselines.default_ce_counts)
     evaluated;
     front = Pareto.front (List.map point evaluated);
     elapsed_s;
+    stats = Mccm.Eval_session.stats session;
   }
 
 let improvement_over r ~reference =

@@ -7,34 +7,46 @@ type evaluated = {
 }
 
 type result = {
-  sampled : int;                      (** designs drawn *)
-  evaluated : evaluated list;         (** feasible ones, evaluation order *)
+  sampled : int;                      (** designs drawn, duplicates included *)
+  evaluated : evaluated list;
+      (** feasible distinct designs, first-occurrence order *)
   front : evaluated Pareto.point list;
       (** throughput-up / buffer-down Pareto front *)
   elapsed_s : float;                  (** wall time of the sweep *)
+  stats : Mccm.Eval_session.stats;    (** session counters after the sweep *)
 }
 
 val run :
   ?seed:int64 ->
   ?ce_counts:int list ->
   ?domains:int ->
+  ?session:Mccm.Eval_session.t ->
   samples:int ->
   Cnn.Model.t ->
   Platform.Board.t ->
   result
 (** [run ~samples model board] draws custom designs uniformly (CE counts
     default to the paper's 2-11), evaluates each with the analytical
-    model, and extracts the throughput/buffer Pareto front.  Infeasible
-    designs are dropped.  Deterministic for a fixed [seed] (default 42)
-    and fixed [domains].
+    model, and extracts the throughput/buffer Pareto front.  Duplicate
+    draws are evaluated once ([sampled] still counts them); infeasible
+    designs are dropped.  Deterministic for a fixed [seed] (default 42),
+    independent of [domains] and of [session] warmth.
 
     [domains] (default 1) spreads the evaluation over that many parallel
     OCaml domains.  The whole design set is drawn from a single PRNG
-    stream before any evaluation starts, so a given [(seed, samples)]
-    pair yields the same designs — and the same result, in the same
-    order — for every domain count.  The value is clamped to
-    [Domain.recommended_domain_count ()]; oversubscribing cores only
-    adds garbage-collector synchronisation. *)
+    stream and deduplicated before any evaluation starts, so a given
+    [(seed, samples)] pair yields the same designs — and the same
+    result, in the same order — for every domain count.  The value is
+    clamped to [Domain.recommended_domain_count ()]; oversubscribing
+    cores only adds garbage-collector synchronisation.
+
+    [session] (default: a fresh one) memoizes evaluation across the
+    sweep and across calls — pass one session to successive runs on the
+    same (model, board) to keep its caches warm.  With [domains > 1]
+    each domain works on a {!Mccm.Eval_session.fork}, merged back after
+    the join.
+    @raise Invalid_argument if [session] is bound to a different
+    board. *)
 
 val improvement_over :
   result -> reference:Mccm.Metrics.t -> (float * float) option

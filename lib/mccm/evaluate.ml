@@ -63,7 +63,7 @@ let block_buffer_bytes (built : Builder.Build.t) ~index =
   in
   base + inter
 
-let eval_block (built : Builder.Build.t) ~index ~segment_counter =
+let eval_block ?cache (built : Builder.Build.t) ~index ~segment_counter =
   let model = built.Builder.Build.model in
   let board = built.Builder.Build.board in
   let plan = built.Builder.Build.plan in
@@ -82,8 +82,16 @@ let eval_block (built : Builder.Build.t) ~index ~segment_counter =
   | ( Builder.Build.Built_single { engine; first; last },
       Builder.Buffer_alloc.Plan_single splan ) ->
     let r =
-      Single_ce_model.evaluate ~model ~board ~engine ~plan:splan ~first ~last
-        ~input_on_chip ~output_on_chip
+      match cache with
+      | None ->
+        Single_ce_model.evaluate ~model ~board ~engine ~plan:splan ~first ~last
+          ~input_on_chip ~output_on_chip
+      | Some c ->
+        Seg_cache.single c ~engine
+          ~cap:splan.Builder.Buffer_alloc.fm_capacity_bytes ~first ~last
+          ~input_on_chip ~output_on_chip (fun () ->
+            Single_ce_model.evaluate_with_validity ~model ~board ~engine
+              ~plan:splan ~first ~last ~input_on_chip ~output_on_chip)
     in
     let segment =
       {
@@ -107,8 +115,15 @@ let eval_block (built : Builder.Build.t) ~index ~segment_counter =
   | ( Builder.Build.Built_pipelined { engines; first; last; _ },
       Builder.Buffer_alloc.Plan_pipelined pplan ) ->
     let r =
-      Pipelined_model.evaluate ~model ~board ~engines ~plan:pplan ~first ~last
-        ~input_on_chip ~output_on_chip
+      let compute () =
+        Pipelined_model.evaluate ~model ~board ~engines ~plan:pplan ~first
+          ~last ~input_on_chip ~output_on_chip
+      in
+      match cache with
+      | None -> compute ()
+      | Some c ->
+        Seg_cache.pipelined c ~engines ~plan:pplan ~first ~last ~input_on_chip
+          ~output_on_chip compute
     in
     let segments =
       match r.Pipelined_model.rounds with
@@ -151,13 +166,14 @@ let eval_block (built : Builder.Build.t) ~index ~segment_counter =
   | Builder.Build.Built_pipelined _, Builder.Buffer_alloc.Plan_single _ ->
     assert false
 
-let run (built : Builder.Build.t) =
+let run ?cache (built : Builder.Build.t) =
   let board = built.Builder.Build.board in
   let plan = built.Builder.Build.plan in
   let num_blocks = Array.length built.Builder.Build.blocks in
   let segment_counter = ref 0 in
   let blocks =
-    List.init num_blocks (fun index -> eval_block built ~index ~segment_counter)
+    List.init num_blocks (fun index ->
+        eval_block ?cache built ~index ~segment_counter)
   in
   let accesses = Access.sum (List.map (fun b -> b.accesses) blocks) in
   let latency_s = List.fold_left (fun a b -> a +. b.latency_s) 0.0 blocks in

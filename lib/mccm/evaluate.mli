@@ -31,8 +31,12 @@ type t = {
           definition: time per input when processing a batch *)
 }
 
-val run : Builder.Build.t -> t
-(** [run built] evaluates a built accelerator analytically. *)
+val run : ?cache:Seg_cache.t -> Builder.Build.t -> t
+(** [run built] evaluates a built accelerator analytically.  [cache]
+    memoizes per-segment model results across calls sharing a (model,
+    board) pair — see {!Seg_cache}; results are bit-identical with and
+    without it.  Most callers want {!Eval_session} instead of passing a
+    cache directly. *)
 
 val evaluate : Cnn.Model.t -> Platform.Board.t -> Arch.Block.arch -> t
 (** [evaluate model board archi] builds with the Multiple-CE Builder and

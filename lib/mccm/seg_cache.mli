@@ -1,0 +1,73 @@
+(** Content-keyed memo tables for per-segment model results.
+
+    A cache stores {!Single_ce_model.result} and
+    {!Pipelined_model.result} values keyed by everything those models
+    read: the layer range, the engine signatures (PE count, parallelism
+    factors, dataflow — the display-only CE id is excluded), the
+    boundary on-chip flags, and the block's buffer-plan slice (in full
+    for pipelined blocks; as a capacity-validity interval for single-CE
+    blocks, which read the plan only through [fm_capacity_bytes]).  The model and
+    board are deliberately absent from keys: a cache must only ever be
+    used with the one (model, board) pair it was created for, which
+    makes the layer range a complete proxy for layer contents.
+    {!Eval_session} enforces that scoping — use it rather than this
+    module unless you are extending the evaluator itself.
+
+    Cached results are immutable and shared; hits are bit-identical to
+    recomputation by construction (keys carry full structural payloads,
+    so fingerprint collisions cannot alias distinct keys).  A cache is
+    not thread-safe: give each domain its own via {!copy} and merge with
+    {!absorb}. *)
+
+type t
+
+val create : unit -> t
+
+val single :
+  t ->
+  engine:Engine.Ce.t ->
+  cap:int ->
+  first:int ->
+  last:int ->
+  input_on_chip:bool ->
+  output_on_chip:bool ->
+  (unit -> Single_ce_model.result * (int * int)) ->
+  Single_ce_model.result
+(** [single t ~cap ... compute] returns a memoized result valid at FM
+    capacity [cap], or runs [compute] once (it must return the result
+    together with its capacity-validity interval, as
+    {!Single_ce_model.evaluate_with_validity} does) and stores the
+    piece.  The single-CE evaluator is piecewise constant in its
+    capacity, so entries are (interval, result) pieces per (layer range,
+    engine, boundary flags) — a hit only needs [cap] to land inside a
+    recorded interval, which makes the cache immune to the byte-level
+    capacity churn of the planner's global proportional grants. *)
+
+val pipelined :
+  t ->
+  engines:Engine.Ce.t array ->
+  plan:Builder.Buffer_alloc.pipelined_plan ->
+  first:int ->
+  last:int ->
+  input_on_chip:bool ->
+  output_on_chip:bool ->
+  (unit -> Pipelined_model.result) ->
+  Pipelined_model.result
+
+val hits : t -> int
+val misses : t -> int
+
+val single_counts : t -> int * int
+(** Hit/miss counts for the single-CE table alone. *)
+
+val pipelined_counts : t -> int * int
+(** Hit/miss counts for the pipelined table alone. *)
+
+val copy : t -> t
+(** Snapshot for handing to another domain.  The copy's hit/miss
+    counters start at zero so {!absorb} adds only the fork's own
+    activity. *)
+
+val absorb : into:t -> t -> unit
+(** Merge entries and counters from a forked cache; first-writer wins on
+    key clashes (content-keyed, so clashing values are equal anyway). *)

@@ -16,6 +16,51 @@ type result = {
   utilization : float;
 }
 
+(* The evaluator reads its buffer plan only through [fm_capacity_bytes],
+   and every use is either a threshold test ([t <= cap]) or a ceiling
+   division of a constant by a window carved out of the capacity — so
+   the result is a piecewise-constant function of the capacity.  A
+   [validity] accumulator records, as the DP runs, the inclusive
+   capacity interval on which every branch taken and every quotient
+   computed stays the same; any capacity inside the interval provably
+   yields a bit-identical result.  {!Seg_cache} uses this to survive the
+   byte-granular churn of the planner's global proportional grants. *)
+type validity = { mutable lo : int; mutable hi : int }
+
+(* Outcome-preserving threshold test: [t <= cap], narrowing [v] to the
+   capacities that decide the same way. *)
+let le_cap v cap t =
+  if t <= cap then begin
+    if t > v.lo then v.lo <- t;
+    true
+  end
+  else begin
+    if t - 1 < v.hi then v.hi <- t - 1;
+    false
+  end
+
+(* Value-preserving [ceil_div x avail] for [avail = max 1 (cap - reserved)]:
+   narrows [v] to the capacities producing the same quotient. *)
+let cd_window v cap ~reserved x =
+  let avail = max 1 (cap - reserved) in
+  if cap - reserved < 1 then begin
+    (* Clamp active: any capacity <= reserved gives the same window. *)
+    if reserved < v.hi then v.hi <- reserved
+  end
+  else begin
+    if reserved + 1 > v.lo then v.lo <- reserved + 1;
+    if x > 0 then begin
+      let n = Util.Int_math.ceil_div x avail in
+      let alo = Util.Int_math.ceil_div x n in
+      if reserved + alo > v.lo then v.lo <- reserved + alo;
+      if n > 1 then begin
+        let ahi = (x - 1) / (n - 1) in
+        if reserved + ahi < v.hi then v.hi <- reserved + ahi
+      end
+    end
+  end;
+  Util.Int_math.ceil_div x avail
+
 (* Eq. 6 for one layer, as a set of legal buffering decisions rather
    than a single greedy pick.  Each candidate is [(accesses, stays)]:
    the off-chip traffic the decision costs and whether it leaves the
@@ -24,10 +69,11 @@ type result = {
    layer); when the IFM sits in an inter-segment buffer it is on-chip
    but costs no capacity.  [ofm_to_interseg] frees the OFM from the
    capacity and forbids spilling it. *)
-let layer_candidates ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
+let layer_candidates ~validity ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
     ~ofm_to_interseg =
   let bpe = board.Platform.Board.bytes_per_element in
   let cap = plan.Builder.Buffer_alloc.fm_capacity_bytes in
+  let le_cap t = le_cap validity cap t in
   let w = Cnn.Layer.weight_elements layer * bpe in
   let ifm = Cnn.Layer.ifm_elements layer * bpe in
   let ofm = Cnn.Layer.ofm_elements layer * bpe in
@@ -42,7 +88,7 @@ let layer_candidates ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
   let cands = ref [] in
   let add acc stays = cands := (acc, stays) :: !cands in
   if ifm_on_chip then begin
-    if ifm_cap_bytes + ofm_cap_bytes + extra <= cap then begin
+    if le_cap (ifm_cap_bytes + ofm_cap_bytes + extra) then begin
       (* Ideal case: one access per weight. *)
       add (Access.weights w) true;
       (* Voluntarily spilling the OFM can still pay off when the next
@@ -52,12 +98,12 @@ let layer_candidates ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
     end
     else begin
       (* Keep the OFM resident by evicting the shortcut instead. *)
-      if extra > 0 && ifm_cap_bytes + ofm_cap_bytes <= cap then
+      if extra > 0 && le_cap (ifm_cap_bytes + ofm_cap_bytes) then
         add (Access.add (Access.weights w) extra_spill) true;
       (* IFM is resident but the OFM cannot stay: stream it out.  The
          shortcut only spills if it no longer fits beside the IFM. *)
       let es =
-        if ifm_cap_bytes + extra <= cap then Access.zero else extra_spill
+        if le_cap (ifm_cap_bytes + extra) then Access.zero else extra_spill
       in
       add
         (Access.add
@@ -74,14 +120,14 @@ let layer_candidates ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
       * layer.Cnn.Layer.in_shape.Cnn.Shape.channels
       * bpe
     in
-    if ifm + ofm_cap_bytes + extra <= cap then begin
+    if le_cap (ifm + ofm_cap_bytes + extra) then begin
       (* Load the IFM once; everything is buffered afterwards. *)
       add (Access.add (Access.weights w) (Access.fms ifm)) true;
       if not ofm_to_interseg then
         add (Access.add (Access.weights w) (Access.fms (ifm + ofm))) false
     end
     else begin
-      if extra > 0 && ifm + ofm_cap_bytes <= cap then
+      if extra > 0 && le_cap (ifm + ofm_cap_bytes) then
         add
           (Access.add (Access.weights w)
              (Access.add (Access.fms ifm) extra_spill))
@@ -92,15 +138,14 @@ let layer_candidates ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
         let extra_reserved = if extra_kept then extra else 0 in
         let es = if extra_kept then Access.zero else extra_spill in
         let reserved = extra_reserved + if keep_ofm then ofm else 0 in
-        let avail = max 1 (cap - reserved) in
         (* Option 1 — OS, locally input-stationary: each IFM chunk is
            loaded once and the weights re-streamed per chunk. *)
-        let opt1_w = w * Util.Int_math.ceil_div ifm avail in
+        let opt1_w = w * cd_window validity cap ~reserved ifm in
         let opt1_fm = ifm in
         (* Option 2 — OS, locally weight-stationary: each weight chunk is
            loaded once and the IFM re-streamed per chunk. *)
         let opt2_w = w in
-        let opt2_fm = ifm * Util.Int_math.ceil_div w avail in
+        let opt2_fm = ifm * cd_window validity cap ~reserved w in
         let w_acc, ifm_acc =
           if opt1_w + opt1_fm <= opt2_w + opt2_fm then (opt1_w, opt1_fm)
           else (opt2_w, opt2_fm)
@@ -111,9 +156,9 @@ let layer_candidates ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
              (Access.add (Access.weights w_acc) (Access.fms (ifm_acc + ofm_acc))))
           (keep_ofm || ofm_to_interseg)
       in
-      let extra_fits = extra + ofm_cap_bytes + ifm_band <= cap in
+      let extra_fits = le_cap (extra + ofm_cap_bytes + ifm_band) in
       let keep_fits ~extra_reserved =
-        (not ofm_to_interseg) && ofm + extra_reserved + ifm_band <= cap
+        (not ofm_to_interseg) && le_cap (ofm + extra_reserved + ifm_band)
       in
       stream ~extra_kept:false ~keep_ofm:false;
       if extra_fits then stream ~extra_kept:true ~keep_ofm:false;
@@ -124,9 +169,10 @@ let layer_candidates ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
   end;
   List.rev !cands
 
-let evaluate ~model ~board ~engine ~plan ~first ~last ~input_on_chip
-    ~output_on_chip =
+let evaluate_with_validity ~model ~board ~engine ~plan ~first ~last
+    ~input_on_chip ~output_on_chip =
   let bpe = board.Platform.Board.bytes_per_element in
+  let validity = { lo = 0; hi = max_int } in
   (* Two-state DP over the layer chain: a state is whether the layer's
      IFM is resident in the block's FM capacity.  Charging the cheapest
      chain (not a per-layer greedy) keeps the modelled traffic monotone
@@ -171,8 +217,8 @@ let evaluate ~model ~board ~engine ~plan ~first ~last ~input_on_chip
               let j = if stays then 1 else 0 in
               next.(j) <-
                 better next.(j) (Some (Access.add total accesses, r :: trace)))
-            (layer_candidates ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
-               ~ofm_to_interseg))
+            (layer_candidates ~validity ~board ~plan ~layer ~ifm_on_chip
+               ~ifm_in_cap ~ofm_to_interseg))
       states;
     next
   in
@@ -219,5 +265,12 @@ let evaluate ~model ~board ~engine ~plan ~first ~last ~input_on_chip
     Engine.Ce.average_utilization engine
       (Cnn.Model.layers_in_range model ~first ~last)
   in
-  { layers; compute_cycles; accesses; compute_s; memory_s; latency_s;
-    utilization }
+  ( { layers; compute_cycles; accesses; compute_s; memory_s; latency_s;
+      utilization },
+    (validity.lo, validity.hi) )
+
+let evaluate ~model ~board ~engine ~plan ~first ~last ~input_on_chip
+    ~output_on_chip =
+  fst
+    (evaluate_with_validity ~model ~board ~engine ~plan ~first ~last
+       ~input_on_chip ~output_on_chip)

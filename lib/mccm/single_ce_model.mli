@@ -47,3 +47,23 @@ val evaluate :
     leaves through one.  Boundary FM traffic is charged here (a load when
     the input is off-chip, a store when the output is), so composing
     blocks sums accesses without double counting. *)
+
+val evaluate_with_validity :
+  model:Cnn.Model.t ->
+  board:Platform.Board.t ->
+  engine:Engine.Ce.t ->
+  plan:Builder.Buffer_alloc.single_plan ->
+  first:int ->
+  last:int ->
+  input_on_chip:bool ->
+  output_on_chip:bool ->
+  result * (int * int)
+(** Like {!evaluate}, but also returns the inclusive interval
+    [(cap_lo, cap_hi)] of [fm_capacity_bytes] values over which the
+    result is bit-identical.  The evaluator reads its plan only through
+    the capacity, and only in threshold tests and ceiling divisions, so
+    the result is piecewise constant in it; the interval is the piece
+    containing [plan.fm_capacity_bytes] (conservatively narrowed —
+    every branch taken and quotient computed is pinned).  {!Seg_cache}
+    uses this so the byte-granular churn of the planner's proportional
+    grants does not defeat segment-level memoization. *)

@@ -233,9 +233,35 @@ let mono_bram ~replan_slack =
         end);
   }
 
+let cache_exact =
+  {
+    name = "cache-exact";
+    check =
+      (fun ctx ->
+        (* Run the case twice through a fresh memoized session: the first
+           evaluation exercises the segment/plan caches bottom-up, the
+           second is a whole-architecture hit.  Both must equal the
+           uncached reference bit for bit — the session contract is that
+           caching is semantically invisible. *)
+        let session =
+          Mccm.Eval_session.create ctx.case.Case.model ctx.case.Case.board
+        in
+        let archi = Case.materialize ctx.case in
+        match Mccm.Eval_session.metrics_batch session [ archi; archi ] with
+        | [ cold; warm ] ->
+          let reference = ctx.model_eval.Mccm.Evaluate.metrics in
+          if cold <> reference then
+            Fail "cold cached metrics differ from uncached evaluation"
+          else if warm <> reference then
+            Fail "memoized metrics differ from uncached evaluation"
+          else Pass
+        | _ -> Fail "metrics_batch did not preserve arity");
+  }
+
 let default_suite ?(envelope = Envelope.default) ?(replan_slack = 0.5) () =
   [
     sanity;
+    cache_exact;
     sim_dominates;
     ideal_exact;
     realistic_envelope envelope;

@@ -6,6 +6,9 @@
 
     - {b sanity}: metrics are positive and finite; a feasible plan fits
       its board's BRAM.
+    - {b cache-exact}: replaying the case twice through a fresh
+      {!Mccm.Eval_session} (cold caches, then a whole-architecture hit)
+      returns metrics bit-identical to the uncached evaluation.
     - {b sim-dominates}: the realistic simulator can only be slower than
       the analytical lower bound; byte counts replay exactly; discrete
       BRAM banks can only round buffers up.
@@ -40,6 +43,7 @@ val context : Case.t -> ctx
     @raise Invalid_argument when the case's recipe cannot materialise. *)
 
 val sanity : t
+val cache_exact : t
 val sim_dominates : t
 val ideal_exact : t
 val realistic_envelope : Envelope.t -> t

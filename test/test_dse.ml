@@ -216,6 +216,34 @@ let test_explore_parallel_matches_metrics () =
         (Mccm.Metrics.accesses_bytes e.Dse.Explore.metrics))
     r.Dse.Explore.evaluated
 
+let test_explore_dedupes_duplicates () =
+  (* Regression for the duplicate-spec fix: restricting the draw to CE
+     counts 2-3 makes the slice tiny (ces=2 has exactly one design), so
+     a 60-sample run redraws designs constantly.  [sampled] must keep
+     counting every draw while [evaluated] holds each distinct design
+     once; the numbers and the front are pinned for the fixed seed. *)
+  let r =
+    Dse.Explore.run ~seed:21L ~samples:60 ~ce_counts:[ 2; 3 ] mobv2
+      Platform.Board.vcu110
+  in
+  check "sampled counts duplicates" 60 r.Dse.Explore.sampled;
+  check "evaluated is deduplicated" 15 (List.length r.Dse.Explore.evaluated);
+  let specs =
+    List.map (fun (e : Dse.Explore.evaluated) -> e.Dse.Explore.spec)
+      r.Dse.Explore.evaluated
+  in
+  check "specs distinct" 15 (List.length (List.sort_uniq compare specs));
+  check "front size" 7 (List.length r.Dse.Explore.front);
+  Alcotest.(check (list (pair int (list int))))
+    "pinned front specs"
+    [ (1, [ 33 ]); (1, [ 36 ]); (1, [ 43 ]); (1, [ 47 ]); (1, [ 51 ]);
+      (2, []); (1, []) ]
+    (List.map
+       (fun (p : Dse.Explore.evaluated Dse.Pareto.point) ->
+         let s = p.Dse.Pareto.item.Dse.Explore.spec in
+         (s.Arch.Custom.pipelined_layers, s.Arch.Custom.tail_boundaries))
+       r.Dse.Explore.front)
+
 let test_improvement_over_self () =
   let r = Dse.Explore.run ~seed:3L ~samples:100 mobv2 Platform.Board.vcu110 in
   match r.Dse.Explore.evaluated with
@@ -344,6 +372,8 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick test_explore_deterministic;
           Alcotest.test_case "front subset" `Quick test_explore_front_subset;
+          Alcotest.test_case "dedupes duplicate draws" `Quick
+            test_explore_dedupes_duplicates;
           Alcotest.test_case "improvement over self" `Quick
             test_improvement_over_self;
           Alcotest.test_case "parallel deterministic" `Quick

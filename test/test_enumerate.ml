@@ -108,6 +108,75 @@ let test_local_search_specs_valid () =
       ignore (Arch.Custom.arch_of_spec mobv2 s.Dse.Enumerate.spec))
     steps
 
+let test_local_search_seed_first () =
+  let seed = { Arch.Custom.pipelined_layers = 3; tail_boundaries = [ 20 ] } in
+  let steps = Dse.Enumerate.local_search ~objective mobv2 board seed in
+  match steps with
+  | [] -> Alcotest.fail "no steps"
+  | first :: _ ->
+    checkb "trajectory starts at the seed" true
+      (first.Dse.Enumerate.spec = seed);
+    checkb "seed metrics match direct evaluation" true
+      (first.Dse.Enumerate.metrics
+      = Mccm.Evaluate.metrics mobv2 board (Arch.Custom.arch_of_spec mobv2 seed))
+
+let test_local_search_reaches_local_optimum () =
+  (* With an unbounded step budget the climb must stop only when no
+     single-move neighbour improves the objective — check that claim
+     against the exported neighbourhood itself. *)
+  let seed = { Arch.Custom.pipelined_layers = 3; tail_boundaries = [ 20 ] } in
+  let steps =
+    Dse.Enumerate.local_search ~objective ~max_steps:1000 mobv2 board seed
+  in
+  let final = List.nth steps (List.length steps - 1) in
+  let best = objective final.Dse.Enumerate.metrics in
+  let session = Mccm.Eval_session.create mobv2 board in
+  List.iter
+    (fun (move, spec) ->
+      let m =
+        Mccm.Eval_session.metrics session (Arch.Custom.arch_of_spec mobv2 spec)
+      in
+      checkb
+        (Printf.sprintf "no improving neighbour (%s)" move)
+        true
+        (objective m <= best))
+    (Dse.Enumerate.neighbours
+       ~num_layers:(Cnn.Model.num_layers mobv2)
+       final.Dse.Enumerate.spec)
+
+let test_local_search_session_invisible () =
+  (* The session cache must not change the trajectory: same moves, same
+     specs, bit-identical metrics with and without memoization. *)
+  let seed = { Arch.Custom.pipelined_layers = 4; tail_boundaries = [ 15; 30 ] } in
+  let run memoize =
+    Dse.Enumerate.local_search ~objective
+      ~session:(Mccm.Eval_session.create ~memoize mobv2 board)
+      mobv2 board seed
+  in
+  checkb "identical trajectories" true (run true = run false)
+
+let test_exhaustive_prefix_deterministic () =
+  (* Enumeration order is lexicographic and independent of the cap, so
+     a shorter run must be a prefix of a longer one. *)
+  let run max_specs = Dse.Enumerate.exhaustive ~max_specs ~ces:3 mobv2 board in
+  let short = run 60 and long = run 120 in
+  checkb "short run is a prefix" true
+    (List.length short <= List.length long);
+  List.iteri
+    (fun i (e : Dse.Explore.evaluated) ->
+      let e' = List.nth long i in
+      checkb "same spec" true (e.Dse.Explore.spec = e'.Dse.Explore.spec);
+      checkb "same metrics" true (e.Dse.Explore.metrics = e'.Dse.Explore.metrics))
+    short
+
+let test_exhaustive_session_invisible () =
+  let run memoize =
+    Dse.Enumerate.exhaustive
+      ~session:(Mccm.Eval_session.create ~memoize mobv2 board)
+      ~max_specs:80 ~ces:4 mobv2 board
+  in
+  checkb "identical evaluations" true (run true = run false)
+
 (* --------------------------------------------------- builder options *)
 
 let res50 = Cnn.Model_zoo.resnet50 ()
@@ -200,6 +269,10 @@ let () =
             test_enumeration_specs_distinct_and_valid;
           Alcotest.test_case "cap" `Quick test_enumeration_cap;
           Alcotest.test_case "exhaustive small" `Quick test_exhaustive_small;
+          Alcotest.test_case "exhaustive prefix deterministic" `Quick
+            test_exhaustive_prefix_deterministic;
+          Alcotest.test_case "exhaustive session invisible" `Quick
+            test_exhaustive_session_invisible;
         ] );
       ( "local search",
         [
@@ -208,6 +281,11 @@ let () =
           Alcotest.test_case "max steps" `Quick
             test_local_search_respects_max_steps;
           Alcotest.test_case "valid specs" `Quick test_local_search_specs_valid;
+          Alcotest.test_case "seed first" `Quick test_local_search_seed_first;
+          Alcotest.test_case "genuine local optimum" `Slow
+            test_local_search_reaches_local_optimum;
+          Alcotest.test_case "session invisible" `Quick
+            test_local_search_session_invisible;
         ] );
       ( "builder options",
         [

@@ -93,6 +93,34 @@ let test_corpus_replay () =
             (Format.asprintf "%a" Validate.Oracle.pp v))
       cases
 
+let test_corpus_cached_bit_identical () =
+  (* Every corpus case must evaluate to [Stdlib.(=)]-identical metrics
+     through a memoized session (twice, so the second request exercises
+     the whole-architecture table), an unmemoized session, and the raw
+     evaluator: the caches are semantically invisible on the pinned
+     regression set too. *)
+  match Validate.Corpus.load corpus_path with
+  | Error e -> Alcotest.failf "corpus unreadable: %s" e
+  | Ok cases ->
+    List.iter
+      (fun c ->
+        let model = c.Validate.Case.model and board = c.Validate.Case.board in
+        let archi = Validate.Case.materialize c in
+        let cached = Mccm.Eval_session.create model board in
+        let uncached = Mccm.Eval_session.create ~memoize:false model board in
+        let reference = Mccm.Evaluate.metrics model board archi in
+        List.iteri
+          (fun i m ->
+            if m <> reference then
+              Alcotest.failf "case %s: cached path %d diverges"
+                c.Validate.Case.label i)
+          [
+            Mccm.Eval_session.metrics cached archi;
+            Mccm.Eval_session.metrics cached archi;
+            Mccm.Eval_session.metrics uncached archi;
+          ])
+      cases
+
 let test_corpus_round_trip () =
   match Validate.Corpus.load corpus_path with
   | Error e -> Alcotest.failf "corpus unreadable: %s" e
@@ -195,6 +223,8 @@ let () =
       ( "corpus",
         [
           Alcotest.test_case "replay passes" `Quick test_corpus_replay;
+          Alcotest.test_case "cached replay bit-identical" `Quick
+            test_corpus_cached_bit_identical;
           Alcotest.test_case "round trip" `Quick test_corpus_round_trip;
         ] );
       ( "shrink",
