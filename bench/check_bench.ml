@@ -1,10 +1,26 @@
 (* Benchmark-regression gate over BENCH_dse.json.
 
-   Usage:  check_bench <current.json> <baseline.json> [tolerance]
+   Usage:
+     check_bench <current.json> <baseline.json> [tolerance] [trace_tol]
+     check_bench --validate-trace <trace.json>
 
-   Fails (exit 1) when any workload's cached evals/sec in the current
-   file has regressed by more than [tolerance] (default 0.20) relative
-   to the committed baseline, or when a baseline workload is missing.
+   In gate mode it fails (exit 1) when any workload's cached evals/sec
+   in the current file has regressed by more than [tolerance] (default
+   0.20) relative to the committed baseline, or when a baseline workload
+   is missing.  Files with the mccm-bench-dse/2 schema also carry a
+   per-workload "trace_overhead" (traced arm vs cached arm of the same
+   workload, instrumentation fully on); those are gated against
+   [trace_tol] (default 0.20 — the measured overhead is ~5% on a quiet
+   machine, best of three interleaved runs per arm, and the ceiling
+   leaves headroom for noisy CI runners while still catching the
+   order-of-magnitude blowups this gate exists for).  Old /1 files
+   simply lack the field and skip that gate, so the checker stays
+   usable against historic baselines.
+
+   --validate-trace parses a Chrome trace_event JSON file (as written by
+   `mccm --trace` or Mccm_obs.Chrome_trace) and fails unless it holds a
+   non-empty "traceEvents" array of well-formed "X" events.
+
    The toolchain has no JSON library, so a minimal recursive-descent
    parser covering the emitted schema lives here. *)
 
@@ -159,16 +175,44 @@ let cached_rates json =
       ws
   | _ -> failwith "workloads: missing or not an array"
 
-let () =
-  let current_path, baseline_path, tolerance =
-    match Array.to_list Sys.argv with
-    | [ _; c; b ] -> (c, b, 0.20)
-    | [ _; c; b; t ] -> (c, b, float_of_string t)
-    | _ ->
-      prerr_endline "usage: check_bench <current.json> <baseline.json> [tolerance]";
-      exit 2
+(* name -> trace_overhead for every workload that records one
+   (mccm-bench-dse/2); absent on /1 files, where the gate is skipped. *)
+let trace_overheads json =
+  match member "workloads" json with
+  | Some (Arr ws) ->
+    List.filter_map
+      (fun w ->
+        match member "trace_overhead" w with
+        | Some (Num f) -> Some (str_exn "workload name" (member "name" w), f)
+        | _ -> None)
+      ws
+  | _ -> failwith "workloads: missing or not an array"
+
+let validate_trace path =
+  let events =
+    match member "traceEvents" (load path) with
+    | Some (Arr es) -> es
+    | _ -> failwith "traceEvents: missing or not an array"
   in
-  let current = cached_rates (load current_path) in
+  if events = [] then failwith "traceEvents: empty";
+  List.iteri
+    (fun i e ->
+      let what field = Printf.sprintf "traceEvents[%d].%s" i field in
+      let phase = str_exn (what "ph") (member "ph" e) in
+      if phase <> "X" then
+        failwith (what "ph" ^ ": expected complete event \"X\"");
+      ignore (str_exn (what "name") (member "name" e));
+      let dur = num_exn (what "dur") (member "dur" e) in
+      ignore (num_exn (what "ts") (member "ts" e));
+      ignore (num_exn (what "tid") (member "tid" e));
+      if dur < 0.0 then failwith (what "dur" ^ ": negative"))
+    events;
+  Printf.printf "%s: valid Chrome trace, %d complete event(s)\n" path
+    (List.length events)
+
+let gate current_path baseline_path tolerance trace_tol =
+  let current_json = load current_path in
+  let current = cached_rates current_json in
   let baseline = cached_rates (load baseline_path) in
   let failures = ref 0 in
   List.iter
@@ -184,10 +228,35 @@ let () =
           "%s %-16s cached %.0f evals/s (baseline %.0f, floor %.0f)\n" verdict
           name rate base_rate floor)
     baseline;
+  List.iter
+    (fun (name, overhead) ->
+      let verdict =
+        if overhead <= trace_tol then "ok  " else (incr failures; "FAIL")
+      in
+      Printf.printf "%s %-16s trace overhead %+.1f%% (ceiling %.0f%%)\n"
+        verdict name (100.0 *. overhead) (100.0 *. trace_tol))
+    (trace_overheads current_json);
   if !failures > 0 then begin
-    Printf.printf "%d workload(s) regressed more than %.0f%%\n" !failures
-      (100.0 *. tolerance);
+    Printf.printf "%d gate failure(s)\n" !failures;
     exit 1
   end
-  else Printf.printf "all workloads within %.0f%% of baseline\n"
+  else
+    Printf.printf "all workloads within %.0f%% of baseline\n"
       (100.0 *. tolerance)
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "--validate-trace"; path ] -> (
+    try validate_trace path
+    with Failure msg | Parse_error msg ->
+      Printf.printf "FAIL %s: %s\n" path msg;
+      exit 1)
+  | [ _; c; b ] -> gate c b 0.20 0.20
+  | [ _; c; b; t ] -> gate c b (float_of_string t) 0.20
+  | [ _; c; b; t; tt ] -> gate c b (float_of_string t) (float_of_string tt)
+  | _ ->
+    prerr_endline
+      "usage: check_bench <current.json> <baseline.json> [tolerance] \
+       [trace_tol]\n\
+      \       check_bench --validate-trace <trace.json>";
+    exit 2

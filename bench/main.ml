@@ -162,10 +162,17 @@ type dse_row = {
   evals : int;          (* evaluation requests per arm (identical) *)
   uncached_s : float;
   cached_s : float;
+  traced_s : float;     (* cached arm re-run with Mccm_obs fully on *)
+  arch_hit_rate : float;
+  seg_hit_rate : float;
+  plan_hit_rate : float;
+  phases : (string * float) list;
+      (* instrumented phase -> total seconds inside it (traced arm) *)
 }
 
 let evals_per_sec n s = float_of_int n /. Float.max 1e-9 s
 let speedup_of r = r.uncached_s /. Float.max 1e-9 r.cached_s
+let trace_overhead_of r = (r.traced_s /. Float.max 1e-9 r.cached_s) -. 1.0
 
 let bench_dse () =
   let model = Cnn.Model_zoo.mobilenet_v2 () in
@@ -190,12 +197,76 @@ let bench_dse () =
        is equally warm for both arms; only session caching is measured. *)
     ignore (arm run false);
     let un_evals, un_payload, un_s = arm run false in
-    let ca_evals, ca_payload, ca_s = arm run true in
-    if un_evals <> ca_evals then
-      failwith (name ^ ": cached arm issued a different evaluation count");
+    (* The traced-vs-cached ratio below is a gate, so both arms take
+       the best of three interleaved runs: a single wall-clock sample
+       of a sub-second arm jitters (GC slices, scheduling) by more than
+       the overhead being measured, and minima are stable estimators of
+       the true cost.  The traced arm is the same cached workload with
+       spans and metrics fully on; its metric snapshot supplies the
+       cache hit rates and per-phase time breakdown recorded in the
+       JSON. *)
+    let ca_evals, ca_payload, ca_s = ref 0, ref un_payload, ref infinity in
+    let tr_evals, tr_payload, tr_s = ref 0, ref un_payload, ref infinity in
+    let snap = ref (Mccm_obs.Metric.snapshot ()) in
+    for _ = 1 to 3 do
+      let e, p, s = arm run true in
+      ca_evals := e;
+      ca_payload := p;
+      ca_s := Float.min !ca_s s;
+      Mccm_obs.enable ~tracing:true ();
+      Mccm_obs.reset ();
+      let e, p, s = arm run true in
+      tr_evals := e;
+      tr_payload := p;
+      tr_s := Float.min !tr_s s;
+      snap := Mccm_obs.Metric.snapshot ();
+      Mccm_obs.disable ();
+      Mccm_obs.reset ()
+    done;
+    let ca_evals, ca_payload, ca_s = (!ca_evals, !ca_payload, !ca_s) in
+    let tr_evals, tr_payload, tr_s = (!tr_evals, !tr_payload, !tr_s) in
+    let snap = !snap in
+    if un_evals <> ca_evals || un_evals <> tr_evals then
+      failwith (name ^ ": arms issued different evaluation counts");
     if un_payload <> ca_payload then
       failwith (name ^ ": cached results are not bit-identical to uncached");
-    { workload = name; evals = un_evals; uncached_s = un_s; cached_s = ca_s }
+    if un_payload <> tr_payload then
+      failwith (name ^ ": traced results are not bit-identical to uncached");
+    let c n =
+      Option.value ~default:0
+        (List.assoc_opt n snap.Mccm_obs.Metric.counters)
+    in
+    let hist_total n =
+      match List.assoc_opt n snap.Mccm_obs.Metric.histograms with
+      | Some h -> h.Mccm_obs.Metric.sum
+      | None -> 0.0
+    in
+    let rate hit miss =
+      let total = hit + miss in
+      if total = 0 then 0.0 else float_of_int hit /. float_of_int total
+    in
+    {
+      workload = name;
+      evals = un_evals;
+      uncached_s = un_s;
+      cached_s = ca_s;
+      traced_s = tr_s;
+      arch_hit_rate = rate (c "session.arch.hit") (c "session.arch.miss");
+      seg_hit_rate =
+        rate
+          (c "seg.single.hit" + c "seg.pipelined.hit")
+          (c "seg.single.miss" + c "seg.pipelined.miss");
+      plan_hit_rate = rate (c "plan.floor.hit") (c "plan.floor.miss");
+      phases =
+        List.map
+          (fun (label, span) -> (label, hist_total span))
+          [
+            ("eval_single_ce", "span.eval.single_ce");
+            ("eval_pipelined", "span.eval.pipelined");
+            ("build_plan", "span.build.plan");
+            ("build_parallelism_select", "span.build.parallelism_select");
+          ];
+    }
   in
   (* Multi-start refinement: the standard DSE flow this cache targets —
      many short hill climbs whose trajectories overlap heavily in the
@@ -228,7 +299,9 @@ let bench_dse () =
         [ ("workload", Util.Table.Left); ("evals", Util.Table.Right);
           ("uncached evals/s", Util.Table.Right);
           ("cached evals/s", Util.Table.Right);
-          ("speedup", Util.Table.Right) ]
+          ("speedup", Util.Table.Right);
+          ("trace overhead", Util.Table.Right);
+          ("seg hits", Util.Table.Right) ]
       ()
   in
   List.iter
@@ -237,7 +310,9 @@ let bench_dse () =
         [ r.workload; string_of_int r.evals;
           Format.sprintf "%.0f" (evals_per_sec r.evals r.uncached_s);
           Format.sprintf "%.0f" (evals_per_sec r.evals r.cached_s);
-          Format.sprintf "%.1fx" (speedup_of r) ])
+          Format.sprintf "%.1fx" (speedup_of r);
+          Format.sprintf "%+.1f%%" (100.0 *. trace_overhead_of r);
+          Format.sprintf "%.0f%%" (100.0 *. r.seg_hit_rate) ])
     rows;
   Util.Table.print table;
   rows
@@ -247,7 +322,7 @@ let bench_dse () =
 let write_bench_json ~path rows =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.bprintf buf fmt in
-  add "{\n  \"schema\": \"mccm-bench-dse/1\",\n";
+  add "{\n  \"schema\": \"mccm-bench-dse/2\",\n";
   add "  \"fig10_samples\": %d,\n" !fig10_samples;
   add "  \"workloads\": [\n";
   List.iteri
@@ -255,11 +330,26 @@ let write_bench_json ~path rows =
       add
         "    { \"name\": \"%s\", \"evals\": %d, \"uncached_s\": %.6f, \
          \"cached_s\": %.6f, \"uncached_evals_per_sec\": %.1f, \
-         \"cached_evals_per_sec\": %.1f, \"speedup\": %.2f }%s\n"
+         \"cached_evals_per_sec\": %.1f, \"speedup\": %.2f,\n"
         r.workload r.evals r.uncached_s r.cached_s
         (evals_per_sec r.evals r.uncached_s)
         (evals_per_sec r.evals r.cached_s)
-        (speedup_of r)
+        (speedup_of r);
+      add
+        "      \"traced_s\": %.6f, \"traced_evals_per_sec\": %.1f, \
+         \"trace_overhead\": %.4f,\n"
+        r.traced_s
+        (evals_per_sec r.evals r.traced_s)
+        (trace_overhead_of r);
+      add
+        "      \"arch_hit_rate\": %.4f, \"seg_hit_rate\": %.4f, \
+         \"plan_hit_rate\": %.4f,\n"
+        r.arch_hit_rate r.seg_hit_rate r.plan_hit_rate;
+      add "      \"phases\": { %s } }%s\n"
+        (String.concat ", "
+           (List.map
+              (fun (label, s) -> Printf.sprintf "\"%s\": %.6f" label s)
+              r.phases))
         (if i = List.length rows - 1 then "" else ","))
     rows;
   add "  ],\n  \"artifacts\": [\n";

@@ -71,6 +71,56 @@ let board_arg =
    or the paper's block notation. *)
 let arch_of_string model s = Arch.Shorthand.parse model s
 
+(* --------------------------------------------------- observability *)
+
+(* Every subcommand accepts --trace FILE and --stats.  The run is
+   covered by a root span so the exported trace accounts for the whole
+   command's wall time, not just the instrumented leaves. *)
+let obs_args =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record instrumentation spans and write them to $(docv) as \
+             Chrome trace_event JSON (load it in Perfetto at \
+             ui.perfetto.dev, or chrome://tracing).")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Collect metrics (cache hit rates, dedup ratios, per-phase \
+             span timings) and print the mccm stats summary block after \
+             the command.")
+  in
+  Term.(const (fun trace stats -> (trace, stats)) $ trace $ stats)
+
+let with_obs cmd_name (trace, stats) f =
+  let on = trace <> None || stats in
+  if on then Mccm_obs.enable ~tracing:(trace <> None) ();
+  let finish () =
+    if on then begin
+      (match trace with
+      | Some path ->
+        Mccm_obs.write_trace ~path;
+        Format.printf "wrote Chrome trace to %s@." path
+      | None -> ());
+      if stats then
+        Format.printf "@.mccm stats:@.%a@." Mccm_obs.pp_summary ();
+      Mccm_obs.disable ()
+    end
+  in
+  match Mccm_obs.span ~cat:"cli" ("mccm." ^ cmd_name) f with
+  | code ->
+    finish ();
+    code
+  | exception e ->
+    finish ();
+    raise e
+
 let print_evaluation ~verbose model board archi =
   let built = Builder.Build.build model board archi in
   let e = Mccm.Evaluate.run built in
@@ -115,7 +165,8 @@ let eval_cmd =
           ~doc:"Also print the fine-grained breakdown and the synthesis \
                 surrogate's reference numbers.")
   in
-  let run model board arch_str verbose =
+  let run obs model board arch_str verbose =
+    with_obs "eval" obs @@ fun () ->
     match arch_of_string model arch_str with
     | Error msg ->
       Format.eprintf "error: %s@." msg;
@@ -126,7 +177,7 @@ let eval_cmd =
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate one multiple-CE accelerator with MCCM.")
-    Term.(const run $ model_arg $ board_arg $ arch_arg $ verbose_arg)
+    Term.(const run $ obs_args $ model_arg $ board_arg $ arch_arg $ verbose_arg)
 
 (* ------------------------------------------------------------ sweep *)
 
@@ -137,7 +188,8 @@ let sweep_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"PATH" ~doc:"Also write the results as CSV.")
   in
-  let run model board csv =
+  let run obs model board csv =
+    with_obs "sweep" obs @@ fun () ->
     let table =
       Util.Table.create
         ~title:
@@ -187,7 +239,7 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Evaluate all 30 baseline instances (3 architectures x 2-11 CEs).")
-    Term.(const run $ model_arg $ board_arg $ csv_arg)
+    Term.(const run $ obs_args $ model_arg $ board_arg $ csv_arg)
 
 (* ---------------------------------------------------------- explore *)
 
@@ -211,12 +263,19 @@ let explore_cmd =
             "Parallel OCaml domains to spread the sweep over \
              (deterministic per (seed, N)).")
   in
-  let run model board samples seed domains =
+  let run obs model board samples seed domains =
+    with_obs "explore" obs @@ fun () ->
     let r =
       Dse.Explore.run ~seed:(Int64.of_int seed) ~domains ~samples model board
     in
     Format.printf
-      "%d designs sampled, %d feasible, %.1f s (%.0f designs/s)@." samples
+      "%d designs sampled, %d distinct (%.1f%% dedup), %d feasible, %.1f s \
+       (%.0f designs/s)@."
+      samples r.Dse.Explore.distinct
+      (100.0
+      *. (1.0
+         -. (float_of_int r.Dse.Explore.distinct
+            /. float_of_int (max 1 samples))))
       (List.length r.Dse.Explore.evaluated)
       r.Dse.Explore.elapsed_s
       (float_of_int samples /. Float.max 1e-9 r.Dse.Explore.elapsed_s);
@@ -239,7 +298,7 @@ let explore_cmd =
          "Randomly explore custom Hybrid-first architectures and print the \
           throughput/buffer Pareto front.")
     Term.(
-      const run $ model_arg $ board_arg $ samples_arg $ seed_arg
+      const run $ obs_args $ model_arg $ board_arg $ samples_arg $ seed_arg
       $ domains_arg)
 
 (* --------------------------------------------------------- validate *)
@@ -281,7 +340,8 @@ let validate_cmd =
             "Append newly found (shrunk) counterexamples to the corpus \
              file, so they replay on every future run.")
   in
-  let run samples seed domains corpus update =
+  let run obs samples seed domains corpus update =
+    with_obs "validate" obs @@ fun () ->
     let t =
       Validate.Sweep.run ~samples ~seed:(Int64.of_int seed) ~domains ?corpus ()
     in
@@ -314,7 +374,7 @@ let validate_cmd =
           against the simulator on randomized cases, with metamorphic \
           invariants and counterexample shrinking.")
     Term.(
-      const run $ samples_arg $ seed_arg $ domains_arg $ corpus_arg
+      const run $ obs_args $ samples_arg $ seed_arg $ domains_arg $ corpus_arg
       $ update_arg)
 
 (* ----------------------------------------------------------- layers *)
@@ -331,7 +391,8 @@ let layers_cmd =
       value & opt int 5
       & info [ "top" ] ~docv:"N" ~doc:"How many hotspot layers to flag.")
   in
-  let run model board arch_str top =
+  let run obs model board arch_str top =
+    with_obs "layers" obs @@ fun () ->
     match arch_of_string model arch_str with
     | Error msg ->
       Format.eprintf "error: %s@." msg;
@@ -353,7 +414,7 @@ let layers_cmd =
   Cmd.v
     (Cmd.info "layers"
        ~doc:"Per-layer cycles, utilization and traffic of one accelerator.")
-    Term.(const run $ model_arg $ board_arg $ arch_arg $ top_arg)
+    Term.(const run $ obs_args $ model_arg $ board_arg $ arch_arg $ top_arg)
 
 (* ------------------------------------------------------------ trace *)
 
@@ -437,7 +498,8 @@ let compress_cmd =
       value & opt float 2.0
       & info [ "r"; "ratio" ] ~docv:"R" ~doc:"Compression factor (> 1).")
   in
-  let run model board arch_str ratio =
+  let run obs model board arch_str ratio =
+    with_obs "compress" obs @@ fun () ->
     match arch_of_string model arch_str with
     | Error msg ->
       Format.eprintf "error: %s@." msg;
@@ -473,7 +535,7 @@ let compress_cmd =
        ~doc:
          "What-if analysis: which operand is worth compressing, and what \
           it buys (Use Case 2).")
-    Term.(const run $ model_arg $ board_arg $ arch_arg $ ratio_arg)
+    Term.(const run $ obs_args $ model_arg $ board_arg $ arch_arg $ ratio_arg)
 
 (* ----------------------------------------------------------- refine *)
 
@@ -498,7 +560,8 @@ let refine_cmd =
       & info [ "t"; "tail" ] ~docv:"S"
           ~doc:"Tail segments of the seed design.")
   in
-  let run model board objective pipelined tail =
+  let run obs model board objective pipelined tail =
+    with_obs "refine" obs @@ fun () ->
     let seed_arch =
       Arch.Custom.balanced model ~pipelined_layers:pipelined
         ~tail_segments:tail
@@ -537,8 +600,8 @@ let refine_cmd =
          "Hill-climb a custom design's boundaries toward an objective \
           (Use Case 3's guided exploration).")
     Term.(
-      const run $ model_arg $ board_arg $ objective_arg $ pipelined_arg
-      $ tail_arg)
+      const run $ obs_args $ model_arg $ board_arg $ objective_arg
+      $ pipelined_arg $ tail_arg)
 
 let () =
   let doc = "Analytical cost model for multiple compute-engine CNN accelerators" in

@@ -1,5 +1,9 @@
 let cd = Util.Int_math.ceil_div
 
+let c_floor_hit = Mccm_obs.Metric.counter "plan.floor.hit"
+let c_floor_miss = Mccm_obs.Metric.counter "plan.floor.miss"
+
+
 type single_plan = {
   weights_tile_bytes : int;
   fm_capacity_bytes : int;
@@ -172,18 +176,27 @@ let absorb_cache ~into c =
   into.cache_hits <- into.cache_hits + c.cache_hits;
   into.cache_misses <- into.cache_misses + c.cache_misses
 
+(* The planning floor (row-streaming minima and tiling search) is the
+   expensive part of a plan; wrap its computation in a span so traces
+   separate floor time from the greedy capacity passes, and count
+   hits/misses in the global registry next to the per-cache counters. *)
+let timed_floor compute =
+  Mccm_obs.span ~cat:"build" "build.planning_floor" compute
+
 let memo_block tbl cache key compute =
   match cache with
-  | None -> compute ()
+  | None -> timed_floor compute
   | Some c -> (
     let tbl = tbl c in
     match Block_tbl.find_opt tbl key with
     | Some v ->
       c.cache_hits <- c.cache_hits + 1;
+      Mccm_obs.Metric.incr c_floor_hit;
       v
     | None ->
       c.cache_misses <- c.cache_misses + 1;
-      let v = compute () in
+      Mccm_obs.Metric.incr c_floor_miss;
+      let v = timed_floor compute in
       Block_tbl.add tbl key v;
       v)
 

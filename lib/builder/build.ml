@@ -63,7 +63,11 @@ let absorb_cache ~into c =
 
 let plan_cache c = c.c_plans
 
+let c_builds = Mccm_obs.Metric.counter "build.builds"
+
 let build ?(options = default_options) ?cache model board archi =
+  Mccm_obs.span ~cat:"build" "build.build" @@ fun () ->
+  Mccm_obs.Metric.incr c_builds;
   let blocks = Array.of_list archi.Arch.Block.blocks in
   let num_ces = Arch.Block.total_ces archi in
   let layer_lists = Array.make num_ces [] in
@@ -97,8 +101,11 @@ let build ?(options = default_options) ?cache model board archi =
           | `Naive -> naive_parallelism pes.(ce)
           | `Optimized -> (
             let compute () =
-              Parallelism_select.choose ~pes:pes.(ce)
-                ~layers:(List.map (Cnn.Model.layer model) layer_lists.(ce))
+              Mccm_obs.span ~cat:"build" "build.parallelism_select"
+                (fun () ->
+                  Parallelism_select.choose ~pes:pes.(ce)
+                    ~layers:
+                      (List.map (Cnn.Model.layer model) layer_lists.(ce)))
             in
             match cache with
             | None -> compute ()
@@ -178,9 +185,10 @@ let build ?(options = default_options) ?cache model board archi =
       blocks
   in
   let plan =
-    Buffer_alloc.plan
-      ~minimal:(options.buffers = `Minimal)
-      ?cache:(Option.map plan_cache cache) model board archi ~engines
+    Mccm_obs.span ~cat:"build" "build.plan" (fun () ->
+        Buffer_alloc.plan
+          ~minimal:(options.buffers = `Minimal)
+          ?cache:(Option.map plan_cache cache) model board archi ~engines)
   in
   { model; board; archi; engines; blocks = built_blocks; plan }
 

@@ -1,5 +1,10 @@
 (* Exhaustive enumeration and hill-climbing over custom specs. *)
 
+let h_neighbourhood = Mccm_obs.Metric.histogram "dse.neighbourhood_size"
+let c_steps = Mccm_obs.Metric.counter "dse.local_search.steps"
+let c_exhaustive = Mccm_obs.Metric.counter "dse.exhaustive.specs"
+let g_best_objective = Mccm_obs.Metric.gauge "dse.best_objective"
+
 let enumerate_specs ~num_layers ~ces ~max_specs =
   if ces < 2 then invalid_arg "Enumerate.enumerate_specs: ces < 2";
   let out = ref [] in
@@ -35,10 +40,12 @@ let session_or_fresh session model board =
   | None -> Mccm.Eval_session.create model board
 
 let exhaustive ?(max_specs = 20000) ?session ~ces model board =
+  Mccm_obs.span ~cat:"dse" "dse.exhaustive" @@ fun () ->
   let session = session_or_fresh session model board in
   let specs =
     enumerate_specs ~num_layers:(Cnn.Model.num_layers model) ~ces ~max_specs
   in
+  Mccm_obs.Metric.add c_exhaustive (List.length specs);
   (* Lexicographic neighbours share almost all their blocks, so the
      session's segment/plan tables turn the scan largely into lookups. *)
   List.filter_map
@@ -119,6 +126,7 @@ let neighbours ~num_layers (spec : Arch.Custom.spec) =
     @ merge_each)
 
 let local_search ~objective ?(max_steps = 25) ?session model board seed =
+  Mccm_obs.span ~cat:"dse" "dse.local_search" @@ fun () ->
   let num_layers = Cnn.Model.num_layers model in
   let session = session_or_fresh session model board in
   (* A move touches one or two block boundaries, so re-evaluating a
@@ -135,6 +143,12 @@ let local_search ~objective ?(max_steps = 25) ?session model board seed =
     if steps_left = 0 then List.rev trajectory
     else begin
       let current = score metrics in
+      if current > neg_infinity then
+        Mccm_obs.Metric.update_max g_best_objective current;
+      let neigh = neighbours ~num_layers spec in
+      Mccm_obs.Metric.incr c_steps;
+      Mccm_obs.Metric.observe h_neighbourhood
+        (float_of_int (List.length neigh));
       let best =
         List.fold_left
           (fun acc (moved, candidate) ->
@@ -144,8 +158,7 @@ let local_search ~objective ?(max_steps = 25) ?session model board seed =
             | Some (_, _, sb) when sb >= s -> acc
             | _ when s > current -> Some ((moved, candidate, m), m, s)
             | _ -> acc)
-          None
-          (neighbours ~num_layers spec)
+          None neigh
       in
       match best with
       | None -> List.rev trajectory

@@ -2,11 +2,18 @@ type evaluated = { spec : Arch.Custom.spec; metrics : Mccm.Metrics.t }
 
 type result = {
   sampled : int;
+  distinct : int;
   evaluated : evaluated list;
   front : evaluated Pareto.point list;
   elapsed_s : float;
   stats : Mccm.Eval_session.stats;
 }
+
+let c_sampled = Mccm_obs.Metric.counter "dse.sampled"
+let c_distinct = Mccm_obs.Metric.counter "dse.distinct"
+let c_duplicates = Mccm_obs.Metric.counter "dse.duplicates"
+let c_feasible = Mccm_obs.Metric.counter "dse.feasible"
+let g_best = Mccm_obs.Metric.gauge "dse.best_throughput_ips"
 
 let point (e : evaluated) =
   {
@@ -18,13 +25,19 @@ let point (e : evaluated) =
 (* Evaluate a contiguous slice of the pre-drawn spec array, keeping
    evaluation order. *)
 let eval_slice ~session ~specs ~lo ~hi model =
+  Mccm_obs.span ~cat:"dse" "dse.eval_slice"
+    ~args:[ ("designs", string_of_int (hi - lo)) ]
+  @@ fun () ->
   let evaluated = ref [] in
   for i = lo to hi - 1 do
     let spec = specs.(i) in
     let archi = Arch.Custom.arch_of_spec model spec in
     let metrics = Mccm.Eval_session.metrics session archi in
-    if metrics.Mccm.Metrics.feasible then
+    if metrics.Mccm.Metrics.feasible then begin
+      Mccm_obs.Metric.incr c_feasible;
+      Mccm_obs.Metric.update_max g_best metrics.Mccm.Metrics.throughput_ips;
       evaluated := { spec; metrics } :: !evaluated
+    end
   done;
   List.rev !evaluated
 
@@ -49,27 +62,36 @@ let run ?(seed = 42L) ?(ce_counts = Arch.Baselines.default_ce_counts)
      result — depends only on [seed], never on how many domains evaluate
      it (evaluation itself is pure). *)
   let drawn =
-    let rng = Util.Prng.create ~seed in
-    let num_layers = Cnn.Model.num_layers model in
-    Array.init samples (fun _ -> Space.random_spec rng ~num_layers ~ce_counts)
+    Mccm_obs.span ~cat:"dse" "dse.draw" (fun () ->
+        let rng = Util.Prng.create ~seed in
+        let num_layers = Cnn.Model.num_layers model in
+        Array.init samples (fun _ ->
+            Space.random_spec rng ~num_layers ~ce_counts))
   in
   (* Uniform sampling draws duplicate specs (often, in small spaces);
      evaluate each distinct design once, in first-occurrence order.
      [sampled] still counts every draw, so hit-rate statistics and the
      seed-determinism contract are unchanged. *)
   let specs =
-    let seen = Hashtbl.create (2 * samples) in
-    Array.to_list drawn
-    |> List.filter (fun s ->
-           if Hashtbl.mem seen s then false
-           else begin
-             Hashtbl.add seen s ();
-             true
-           end)
-    |> Array.of_list
+    Mccm_obs.span ~cat:"dse" "dse.dedup" (fun () ->
+        let seen = Hashtbl.create (2 * samples) in
+        Array.to_list drawn
+        |> List.filter (fun s ->
+               if Hashtbl.mem seen s then false
+               else begin
+                 Hashtbl.add seen s ();
+                 true
+               end)
+        |> Array.of_list)
   in
   let distinct = Array.length specs in
+  Mccm_obs.Metric.add c_sampled samples;
+  Mccm_obs.Metric.add c_distinct distinct;
+  Mccm_obs.Metric.add c_duplicates (samples - distinct);
   let evaluated =
+    Mccm_obs.span ~cat:"dse" "dse.eval"
+      ~args:[ ("distinct", string_of_int distinct) ]
+    @@ fun () ->
     if domains = 1 then eval_slice ~session ~specs ~lo:0 ~hi:distinct model
     else begin
       (* Contiguous slices per domain, concatenated back in order.  Each
@@ -98,6 +120,7 @@ let run ?(seed = 42L) ?(ce_counts = Arch.Baselines.default_ce_counts)
   let elapsed_s = Unix.gettimeofday () -. started in
   {
     sampled = samples;
+    distinct;
     evaluated;
     front = Pareto.front (List.map point evaluated);
     elapsed_s;

@@ -8,6 +8,9 @@ type evaluated = {
 
 type result = {
   sampled : int;                      (** designs drawn, duplicates included *)
+  distinct : int;
+      (** distinct designs after deduplication; the dedup ratio is
+          [1 - distinct / sampled] *)
   evaluated : evaluated list;
       (** feasible distinct designs, first-occurrence order *)
   front : evaluated Pareto.point list;

@@ -15,6 +15,14 @@
 
 module Fp = Util.Fingerprint
 
+(* Global observability counters next to the per-session ones: the
+   per-session stats stay the API (fork/absorb keeps them exact per
+   session); these feed `mccm --stats` and the bench phase breakdown
+   across every session in the process. *)
+let c_evals = Mccm_obs.Metric.counter "session.evaluations"
+let c_arch_hit = Mccm_obs.Metric.counter "session.arch.hit"
+let c_arch_miss = Mccm_obs.Metric.counter "session.arch.miss"
+
 type arch_key = {
   a_fp : int;
   a_style : Arch.Block.style;
@@ -96,6 +104,7 @@ let memoized t = t.memoize
 
 let evaluate t archi =
   t.n_evals <- t.n_evals + 1;
+  Mccm_obs.Metric.incr c_evals;
   if not t.memoize then
     Evaluate.run (Builder.Build.build ~options:t.options t.model t.board archi)
   else begin
@@ -103,8 +112,10 @@ let evaluate t archi =
     match Arch_tbl.find_opt t.archs key with
     | Some e ->
       t.n_arch_hits <- t.n_arch_hits + 1;
+      Mccm_obs.Metric.incr c_arch_hit;
       e
     | None ->
+      Mccm_obs.Metric.incr c_arch_miss;
       let built =
         Builder.Build.build ~options:t.options ~cache:t.bcache t.model
           t.board archi

@@ -1,3 +1,10 @@
+(* Observability hooks: one span per block-model evaluation (split by
+   single-CE vs pipelined — the two model families the paper composes)
+   plus one around each whole run.  Dormant, each is a single atomic
+   load (see Mccm_obs.Control). *)
+let c_single = Mccm_obs.Metric.counter "eval.single_ce.blocks"
+let c_pipelined = Mccm_obs.Metric.counter "eval.pipelined.blocks"
+
 type block_eval = {
   block_index : int;
   latency_s : float;
@@ -81,17 +88,22 @@ let eval_block ?cache (built : Builder.Build.t) ~index ~segment_counter =
   with
   | ( Builder.Build.Built_single { engine; first; last },
       Builder.Buffer_alloc.Plan_single splan ) ->
+    (* The span covers only the model computation: a segment-cache hit
+       is a table probe whose cost a span would dwarf, and hits are
+       already counted by Seg_cache ("seg.single.hit"). *)
+    let compute () =
+      Mccm_obs.span ~cat:"mccm" "eval.single_ce" @@ fun () ->
+      Mccm_obs.Metric.incr c_single;
+      Single_ce_model.evaluate_with_validity ~model ~board ~engine ~plan:splan
+        ~first ~last ~input_on_chip ~output_on_chip
+    in
     let r =
       match cache with
-      | None ->
-        Single_ce_model.evaluate ~model ~board ~engine ~plan:splan ~first ~last
-          ~input_on_chip ~output_on_chip
+      | None -> fst (compute ())
       | Some c ->
         Seg_cache.single c ~engine
           ~cap:splan.Builder.Buffer_alloc.fm_capacity_bytes ~first ~last
-          ~input_on_chip ~output_on_chip (fun () ->
-            Single_ce_model.evaluate_with_validity ~model ~board ~engine
-              ~plan:splan ~first ~last ~input_on_chip ~output_on_chip)
+          ~input_on_chip ~output_on_chip compute
     in
     let segment =
       {
@@ -114,11 +126,13 @@ let eval_block ?cache (built : Builder.Build.t) ~index ~segment_counter =
     }
   | ( Builder.Build.Built_pipelined { engines; first; last; _ },
       Builder.Buffer_alloc.Plan_pipelined pplan ) ->
+    let compute () =
+      Mccm_obs.span ~cat:"mccm" "eval.pipelined" @@ fun () ->
+      Mccm_obs.Metric.incr c_pipelined;
+      Pipelined_model.evaluate ~model ~board ~engines ~plan:pplan ~first ~last
+        ~input_on_chip ~output_on_chip
+    in
     let r =
-      let compute () =
-        Pipelined_model.evaluate ~model ~board ~engines ~plan:pplan ~first
-          ~last ~input_on_chip ~output_on_chip
-      in
       match cache with
       | None -> compute ()
       | Some c ->
@@ -167,6 +181,7 @@ let eval_block ?cache (built : Builder.Build.t) ~index ~segment_counter =
     assert false
 
 let run ?cache (built : Builder.Build.t) =
+  Mccm_obs.span ~cat:"mccm" "eval.run" @@ fun () ->
   let board = built.Builder.Build.board in
   let plan = built.Builder.Build.plan in
   let num_blocks = Array.length built.Builder.Build.blocks in

@@ -131,6 +131,14 @@ module Pipe_tbl = Hashtbl.Make (struct
     && a.p_ret = b.p_ret
 end)
 
+(* Global hit/miss counters alongside the per-cache ones: forked caches
+   all feed the same process-wide metrics, which is what `mccm --stats`
+   and the bench hit-rate fields report. *)
+let c_s_hit = Mccm_obs.Metric.counter "seg.single.hit"
+let c_s_miss = Mccm_obs.Metric.counter "seg.single.miss"
+let c_p_hit = Mccm_obs.Metric.counter "seg.pipelined.hit"
+let c_p_miss = Mccm_obs.Metric.counter "seg.pipelined.miss"
+
 type single_piece = {
   cap_lo : int;
   cap_hi : int;
@@ -204,9 +212,11 @@ let single t ~engine ~cap ~first ~last ~input_on_chip ~output_on_chip compute =
   with
   | Some p ->
     t.s_hits <- t.s_hits + 1;
+    Mccm_obs.Metric.incr c_s_hit;
     p.piece
   | None ->
     t.s_misses <- t.s_misses + 1;
+    Mccm_obs.Metric.incr c_s_miss;
     let r, (cap_lo, cap_hi) = compute () in
     Single_tbl.replace t.singles key ({ cap_lo; cap_hi; piece = r } :: pieces);
     r
@@ -220,9 +230,11 @@ let pipelined t ~engines ~plan ~first ~last ~input_on_chip ~output_on_chip
   match Pipe_tbl.find_opt t.pipes key with
   | Some r ->
     t.p_hits <- t.p_hits + 1;
+    Mccm_obs.Metric.incr c_p_hit;
     r
   | None ->
     t.p_misses <- t.p_misses + 1;
+    Mccm_obs.Metric.incr c_p_miss;
     let r = compute () in
     Pipe_tbl.add t.pipes key r;
     r

@@ -1,0 +1,50 @@
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let add_event b (e : Span.event) =
+  let us ns = float_of_int ns /. 1000.0 in
+  Printf.bprintf b
+    "{\"ph\": \"X\", \"pid\": 0, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f, \
+     \"name\": \"%s\", \"cat\": \"%s\""
+    e.Span.tid (us e.Span.ts_ns) (us e.Span.dur_ns) (escape e.Span.name)
+    (escape e.Span.cat);
+  if e.Span.args <> [] then begin
+    Buffer.add_string b ", \"args\": {";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ", ";
+        Printf.bprintf b "\"%s\": \"%s\"" (escape k) (escape v))
+      e.Span.args;
+    Buffer.add_char b '}'
+  end;
+  Buffer.add_char b '}'
+
+let to_string events =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b "\n";
+      add_event b e)
+    events;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let write ~path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string events))

@@ -1,0 +1,12 @@
+(** Export spans as Chrome [trace_event] JSON.
+
+    The emitted file loads directly in Perfetto (https://ui.perfetto.dev)
+    or chrome://tracing: one "X" (complete) event per span, with [ts]
+    and [dur] in microseconds, [tid] the OCaml domain id and [pid]
+    fixed at 0.  Span args become the event's [args] object. *)
+
+val to_string : Span.event list -> string
+(** The full trace JSON document for [events]. *)
+
+val write : path:string -> Span.event list -> unit
+(** [write ~path events] saves {!to_string} to [path]. *)

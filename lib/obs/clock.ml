@@ -1,0 +1,1 @@
+external now_ns : unit -> int = "mccm_obs_clock_ns" [@@noalloc]

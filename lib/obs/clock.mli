@@ -1,0 +1,9 @@
+(** Monotonic time source for spans and phase timers.
+
+    Wall-clock time ([Unix.gettimeofday]) can jump under NTP adjustment;
+    span durations must not.  This reads [CLOCK_MONOTONIC] through a
+    no-allocation C stub and reports nanoseconds since an unspecified
+    epoch — only differences are meaningful. *)
+
+val now_ns : unit -> int
+(** Current monotonic time in nanoseconds.  Never allocates. *)

@@ -1,0 +1,15 @@
+(* Bit 0: stats recording; bit 1: span events kept for export.  A
+   single atomic int so the disabled fast path is one load. *)
+
+let stats_bit = 1
+let trace_bit = 2
+let state = Atomic.make 0
+
+let enabled () = Atomic.get state <> 0
+let stats_on () = Atomic.get state land stats_bit <> 0
+let tracing_on () = Atomic.get state land trace_bit <> 0
+
+let enable ?(tracing = false) () =
+  Atomic.set state (stats_bit lor if tracing then trace_bit else 0)
+
+let disable () = Atomic.set state 0

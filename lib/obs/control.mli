@@ -1,0 +1,28 @@
+(** The single switch every instrumentation hook checks.
+
+    Hooks throughout the evaluator, builder, DSE and validation layers
+    compile to [if Control.enabled () then ...] — one atomic load on a
+    read-mostly cache line when instrumentation is off, which is what
+    keeps the disabled overhead under the bench gate's threshold.
+
+    Two facets can be on: {e stats} (metric counters, gauges and span
+    duration histograms record) and {e tracing} (span events are kept
+    for Chrome-trace export).  Tracing implies stats, so a traced run
+    always has the duration histograms behind its phase breakdown. *)
+
+val enabled : unit -> bool
+(** Any instrumentation on?  The one check on hot paths. *)
+
+val stats_on : unit -> bool
+(** Metrics (counters / gauges / histograms) recording? *)
+
+val tracing_on : unit -> bool
+(** Span events kept for trace export? *)
+
+val enable : ?tracing:bool -> unit -> unit
+(** Turn stats on; with [tracing:true] (default false) also keep span
+    events. *)
+
+val disable : unit -> unit
+(** Turn everything off.  Recorded data is kept until
+    {!Metric.reset} / {!Span.clear}. *)

@@ -1,0 +1,18 @@
+module Control = Control
+module Clock = Clock
+module Metric = Metric
+module Span = Span
+module Chrome_trace = Chrome_trace
+
+let enabled = Control.enabled
+let enable = Control.enable
+let disable = Control.disable
+let span = Span.with_span
+
+let reset () =
+  Metric.reset ();
+  Span.clear ()
+
+let write_trace ~path = Chrome_trace.write ~path (Span.events ())
+
+let pp_summary ppf () = Metric.pp ppf (Metric.snapshot ())

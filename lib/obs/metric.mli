@@ -1,0 +1,91 @@
+(** Process-wide registry of named counters, gauges and histograms.
+
+    Hot-path operations are O(1) and gated on {!Control.stats_on}:
+    counters are atomic increments (exact under parallel increments from
+    any number of domains), gauges are atomic stores / compare-and-set
+    maxima, and histogram observations append to a per-domain cell — no
+    lock and no cross-domain traffic on the record path.
+
+    Registration ({!counter} / {!gauge} / {!histogram}) is get-or-create
+    by name under a mutex; call sites hold the returned handle (usually
+    at module initialisation) so the hot path never touches the
+    registry.  A {!snapshot} folds every domain's cells into an
+    immutable value; take snapshots at quiescent points (after domains
+    join) — concurrent observation during a snapshot can miss the very
+    latest samples.  Snapshots {!merge} commutatively: counters add,
+    gauges take the maximum, histograms pool their samples — so merging
+    per-process or per-run snapshots is order-insensitive. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Get or create the counter [name]. *)
+
+val gauge : string -> gauge
+(** Get or create the gauge [name].  A gauge starts unset (rendered and
+    snapshotted only once written). *)
+
+val histogram : ?cap:int -> string -> histogram
+(** Get or create the histogram [name].  Each histogram keeps count,
+    sum, min and max exactly, plus up to [cap] (default 8192, first
+    [cap] observations; fixed at creation) raw samples per domain for
+    quantile estimation. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+(** Current value (readable whether or not stats are on). *)
+
+val set : gauge -> float -> unit
+val update_max : gauge -> float -> unit
+(** Raise the gauge to [v] if [v] exceeds its current value (or it is
+    unset) — best-so-far trajectories. *)
+
+val observe : histogram -> float -> unit
+(** Record one sample (by convention, durations in seconds). *)
+
+(** {1 Snapshots} *)
+
+type hist_snapshot = {
+  count : int;
+  sum : float;
+  min : float;          (** [infinity] when empty *)
+  max : float;          (** [neg_infinity] when empty *)
+  samples : float array;
+      (** sorted ascending; capped at record time, complete below the
+          cap *)
+}
+
+type snapshot = {
+  counters : (string * int) list;            (** sorted by name *)
+  gauges : (string * float) list;            (** set gauges only *)
+  histograms : (string * hist_snapshot) list;
+}
+
+val snapshot : unit -> snapshot
+(** Fold the whole registry (all domains' cells) into one value. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Commutative union: counters add, gauges max, histograms pool
+    (count/sum add, min/max widen, samples merge sorted). *)
+
+val reset : unit -> unit
+(** Zero every counter, unset every gauge, drop every histogram sample.
+    Registered names (and handles held by call sites) stay valid. *)
+
+val quantile : hist_snapshot -> q:float -> float
+(** Linear-interpolation quantile ([q] in [0, 1]) over the snapshot's
+    retained samples via {!Util.Stats.quantile}.
+    @raise Invalid_argument on an empty histogram or [q] out of
+    range. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Render as {!Util.Table} blocks: counters/gauges, then histograms
+    with count, total and p50/p95/p99 from {!quantile}. *)
+
+val to_json_string : snapshot -> string
+(** Hand-rolled JSON object (the toolchain has no JSON library):
+    [{"counters": {..}, "gauges": {..}, "histograms": {name: {count,
+    sum, min, max, p50, p95, p99}}}]. *)

@@ -1,0 +1,16 @@
+/* Monotonic clock for Mccm_obs spans.
+
+   Returns nanoseconds since an unspecified epoch as an OCaml immediate
+   int (63 bits hold ~146 years of nanoseconds), so a clock read never
+   allocates — span bookkeeping must not disturb what it measures. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value mccm_obs_clock_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,84 @@
+type event = {
+  name : string;
+  cat : string;
+  ts_ns : int;
+  dur_ns : int;
+  tid : int;
+  depth : int;
+  args : (string * string) list;
+}
+
+(* Per-domain buffer: the record path is an unsynchronised cons onto
+   the domain's own list.  Buffers register themselves in [bufs] on the
+   domain's first span so {!events} still sees them after the domain
+   joins. *)
+type buf = { tid : int; mutable depth : int; mutable events : event list }
+
+let bufs_mutex = Mutex.create ()
+let bufs : buf list ref = ref []
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { tid = (Domain.self () :> int); depth = 0; events = [] }
+      in
+      Mutex.protect bufs_mutex (fun () -> bufs := b :: !bufs);
+      b)
+
+(* Span histograms resolve through a per-domain memo so the exit path
+   costs one unsynchronised Hashtbl probe instead of a string concat
+   plus a mutex-protected registry lookup on every span. *)
+let span_hists = Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let observe_span name dur_ns =
+  let tbl = Domain.DLS.get span_hists in
+  let h =
+    match Hashtbl.find_opt tbl name with
+    | Some h -> h
+    | None ->
+      let h = Metric.histogram ("span." ^ name) in
+      Hashtbl.add tbl name h;
+      h
+  in
+  Metric.observe h (1e-9 *. float_of_int dur_ns)
+
+let with_span ?(cat = "mccm") ?(args = []) name f =
+  if not (Control.enabled ()) then f ()
+  else begin
+    let b = Domain.DLS.get key in
+    let t0 = Clock.now_ns () in
+    b.depth <- b.depth + 1;
+    let finish () =
+      let dur_ns = Clock.now_ns () - t0 in
+      b.depth <- b.depth - 1;
+      if Control.tracing_on () then
+        b.events <-
+          { name; cat; ts_ns = t0; dur_ns; tid = b.tid; depth = b.depth;
+            args }
+          :: b.events;
+      if Control.stats_on () then observe_span name dur_ns
+    in
+    match f () with
+    | r ->
+      finish ();
+      r
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let events () =
+  let all =
+    Mutex.protect bufs_mutex (fun () ->
+        List.concat_map (fun b -> b.events) !bufs)
+  in
+  List.sort
+    (fun a b ->
+      match compare a.ts_ns b.ts_ns with
+      | 0 -> compare a.depth b.depth
+      | c -> c)
+    all
+
+let clear () =
+  Mutex.protect bufs_mutex (fun () ->
+      List.iter (fun b -> b.events <- []) !bufs)

@@ -1,0 +1,40 @@
+(** Monotonic-clock spans with stack nesting and per-domain buffers.
+
+    A span is opened and closed around a function call ({!with_span});
+    its event records the span's monotonic start time, duration, domain
+    id and nesting depth at open.  Because spans follow call structure,
+    events on one domain are always properly nested: two spans on the
+    same domain are either disjoint or one contains the other — which is
+    exactly the shape the Chrome [trace_event] "X" (complete) events of
+    {!Chrome_trace} need to reconstruct the flame graph.
+
+    Each domain appends to its own buffer (registered globally on the
+    domain's first span, so buffers outlive their domain's join); the
+    record path takes no lock.  When {!Control.enabled} is off,
+    {!with_span} is a single atomic load and a tail call.  Span
+    durations additionally feed a ["span.<name>"] histogram in
+    {!Metric} whenever stats are on, tracing or not. *)
+
+type event = {
+  name : string;
+  cat : string;                 (** Chrome-trace category *)
+  ts_ns : int;                  (** monotonic open time *)
+  dur_ns : int;
+  tid : int;                    (** domain id *)
+  depth : int;                  (** nesting depth at open, 0 = root *)
+  args : (string * string) list;
+}
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string ->
+  (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()] inside a span.  [cat] defaults to
+    ["mccm"].  The span closes (and records) even when [f] raises. *)
+
+val events : unit -> event list
+(** Every recorded event from every domain, sorted by start time then
+    depth (a parent sorts before the children it opened at the same
+    nanosecond). *)
+
+val clear : unit -> unit
+(** Drop all recorded events (all domains). *)

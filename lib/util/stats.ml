@@ -44,6 +44,22 @@ let percentile l ~p =
   in
   List.nth sorted (Int_math.clamp ~lo:0 ~hi:(n - 1) (rank - 1))
 
+let quantile l ~q =
+  require_non_empty "Stats.quantile" l;
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of range";
+  let a = Array.of_list (List.sort compare l) in
+  let n = Array.length a in
+  if n = 1 then a.(0)
+  else begin
+    (* Linear interpolation between closest ranks (Hyndman–Fan type 7,
+       the numpy/R default): h = (n - 1) q lands between a.(i) and
+       a.(i + 1). *)
+    let h = q *. float_of_int (n - 1) in
+    let i = Int_math.clamp ~lo:0 ~hi:(n - 2) (int_of_float (Float.floor h)) in
+    let frac = h -. float_of_int i in
+    a.(i) +. (frac *. (a.(i + 1) -. a.(i)))
+  end
+
 let arg_by better f l =
   match l with
   | [] -> invalid_arg "Stats.argmin/argmax: empty list"

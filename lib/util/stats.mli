@@ -22,6 +22,15 @@ val percentile : float list -> p:float -> float
 (** [percentile l ~p] for [p] in [\[0, 100\]], nearest-rank method.
     @raise Invalid_argument on an empty list or [p] outside the range. *)
 
+val quantile : float list -> q:float -> float
+(** [quantile l ~q] for [q] in [\[0, 1\]], linear interpolation between
+    closest ranks (Hyndman–Fan type 7: the value at fractional rank
+    [(n - 1) q] of the sorted list).  [quantile ~q:0.0] is the minimum,
+    [~q:1.0] the maximum, [~q:0.5] the median.  Used for the span
+    duration p50/p95/p99 of {!Mccm_obs}'s metric snapshots.
+    @raise Invalid_argument on an empty list or [q] outside the
+    range. *)
+
 val argmin : ('a -> float) -> 'a list -> 'a
 (** [argmin f l] is the element minimising [f].  @raise Invalid_argument on
     an empty list. *)

@@ -7,23 +7,45 @@ type verdict = {
 
 let ok v = v.failures = []
 
+(* Per-invariant pass/fail/skip counters ("validate.<name>.pass" ...)
+   and one span per invariant check, so a traced sweep shows which
+   invariant dominates and `mccm --stats` totals its outcomes.  The
+   get-or-create registry lookup is negligible next to the simulator
+   runs behind each check. *)
+let count_outcome name outcome =
+  if Mccm_obs.Control.stats_on () then
+    Mccm_obs.Metric.incr
+      (Mccm_obs.Metric.counter
+         (Printf.sprintf "validate.%s.%s" name outcome))
+
 let check ~suite case =
-  match Invariant.context case with
+  match
+    Mccm_obs.span ~cat:"validate" "validate.context" (fun () ->
+        Invariant.context case)
+  with
   | exception (Invalid_argument msg | Failure msg) ->
     (* A case whose evaluation raises is itself a finding: the builder
        and both evaluators must accept every valid triple. *)
+    count_outcome "evaluate" "fail";
     { case; failures = [ ("evaluate", msg) ]; skipped = []; errors = None }
   | ctx ->
     let failures = ref [] and skipped = ref [] in
     List.iter
       (fun (inv : Invariant.t) ->
-        match inv.Invariant.check ctx with
-        | Invariant.Pass -> ()
+        match
+          Mccm_obs.span ~cat:"validate"
+            ("validate." ^ inv.Invariant.name)
+            (fun () -> inv.Invariant.check ctx)
+        with
+        | Invariant.Pass -> count_outcome inv.Invariant.name "pass"
         | Invariant.Skip reason ->
+          count_outcome inv.Invariant.name "skip";
           skipped := (inv.Invariant.name, reason) :: !skipped
         | Invariant.Fail detail ->
+          count_outcome inv.Invariant.name "fail";
           failures := (inv.Invariant.name, detail) :: !failures
         | exception (Invalid_argument msg | Failure msg) ->
+          count_outcome inv.Invariant.name "fail";
           failures := (inv.Invariant.name, "raised: " ^ msg) :: !failures)
       suite;
     {

@@ -10,15 +10,22 @@ type t = {
 
 let ok t = t.failures = []
 
+let c_cases = Mccm_obs.Metric.counter "validate.cases"
+
 let check_slice ~suite cases lo hi =
+  Mccm_obs.span ~cat:"validate" "validate.check_slice"
+    ~args:[ ("cases", string_of_int (hi - lo)) ]
+  @@ fun () ->
   let out = ref [] in
   for i = lo to hi - 1 do
+    Mccm_obs.Metric.incr c_cases;
     out := Oracle.check ~suite cases.(i) :: !out
   done;
   List.rev !out
 
 let run ?(suite = Invariant.default_suite ()) ?(samples = 200) ?(seed = 42L)
     ?(domains = 1) ?corpus () =
+  Mccm_obs.span ~cat:"validate" "validate.sweep" @@ fun () ->
   if samples < 0 then invalid_arg "Sweep.run: negative sample count";
   if domains <= 0 then invalid_arg "Sweep.run: non-positive domain count";
   let domains = min domains (Domain.recommended_domain_count ()) in
@@ -34,7 +41,10 @@ let run ?(suite = Invariant.default_suite ()) ?(samples = 200) ?(seed = 42L)
       | Ok cases -> cases
       | Error e -> failwith (Printf.sprintf "corpus %s: %s" path e))
   in
-  let corpus_verdicts = List.map (Oracle.check ~suite) corpus_cases in
+  let corpus_verdicts =
+    Mccm_obs.span ~cat:"validate" "validate.corpus" (fun () ->
+        List.map (Oracle.check ~suite) corpus_cases)
+  in
   (* Cases are drawn from one PRNG stream before evaluation starts, so
      the sweep is a deterministic function of [seed] alone — never of
      the domain count (same discipline as {!Dse.Explore.run}). *)

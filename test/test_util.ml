@@ -166,6 +166,25 @@ let test_stats_empty () =
   Alcotest.check_raises "mean []" (Invalid_argument "Stats.mean: empty list")
     (fun () -> ignore (Util.Stats.mean []))
 
+let test_stats_quantile () =
+  let l = [ 4.0; 1.0; 3.0; 2.0 ] in
+  checkf "q0 = min" 1.0 (Util.Stats.quantile l ~q:0.0);
+  checkf "q1 = max" 4.0 (Util.Stats.quantile l ~q:1.0);
+  checkf "median interpolates" 2.5 (Util.Stats.quantile l ~q:0.5);
+  checkf "q0.25" 1.75 (Util.Stats.quantile l ~q:0.25);
+  checkf "singleton" 7.0 (Util.Stats.quantile [ 7.0 ] ~q:0.9)
+
+let test_stats_quantile_invalid () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Stats.quantile: empty list") (fun () ->
+      ignore (Util.Stats.quantile [] ~q:0.5));
+  Alcotest.check_raises "q > 1"
+    (Invalid_argument "Stats.quantile: q out of range") (fun () ->
+      ignore (Util.Stats.quantile [ 1.0 ] ~q:1.5));
+  Alcotest.check_raises "q < 0"
+    (Invalid_argument "Stats.quantile: q out of range") (fun () ->
+      ignore (Util.Stats.quantile [ 1.0 ] ~q:(-0.1)))
+
 (* -------------------------------------------------------- Partition *)
 
 let brute_force_min_max weights parts =
@@ -325,9 +344,47 @@ let prop_prng_distinct =
       && List.length (List.sort_uniq compare l) = count
       && List.for_all (fun v -> v >= 0 && v <= 40) l)
 
+(* Independent quantile reference on the sorted array: value at
+   fractional rank q(n - 1), floor/ceil indexing — written differently
+   from the library's clamped-interval form on purpose. *)
+let reference_quantile l q =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  let h = q *. float_of_int (Array.length a - 1) in
+  let lo = int_of_float (Float.floor h) in
+  let hi = int_of_float (Float.ceil h) in
+  a.(lo) +. ((h -. float_of_int lo) *. (a.(hi) -. a.(lo)))
+
+let quantile_input =
+  QCheck2.Gen.(
+    pair
+      (list_size (int_range 1 40) (float_bound_inclusive 1000.0))
+      (float_bound_inclusive 1.0))
+
+let prop_quantile_reference =
+  QCheck2.Test.make ~name:"quantile matches sorted-array reference"
+    quantile_input
+    (fun (l, q) ->
+      let v = Util.Stats.quantile l ~q in
+      let r = reference_quantile l q in
+      Float.abs (v -. r) <= 1e-9 *. Float.max 1.0 (Float.abs r))
+
+let prop_quantile_bounded_monotone =
+  QCheck2.Test.make ~name:"quantile bounded, monotone, order-insensitive"
+    QCheck2.Gen.(pair quantile_input (float_bound_inclusive 1.0))
+    (fun ((l, q1), q2) ->
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      let vlo = Util.Stats.quantile l ~q:lo in
+      let vhi = Util.Stats.quantile l ~q:hi in
+      vlo >= Util.Stats.minimum l
+      && vhi <= Util.Stats.maximum l
+      && vlo <= vhi
+      && Util.Stats.quantile (List.rev l) ~q:lo = vlo)
+
 let properties =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_ceil_div; prop_divisors; prop_partition_cover; prop_prng_distinct ]
+    [ prop_ceil_div; prop_divisors; prop_partition_cover; prop_prng_distinct;
+      prop_quantile_reference; prop_quantile_bounded_monotone ]
 
 let () =
   Alcotest.run "util"
@@ -366,6 +423,9 @@ let () =
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "argmin/argmax" `Quick test_stats_arg;
           Alcotest.test_case "empty raises" `Quick test_stats_empty;
+          Alcotest.test_case "quantile" `Quick test_stats_quantile;
+          Alcotest.test_case "quantile invalid" `Quick
+            test_stats_quantile_invalid;
         ] );
       ( "partition",
         [
