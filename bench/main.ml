@@ -161,6 +161,7 @@ type dse_row = {
   workload : string;
   evals : int;          (* evaluation requests per arm (identical) *)
   uncached_s : float;
+  list_uncached_s : float;  (* uncached arm on the list-fold reference path *)
   cached_s : float;
   traced_s : float;     (* cached arm re-run with Mccm_obs fully on *)
   arch_hit_rate : float;
@@ -173,6 +174,7 @@ type dse_row = {
 let evals_per_sec n s = float_of_int n /. Float.max 1e-9 s
 let speedup_of r = r.uncached_s /. Float.max 1e-9 r.cached_s
 let trace_overhead_of r = (r.traced_s /. Float.max 1e-9 r.cached_s) -. 1.0
+let table_speedup_of r = r.list_uncached_s /. Float.max 1e-9 r.uncached_s
 
 let bench_dse () =
   let model = Cnn.Model_zoo.mobilenet_v2 () in
@@ -186,8 +188,8 @@ let bench_dse () =
   in
   (* Each workload takes the session to evaluate through and returns a
      comparable payload; both arms must agree exactly. *)
-  let arm run memoize =
-    let session = Mccm.Eval_session.create ~memoize model board in
+  let arm ?(use_table = true) run memoize =
+    let session = Mccm.Eval_session.create ~memoize ~use_table model board in
     let payload, seconds = time (fun () -> run session) in
     ((Mccm.Eval_session.stats session).Mccm.Eval_session.evaluations,
      payload, seconds)
@@ -197,6 +199,18 @@ let bench_dse () =
        is equally warm for both arms; only session caching is measured. *)
     ignore (arm run false);
     let un_evals, un_payload, un_s = arm run false in
+    (* The list-fold reference arm: same workload, uncached, with the
+       precomputed table disabled.  table_speedup (list/table, both
+       uncached) is a gated number, so both arms take the best of two
+       interleaved samples. *)
+    let li_evals, li_payload, li_s = arm ~use_table:false run false in
+    let _, _, un_s2 = arm run false in
+    let _, _, li_s2 = arm ~use_table:false run false in
+    let un_s = Float.min un_s un_s2 and li_s = Float.min li_s li_s2 in
+    if un_evals <> li_evals then
+      failwith (name ^ ": table arms issued different evaluation counts");
+    if un_payload <> li_payload then
+      failwith (name ^ ": table path is not bit-identical to the list path");
     (* The traced-vs-cached ratio below is a gate, so both arms take
        the best of three interleaved runs: a single wall-clock sample
        of a sub-second arm jitters (GC slices, scheduling) by more than
@@ -249,6 +263,7 @@ let bench_dse () =
       workload = name;
       evals = un_evals;
       uncached_s = un_s;
+      list_uncached_s = li_s;
       cached_s = ca_s;
       traced_s = tr_s;
       arch_hit_rate = rate (c "session.arch.hit") (c "session.arch.miss");
@@ -297,9 +312,11 @@ let bench_dse () =
     Util.Table.create ~title:"DSE session cache (MobileNetV2 / VCU108)"
       ~columns:
         [ ("workload", Util.Table.Left); ("evals", Util.Table.Right);
+          ("list evals/s", Util.Table.Right);
           ("uncached evals/s", Util.Table.Right);
           ("cached evals/s", Util.Table.Right);
-          ("speedup", Util.Table.Right);
+          ("table speedup", Util.Table.Right);
+          ("cache speedup", Util.Table.Right);
           ("trace overhead", Util.Table.Right);
           ("seg hits", Util.Table.Right) ]
       ()
@@ -308,8 +325,10 @@ let bench_dse () =
     (fun r ->
       Util.Table.add_row table
         [ r.workload; string_of_int r.evals;
+          Format.sprintf "%.0f" (evals_per_sec r.evals r.list_uncached_s);
           Format.sprintf "%.0f" (evals_per_sec r.evals r.uncached_s);
           Format.sprintf "%.0f" (evals_per_sec r.evals r.cached_s);
+          Format.sprintf "%.1fx" (table_speedup_of r);
           Format.sprintf "%.1fx" (speedup_of r);
           Format.sprintf "%+.1f%%" (100.0 *. trace_overhead_of r);
           Format.sprintf "%.0f%%" (100.0 *. r.seg_hit_rate) ])
@@ -317,13 +336,102 @@ let bench_dse () =
   Util.Table.print table;
   rows
 
+(* ------------------------------------------------------------------ *)
+(* Domains-parallel exhaustive scan: the same bound-pruned argmax scan
+   at domain counts 1/2/4 on unmemoized sessions (raw model evaluation
+   is what must scale; caching would blur it).  CI gates 4-domain vs
+   1-domain throughput — but only when the recording machine actually
+   had >= 4 cores, so the JSON also records the runner's recommended
+   domain count. *)
+
+type par_point = { pd_domains : int; pd_seconds : float }
+
+type par_bench = {
+  par_ces : int;
+  par_max_specs : int;
+  par_enumerated : int;
+  par_prune_ratio : float;
+  par_points : par_point list;
+}
+
+let bench_parallel () =
+  let model = Cnn.Model_zoo.mobilenet_v2 () in
+  let board = Platform.Board.vcu108 in
+  let ces = 5 and max_specs = 6000 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let run domains =
+    let session = Mccm.Eval_session.create ~memoize:false model board in
+    time (fun () ->
+        Dse.Enumerate.exhaustive_best ~max_specs ~session ~domains
+          ~clamp:false ~objective:`Throughput ~ces model board)
+  in
+  let (ref_best, ref_stats), _ = run 1 in
+  let points =
+    List.map
+      (fun domains ->
+        (* Best of two samples; every domain count must return the very
+           same winning design (the scan is deterministic by
+           construction). *)
+        let (best, _), s1 = run domains in
+        let _, s2 = run domains in
+        if best <> ref_best then
+          failwith
+            (Printf.sprintf
+               "exhaustive_parallel: %d-domain scan disagrees with 1-domain"
+               domains);
+        { pd_domains = domains; pd_seconds = Float.min s1 s2 })
+      [ 1; 2; 4 ]
+  in
+  let bench =
+    {
+      par_ces = ces;
+      par_max_specs = max_specs;
+      par_enumerated = ref_stats.Dse.Enumerate.enumerated;
+      par_prune_ratio =
+        float_of_int ref_stats.Dse.Enumerate.pruned
+        /. float_of_int (max 1 ref_stats.Dse.Enumerate.enumerated);
+      par_points = points;
+    }
+  in
+  let table =
+    Util.Table.create
+      ~title:
+        (Format.sprintf
+           "Parallel exhaustive scan (MobileNetV2 / VCU108, ces=%d, %d \
+            specs, prune ratio %.1f%%, %d core(s) recommended)"
+           ces bench.par_enumerated
+           (100.0 *. bench.par_prune_ratio)
+           (Util.Parallel.recommended ()))
+      ~columns:
+        [ ("domains", Util.Table.Right); ("seconds", Util.Table.Right);
+          ("specs/s", Util.Table.Right); ("scaling", Util.Table.Right) ]
+      ()
+  in
+  let base_s = (List.hd points).pd_seconds in
+  List.iter
+    (fun p ->
+      Util.Table.add_row table
+        [ string_of_int p.pd_domains;
+          Format.sprintf "%.3f" p.pd_seconds;
+          Format.sprintf "%.0f"
+            (evals_per_sec bench.par_enumerated p.pd_seconds);
+          Format.sprintf "%.2fx" (base_s /. Float.max 1e-9 p.pd_seconds) ])
+    points;
+  Util.Table.print table;
+  bench
+
 (* Hand-rolled JSON emission (the toolchain has no JSON library); the
    schema is consumed by check_bench.ml and CI. *)
-let write_bench_json ~path rows =
+let write_bench_json ~path rows par =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.bprintf buf fmt in
-  add "{\n  \"schema\": \"mccm-bench-dse/2\",\n";
+  add "{\n  \"schema\": \"mccm-bench-dse/3\",\n";
   add "  \"fig10_samples\": %d,\n" !fig10_samples;
+  add "  \"recommended_domains\": %d,\n" (Util.Parallel.recommended ());
   add "  \"workloads\": [\n";
   List.iteri
     (fun i r ->
@@ -335,6 +443,12 @@ let write_bench_json ~path rows =
         (evals_per_sec r.evals r.uncached_s)
         (evals_per_sec r.evals r.cached_s)
         (speedup_of r);
+      add
+        "      \"list_uncached_s\": %.6f, \"list_evals_per_sec\": %.1f, \
+         \"table_speedup\": %.2f,\n"
+        r.list_uncached_s
+        (evals_per_sec r.evals r.list_uncached_s)
+        (table_speedup_of r);
       add
         "      \"traced_s\": %.6f, \"traced_evals_per_sec\": %.1f, \
          \"trace_overhead\": %.4f,\n"
@@ -352,7 +466,24 @@ let write_bench_json ~path rows =
               r.phases))
         (if i = List.length rows - 1 then "" else ","))
     rows;
-  add "  ],\n  \"artifacts\": [\n";
+  add "  ],\n";
+  add
+    "  \"exhaustive_parallel\": { \"ces\": %d, \"max_specs\": %d, \
+     \"enumerated\": %d, \"prune_ratio\": %.4f,\n"
+    par.par_ces par.par_max_specs par.par_enumerated par.par_prune_ratio;
+  add "    \"domains\": [\n";
+  let np = List.length par.par_points in
+  List.iteri
+    (fun i p ->
+      add
+        "      { \"domains\": %d, \"seconds\": %.6f, \"evals_per_sec\": \
+         %.1f }%s\n"
+        p.pd_domains p.pd_seconds
+        (evals_per_sec par.par_enumerated p.pd_seconds)
+        (if i = np - 1 then "" else ","))
+    par.par_points;
+  add "    ] },\n";
+  add "  \"artifacts\": [\n";
   (* Only paper artifacts; the Bechamel and cache sections time themselves. *)
   let times =
     List.filter (fun (name, _) -> List.mem_assoc name artifacts) !artifact_times
@@ -401,4 +532,9 @@ let () =
   if run_bench && picks = [] then section "speed (Bechamel)" run_bechamel;
   let rows = ref [] in
   section "DSE session cache" (fun () -> rows := bench_dse ());
-  write_bench_json ~path:(Option.value json ~default:"BENCH_dse.json") !rows
+  let par = ref None in
+  section "parallel exhaustive scan" (fun () -> par := Some (bench_parallel ()));
+  write_bench_json
+    ~path:(Option.value json ~default:"BENCH_dse.json")
+    !rows
+    (Option.get !par)

@@ -603,9 +603,94 @@ let refine_cmd =
       const run $ obs_args $ model_arg $ board_arg $ objective_arg
       $ pipelined_arg $ tail_arg)
 
+(* -------------------------------------------------------- enumerate *)
+
+let enumerate_cmd =
+  let ces_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "c"; "ces" ] ~docv:"CES"
+          ~doc:"Compute-engine count: every custom design with exactly \
+                $(docv) engines is considered.")
+  in
+  let max_specs_arg =
+    Arg.(
+      value & opt int 20000
+      & info [ "max-specs" ] ~docv:"N"
+          ~doc:"Stop listing the space after $(docv) specs.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "domains" ] ~docv:"N"
+          ~doc:
+            "Parallel OCaml domains to spread the scan over \
+             (deterministic: the best design is the same for every \
+             $(docv)).")
+  in
+  let best_arg =
+    Arg.(
+      value
+      & opt (enum [ ("throughput", `Throughput); ("latency", `Latency) ])
+          `Throughput
+      & info [ "best" ] ~docv:"OBJ"
+          ~doc:"Objective to optimise: $(b,throughput) or $(b,latency).")
+  in
+  let no_prune_arg =
+    Arg.(
+      value & flag
+      & info [ "no-prune" ]
+          ~doc:
+            "Disable the admissible-bound prune (every spec is \
+             evaluated; the chosen design is unchanged).")
+  in
+  let run obs model board ces max_specs domains best no_prune =
+    with_obs "enumerate" obs @@ fun () ->
+    let started = Unix.gettimeofday () in
+    let winner, stats =
+      Dse.Enumerate.exhaustive_best ~max_specs ~domains ~prune:(not no_prune)
+        ~objective:best ~ces model board
+    in
+    let elapsed = Unix.gettimeofday () -. started in
+    Format.printf
+      "%d specs enumerated, %d evaluated, %d pruned (%.1f%%), %d domain(s), \
+       %.2f s (%.0f specs/s)@."
+      stats.Dse.Enumerate.enumerated stats.Dse.Enumerate.evaluated
+      stats.Dse.Enumerate.pruned
+      (100.0
+      *. float_of_int stats.Dse.Enumerate.pruned
+      /. float_of_int (max 1 stats.Dse.Enumerate.enumerated))
+      stats.Dse.Enumerate.domains_used elapsed
+      (float_of_int stats.Dse.Enumerate.enumerated
+      /. Float.max 1e-9 elapsed);
+    match winner with
+    | None ->
+      Format.printf "no feasible design with %d CEs@." ces;
+      1
+    | Some e ->
+      Format.printf "best %s: %-40s %a@."
+        (match best with
+        | `Throughput -> "throughput"
+        | `Latency -> "latency")
+        (Arch.Notation.to_string
+           (Arch.Custom.arch_of_spec model e.Dse.Explore.spec))
+        Mccm.Metrics.pp e.Dse.Explore.metrics;
+      0
+  in
+  Cmd.v
+    (Cmd.info "enumerate"
+       ~doc:
+         "Exhaustively scan every custom design at a fixed CE count, \
+          bound-pruned and Domains-parallel, and print the best design \
+          for an objective.")
+    Term.(
+      const run $ obs_args $ model_arg $ board_arg $ ces_arg $ max_specs_arg
+      $ domains_arg $ best_arg $ no_prune_arg)
+
 let () =
   let doc = "Analytical cost model for multiple compute-engine CNN accelerators" in
   let info = Cmd.info "mccm" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
           [ eval_cmd; sweep_cmd; explore_cmd; validate_cmd; compress_cmd;
-            refine_cmd; layers_cmd; trace_cmd; models_cmd; boards_cmd ]))
+            refine_cmd; enumerate_cmd; layers_cmd; trace_cmd; models_cmd;
+            boards_cmd ]))

@@ -79,6 +79,7 @@ val cache_misses : cache -> int
 val plan :
   ?minimal:bool ->
   ?cache:cache ->
+  ?table:Cnn.Table.t ->
   Cnn.Model.t ->
   Platform.Board.t ->
   Arch.Block.arch ->

@@ -65,9 +65,10 @@ let plan_cache c = c.c_plans
 
 let c_builds = Mccm_obs.Metric.counter "build.builds"
 
-let build ?(options = default_options) ?cache model board archi =
+let build ?(options = default_options) ?cache ?table model board archi =
   Mccm_obs.span ~cat:"build" "build.build" @@ fun () ->
   Mccm_obs.Metric.incr c_builds;
+  (match table with Some t -> Cnn.Table.check t model | None -> ());
   let blocks = Array.of_list archi.Arch.Block.blocks in
   let num_ces = Arch.Block.total_ces archi in
   let layer_lists = Array.make num_ces [] in
@@ -90,9 +91,12 @@ let build ?(options = default_options) ?cache model board archi =
           slots)
     blocks;
   let macs_of ls =
-    List.fold_left
-      (fun a i -> a + Cnn.Layer.macs (Cnn.Model.layer model i))
-      0 ls
+    match table with
+    | Some t -> List.fold_left (fun a i -> a + Cnn.Table.macs t i) 0 ls
+    | None ->
+      List.fold_left
+        (fun a i -> a + Cnn.Layer.macs (Cnn.Model.layer model i))
+        0 ls
   in
   let make_engines pes =
     Array.init num_ces (fun ce ->
@@ -103,9 +107,14 @@ let build ?(options = default_options) ?cache model board archi =
             let compute () =
               Mccm_obs.span ~cat:"build" "build.parallelism_select"
                 (fun () ->
-                  Parallelism_select.choose ~pes:pes.(ce)
-                    ~layers:
-                      (List.map (Cnn.Model.layer model) layer_lists.(ce)))
+                  match table with
+                  | Some t ->
+                    Parallelism_select.choose_indices ~pes:pes.(ce) t
+                      layer_lists.(ce)
+                  | None ->
+                    Parallelism_select.choose ~pes:pes.(ce)
+                      ~layers:
+                        (List.map (Cnn.Model.layer model) layer_lists.(ce)))
             in
             match cache with
             | None -> compute ()
@@ -139,10 +148,16 @@ let build ?(options = default_options) ?cache model board archi =
        redistribution only while the busiest/laziest spread shrinks. *)
     let cycles es =
       Array.init num_ces (fun ce ->
-          List.fold_left
-            (fun a i ->
-              a + Engine.Ce.layer_cycles es.(ce) (Cnn.Model.layer model i))
-            0 layer_lists.(ce))
+          match table with
+          | Some t ->
+            List.fold_left
+              (fun a i -> a + Engine.Ce.layer_cycles_at es.(ce) t i)
+              0 layer_lists.(ce)
+          | None ->
+            List.fold_left
+              (fun a i ->
+                a + Engine.Ce.layer_cycles es.(ce) (Cnn.Model.layer model i))
+              0 layer_lists.(ce))
     in
     let spread cyc =
       let busiest = Array.fold_left max 1 cyc in
@@ -188,7 +203,8 @@ let build ?(options = default_options) ?cache model board archi =
     Mccm_obs.span ~cat:"build" "build.plan" (fun () ->
         Buffer_alloc.plan
           ~minimal:(options.buffers = `Minimal)
-          ?cache:(Option.map plan_cache cache) model board archi ~engines)
+          ?cache:(Option.map plan_cache cache) ?table model board archi
+          ~engines)
   in
   { model; board; archi; engines; blocks = built_blocks; plan }
 

@@ -67,6 +67,7 @@ val plan_cache : cache -> Buffer_alloc.cache
 val build :
   ?options:options ->
   ?cache:cache ->
+  ?table:Cnn.Table.t ->
   Cnn.Model.t ->
   Platform.Board.t ->
   Arch.Block.arch ->

@@ -32,32 +32,11 @@ let cache :
 
 let cache_lock = Mutex.create ()
 
-let choose ~pes ~layers =
-  if pes < 1 then invalid_arg "Parallelism_select.choose: pes < 1";
-  match layers with
-  | [] -> P.scalar
-  | _ ->
-    let dw_macs, total_macs =
-      List.fold_left
-        (fun (dw, tot) l ->
-          let m = Cnn.Layer.macs l in
-          ((if l.Cnn.Layer.kind = Cnn.Layer.Depthwise then dw + m else dw),
-           tot + m))
-        (0, 0) layers
-    in
-    let channel_mode = 2 * dw_macs >= total_macs in
-    (* Per layer: (first-dim extent, height, width, product of the
-       un-unrolled extents). *)
-    let terms =
-      List.map
-        (fun l ->
-          let e d = Cnn.Layer.loop_extent l d in
-          let k2 = e `Kernel_h * e `Kernel_w in
-          let h = e `Height and w = e `Width in
-          if channel_mode then (e `Channels, h, w, e `Filters * k2)
-          else (e `Filters, h, w, e `Channels * k2))
-        layers
-    in
+(* The search proper, keyed by the loop-extent signature.  [choose] and
+   [choose_indices] build identical (pes, channel_mode, terms) keys from
+   the layer list and the table respectively, so the two entry points
+   share memoised results. *)
+let solve ~pes ~channel_mode ~terms =
     let key = (pes, channel_mode, terms) in
     let cached =
       Mutex.lock cache_lock;
@@ -105,3 +84,78 @@ let choose ~pes ~layers =
       (if not (Hashtbl.mem cache key) then Hashtbl.add cache key p);
       Mutex.unlock cache_lock;
       p
+
+let choose ~pes ~layers =
+  if pes < 1 then invalid_arg "Parallelism_select.choose: pes < 1";
+  match layers with
+  | [] -> P.scalar
+  | _ ->
+    let dw_macs, total_macs =
+      List.fold_left
+        (fun (dw, tot) l ->
+          let m = Cnn.Layer.macs l in
+          ((if l.Cnn.Layer.kind = Cnn.Layer.Depthwise then dw + m else dw),
+           tot + m))
+        (0, 0) layers
+    in
+    let channel_mode = 2 * dw_macs >= total_macs in
+    (* Per layer: (first-dim extent, height, width, product of the
+       un-unrolled extents). *)
+    let terms =
+      List.map
+        (fun l ->
+          let e d = Cnn.Layer.loop_extent l d in
+          let k2 = e `Kernel_h * e `Kernel_w in
+          let h = e `Height and w = e `Width in
+          if channel_mode then (e `Channels, h, w, e `Filters * k2)
+          else (e `Filters, h, w, e `Channels * k2))
+        layers
+    in
+    solve ~pes ~channel_mode ~terms
+
+(* Front cache for the table entry point, keyed by (table uid, pes,
+   layer indices) — the caller's index list is hashed as-is, so a hit
+   costs no per-layer work at all (the terms-keyed cache below still
+   unifies results across tables and with [choose], but building its
+   key walks every layer). *)
+let fast_cache : (int * int * int list, P.t) Hashtbl.t = Hashtbl.create 256
+let fast_lock = Mutex.create ()
+
+let choose_indices ~pes table indices =
+  if pes < 1 then invalid_arg "Parallelism_select.choose_indices: pes < 1";
+  match indices with
+  | [] -> P.scalar
+  | _ -> (
+    let fast_key = (Cnn.Table.uid table, pes, indices) in
+    let cached =
+      Mutex.lock fast_lock;
+      let r = Hashtbl.find_opt fast_cache fast_key in
+      Mutex.unlock fast_lock;
+      r
+    in
+    match cached with
+    | Some p -> p
+    | None ->
+    let dw_macs, total_macs =
+      List.fold_left
+        (fun (dw, tot) i ->
+          let m = Cnn.Table.macs table i in
+          ((if Cnn.Table.is_depthwise table i then dw + m else dw), tot + m))
+        (0, 0) indices
+    in
+    let channel_mode = 2 * dw_macs >= total_macs in
+    let terms =
+      List.map
+        (fun i ->
+          let ef, ec, eh, ew, ekh, ekw = Cnn.Table.extents table i in
+          let k2 = ekh * ekw in
+          if channel_mode then (ec, eh, ew, ef * k2)
+          else (ef, eh, ew, ec * k2))
+        indices
+    in
+    let p = solve ~pes ~channel_mode ~terms in
+    Mutex.lock fast_lock;
+    (if not (Hashtbl.mem fast_cache fast_key) then
+       Hashtbl.add fast_cache fast_key p);
+    Mutex.unlock fast_lock;
+    p)

@@ -23,3 +23,11 @@ val choose : pes:int -> layers:Cnn.Layer.t list -> Engine.Parallelism.t
     empty layer list.
 
     @raise Invalid_argument if [pes < 1]. *)
+
+val choose_indices :
+  pes:int -> Cnn.Table.t -> int list -> Engine.Parallelism.t
+(** [choose_indices ~pes table indices] is [choose ~pes ~layers] for the
+    table's layers at [indices], reading extents and MAC counts from the
+    precomputed table instead of [Cnn.Layer] accessors.  Both entry
+    points build identical memo keys, so they share cached results and
+    return bit-identical parallelisms. *)

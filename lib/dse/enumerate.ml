@@ -3,6 +3,9 @@
 let h_neighbourhood = Mccm_obs.Metric.histogram "dse.neighbourhood_size"
 let c_steps = Mccm_obs.Metric.counter "dse.local_search.steps"
 let c_exhaustive = Mccm_obs.Metric.counter "dse.exhaustive.specs"
+let c_evaluated = Mccm_obs.Metric.counter "dse.exhaustive.evaluated"
+let c_pruned = Mccm_obs.Metric.counter "dse.exhaustive.pruned"
+let c_ls_pruned = Mccm_obs.Metric.counter "dse.local_search.pruned"
 let g_best_objective = Mccm_obs.Metric.gauge "dse.best_objective"
 
 let enumerate_specs ~num_layers ~ces ~max_specs =
@@ -39,23 +42,317 @@ let session_or_fresh session model board =
   | Some s -> s
   | None -> Mccm.Eval_session.create model board
 
-let exhaustive ?(max_specs = 20000) ?session ~ces model board =
+let table_or_fresh session model =
+  match Mccm.Eval_session.table session with
+  | Some t when Cnn.Table.for_model t model -> t
+  | _ -> Cnn.Table.of_model model
+
+(* Per-block MAC totals of a spec, O(blocks) via the table's prefix
+   sums: the pipelined head [0, f) followed by the tail segments. *)
+let block_macs table spec =
+  let n = Cnn.Table.num_layers table in
+  let f = spec.Arch.Custom.pipelined_layers in
+  let starts = f :: spec.Arch.Custom.tail_boundaries in
+  let ends =
+    List.map (fun b -> b - 1) spec.Arch.Custom.tail_boundaries @ [ n - 1 ]
+  in
+  Cnn.Table.macs_range table ~first:0 ~last:(f - 1)
+  :: List.map2
+       (fun first last -> Cnn.Table.macs_range table ~first ~last)
+       starts ends
+
+(* Admissible bounds for pruning.  They must never fall below an
+   achievable throughput / above an achievable latency, or pruning
+   would change results.  Three facts hold for every design the
+   builder can produce on a custom spec:
+
+   - an engine's Eq.-1 cycle count for a layer is at least the layer's
+     minimum over EVERY integer 3-D parallelism of total degree at most
+     [dsps] — the builder's engines unroll exactly three dimensions
+     ((Filters|Channels), Height, Width) with PEs at most the board's
+     DSP budget, so that minimum (precomputed per layer below) is a
+     superset optimum;
+   - a pipelined block's initiation interval is its slowest engine's
+     busy time, which is at least the largest per-layer floor in the
+     block and at least the mean (sum over engines);
+   - every weight byte crosses the off-chip port at least once per
+     image (retention saves re-loads, not the first load), as do the
+     network's input and output FMs (a custom spec's first block input
+     and last block output are always off-chip).
+
+   The 1e-7 slack absorbs float rounding in the comparison chain; it
+   only loosens the bound. *)
+let slack = 1e-7
+
+(* Divisor candidates for minimising [d -> ceil_div e d] under a cap:
+   the O(sqrt e) quotient breakpoints (smallest d per quotient) plus
+   the cap itself. *)
+let ceil_candidates e cap =
+  let m = max 1 (min e cap) in
+  let acc = ref [ m ] in
+  let q = ref 1 in
+  let continue = ref (e >= 1) in
+  while !continue do
+    let d = Util.Int_math.ceil_div e !q in
+    if d <= m then acc := d :: !acc;
+    if d <= 1 then continue := false
+    else begin
+      let q' = Util.Int_math.ceil_div e (d - 1) in
+      if q' <= !q then continue := false else q := q'
+    end
+  done;
+  List.sort_uniq compare !acc
+
+(* Minimum Eq.-1 cycles of one layer over every (d1, h, w) with
+   [d1 * h * w <= budget]: [rest] covers the never-unrolled extents. *)
+let min_cycles_mode ~budget ~e1 ~eh ~ew ~rest =
+  let cd = Util.Int_math.ceil_div in
+  let best = ref max_int in
+  List.iter
+    (fun d1 ->
+      let rem = budget / d1 in
+      if rem >= 1 then
+        List.iter
+          (fun h ->
+            let w = max 1 (min ew (rem / h)) in
+            if rem / h >= 1 then begin
+              let c = rest * cd e1 d1 * cd eh h * cd ew w in
+              if c < !best then best := c
+            end)
+          (ceil_candidates eh rem))
+    (ceil_candidates e1 budget);
+  !best
+
+type bounds = {
+  b_clock : float;
+  b_peak : float;               (* dsps * clock, MACs/s *)
+  b_mem_floor_s : float;        (* (weights + net input + net output) / bw *)
+  b_cmin_pfx : int array;       (* prefix sums of per-layer cycle floors *)
+  b_cmin_headmax : int array;   (* headmax.(i) = max cmin over layers < i *)
+  b_table : Cnn.Table.t;
+}
+
+let bounds table board =
+  let n = Cnn.Table.num_layers table in
+  let dsps = board.Platform.Board.dsps in
+  let cmin =
+    Array.init n (fun i ->
+        let ef, ec, eh, ew, ekh, ekw = Cnn.Table.extents table i in
+        let k2 = ekh * ekw in
+        min
+          (min_cycles_mode ~budget:dsps ~e1:ef ~eh ~ew ~rest:(ec * k2))
+          (min_cycles_mode ~budget:dsps ~e1:ec ~eh ~ew ~rest:(ef * k2)))
+  in
+  let pfx = Array.make (n + 1) 0 in
+  let headmax = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    pfx.(i + 1) <- pfx.(i) + cmin.(i);
+    headmax.(i + 1) <- max headmax.(i) cmin.(i)
+  done;
+  let bpe = board.Platform.Board.bytes_per_element in
+  let mem_bytes =
+    (Cnn.Table.total_weights table + Cnn.Table.ifm_elements table 0
+    + Cnn.Table.ofm_elements table (n - 1))
+    * bpe
+  in
+  {
+    b_clock = board.Platform.Board.clock_hz;
+    b_peak = float_of_int dsps *. board.Platform.Board.clock_hz;
+    b_mem_floor_s = Platform.Board.bytes_to_seconds board mem_bytes;
+    b_cmin_pfx = pfx;
+    b_cmin_headmax = headmax;
+    b_table = table;
+  }
+
+(* Tail segment [first, last] inclusive, as (first, last) pairs. *)
+let tail_ranges table spec =
+  let n = Cnn.Table.num_layers table in
+  let f = spec.Arch.Custom.pipelined_layers in
+  let starts = f :: spec.Arch.Custom.tail_boundaries in
+  let ends =
+    List.map (fun b -> b - 1) spec.Arch.Custom.tail_boundaries @ [ n - 1 ]
+  in
+  List.combine starts ends
+
+let throughput_upper_bound b spec =
+  let f = spec.Arch.Custom.pipelined_layers in
+  (* Coarse pipelining: the interval is the slowest block.  Head block:
+     one layer per engine, so the bottleneck engine is at least the
+     largest layer floor and at least the mean.  Tail blocks: a single
+     engine runs the whole range, so at least the summed floors. *)
+  let head_cyc =
+    Float.max
+      (float_of_int b.b_cmin_headmax.(f))
+      (float_of_int b.b_cmin_pfx.(f) /. float_of_int f)
+  in
+  let worst_cyc =
+    List.fold_left
+      (fun acc (first, last) ->
+        Float.max acc
+          (float_of_int (b.b_cmin_pfx.(last + 1) - b.b_cmin_pfx.(first))))
+      head_cyc (tail_ranges b.b_table spec)
+  in
+  let ii = Float.max (worst_cyc /. b.b_clock) b.b_mem_floor_s in
+  if ii <= 0.0 then infinity else 1.0 /. ii *. (1.0 +. slack)
+
+let latency_lower_bound b spec =
+  let f = spec.Arch.Custom.pipelined_layers in
+  let tails = tail_ranges b.b_table spec in
+  (* Latency sums block times: head at least its bottleneck floor, each
+     tail at least its summed layer floors. *)
+  let compute_cyc =
+    List.fold_left
+      (fun acc (first, last) ->
+        acc +. float_of_int (b.b_cmin_pfx.(last + 1) - b.b_cmin_pfx.(first)))
+      (Float.max
+         (float_of_int b.b_cmin_headmax.(f))
+         (float_of_int b.b_cmin_pfx.(f) /. float_of_int f))
+      tails
+  in
+  (* Allocation-aware floor: block times are also at least
+     macs_b / (pes_b * clock) with [sum pes_b = dsps]; Cauchy-Schwarz
+     minimises the sum at pes_b proportional to sqrt(macs_b). *)
+  let sum_sqrt =
+    List.fold_left
+      (fun acc m -> acc +. sqrt (float_of_int m))
+      0.0
+      (block_macs b.b_table spec)
+  in
+  Float.max
+    (Float.max (compute_cyc /. b.b_clock) (sum_sqrt *. sum_sqrt /. b.b_peak))
+    b.b_mem_floor_s
+  *. (1.0 -. slack)
+
+let exhaustive ?(max_specs = 20000) ?session ?(domains = 1) ?clamp ~ces model
+    board =
   Mccm_obs.span ~cat:"dse" "dse.exhaustive" @@ fun () ->
   let session = session_or_fresh session model board in
   let specs =
-    enumerate_specs ~num_layers:(Cnn.Model.num_layers model) ~ces ~max_specs
+    Array.of_list
+      (enumerate_specs ~num_layers:(Cnn.Model.num_layers model) ~ces
+         ~max_specs)
   in
-  Mccm_obs.Metric.add c_exhaustive (List.length specs);
+  let n = Array.length specs in
+  Mccm_obs.Metric.add c_exhaustive n;
   (* Lexicographic neighbours share almost all their blocks, so the
      session's segment/plan tables turn the scan largely into lookups. *)
-  List.filter_map
-    (fun spec ->
+  let eval_slice session lo hi =
+    let out = ref [] in
+    for i = lo to hi - 1 do
+      let spec = specs.(i) in
       let archi = Arch.Custom.arch_of_spec model spec in
       let metrics = Mccm.Eval_session.metrics session archi in
       if metrics.Mccm.Metrics.feasible then
-        Some { Explore.spec; metrics }
-      else None)
-    specs
+        out := { Explore.spec; metrics } :: !out
+    done;
+    List.rev !out
+  in
+  let d = Util.Parallel.effective ?clamp ~domains ~n () in
+  if d = 1 then eval_slice session 0 n
+  else begin
+    let forks = Array.init d (fun _ -> Mccm.Eval_session.fork session) in
+    let slices =
+      Util.Parallel.chunked_map ~clamp:false ~domains:d ~n
+        (fun ~chunk ~lo ~hi -> eval_slice forks.(chunk) lo hi)
+    in
+    Array.iter (fun f -> Mccm.Eval_session.absorb ~into:session f) forks;
+    List.concat slices
+  end
+
+type objective = [ `Throughput | `Latency ]
+
+type search_stats = {
+  enumerated : int;
+  evaluated : int;
+  pruned : int;
+  domains_used : int;
+}
+
+let exhaustive_best ?(max_specs = 20000) ?session ?(domains = 1) ?clamp
+    ?(prune = true) ~objective ~ces model board =
+  Mccm_obs.span ~cat:"dse" "dse.exhaustive_best" @@ fun () ->
+  let session = session_or_fresh session model board in
+  let table = table_or_fresh session model in
+  let specs =
+    Array.of_list
+      (enumerate_specs ~num_layers:(Cnn.Model.num_layers model) ~ces
+         ~max_specs)
+  in
+  let n = Array.length specs in
+  Mccm_obs.Metric.add c_exhaustive n;
+  let score m =
+    if not m.Mccm.Metrics.feasible then neg_infinity
+    else
+      match objective with
+      | `Throughput -> m.Mccm.Metrics.throughput_ips
+      | `Latency -> -.m.Mccm.Metrics.latency_s
+  in
+  let b = bounds table board in
+  let bound spec =
+    match objective with
+    | `Throughput -> throughput_upper_bound b spec
+    | `Latency -> -.(latency_lower_bound b spec)
+  in
+  (* Scan a slice keeping a local incumbent (first strict maximum, like
+     the sequential scan).  A spec is skipped when its admissible bound
+     cannot strictly beat the incumbent; since every element of a chunk
+     follows its own incumbent in global enumeration order, merging the
+     chunk bests in chunk order on strict improvement reproduces the
+     sequential unpruned scan's answer exactly. *)
+  let scan session lo hi =
+    let best = ref None in
+    let evaluated = ref 0 and pruned = ref 0 in
+    for i = lo to hi - 1 do
+      let spec = specs.(i) in
+      let cur =
+        match !best with Some (_, s) -> s | None -> neg_infinity
+      in
+      if prune && bound spec <= cur then incr pruned
+      else begin
+        incr evaluated;
+        let m =
+          Mccm.Eval_session.metrics session (Arch.Custom.arch_of_spec model spec)
+        in
+        let s = score m in
+        if s > cur then best := Some ({ Explore.spec; metrics = m }, s)
+      end
+    done;
+    (!best, !evaluated, !pruned)
+  in
+  let d = Util.Parallel.effective ?clamp ~domains ~n () in
+  let chunks =
+    if d = 1 then [ scan session 0 n ]
+    else begin
+      let forks = Array.init d (fun _ -> Mccm.Eval_session.fork session) in
+      let res =
+        Util.Parallel.chunked_map ~clamp:false ~domains:d ~n
+          (fun ~chunk ~lo ~hi -> scan forks.(chunk) lo hi)
+      in
+      Array.iter (fun f -> Mccm.Eval_session.absorb ~into:session f) forks;
+      res
+    end
+  in
+  let best, evaluated, pruned =
+    List.fold_left
+      (fun (best, ev, pr) (b, e, p) ->
+        let best =
+          match (best, b) with
+          | None, b -> b
+          | Some _, None -> best
+          | Some (_, sb), Some (_, s) when s > sb -> b
+          | Some _, Some _ -> best
+        in
+        (best, ev + e, pr + p))
+      (None, 0, 0) chunks
+  in
+  Mccm_obs.Metric.add c_evaluated evaluated;
+  Mccm_obs.Metric.add c_pruned pruned;
+  (match best with
+  | Some (_, s) when s > neg_infinity ->
+    Mccm_obs.Metric.update_max g_best_objective s
+  | _ -> ());
+  ( Option.map fst best,
+    { enumerated = n; evaluated; pruned; domains_used = d } )
 
 type step = {
   moved : string;
@@ -125,7 +422,8 @@ let neighbours ~num_layers (spec : Arch.Custom.spec) =
     (shifts @ [ change_depth 1; change_depth (-1) ] @ split_largest
     @ merge_each)
 
-let local_search ~objective ?(max_steps = 25) ?session model board seed =
+let local_search ~objective ?(max_steps = 25) ?session ?(domains = 1) ?clamp
+    ?bound model board seed =
   Mccm_obs.span ~cat:"dse" "dse.local_search" @@ fun () ->
   let num_layers = Cnn.Model.num_layers model in
   let session = session_or_fresh session model board in
@@ -149,16 +447,61 @@ let local_search ~objective ?(max_steps = 25) ?session model board seed =
       Mccm_obs.Metric.incr c_steps;
       Mccm_obs.Metric.observe h_neighbourhood
         (float_of_int (List.length neigh));
+      (* A neighbour is accepted only on a strict improvement over
+         [current], so one whose admissible score bound cannot exceed
+         [current] is skipped without evaluation — the selection below
+         would have dropped it anyway. *)
+      let cands =
+        match bound with
+        | None -> Array.of_list neigh
+        | Some b ->
+          let kept =
+            List.filter (fun (_, c) -> not (b c <= current)) neigh
+          in
+          Mccm_obs.Metric.add c_ls_pruned
+            (List.length neigh - List.length kept);
+          Array.of_list kept
+      in
+      let nc = Array.length cands in
+      let d = Util.Parallel.effective ?clamp ~domains ~n:nc () in
+      let evaluated =
+        if d = 1 then
+          Array.to_list
+            (Array.map (fun (moved, c) -> (moved, c, eval c)) cands)
+        else begin
+          let forks =
+            Array.init d (fun _ -> Mccm.Eval_session.fork session)
+          in
+          let slices =
+            Util.Parallel.chunked_map ~clamp:false ~domains:d ~n:nc
+              (fun ~chunk ~lo ~hi ->
+                let out = ref [] in
+                for i = lo to hi - 1 do
+                  let moved, c = cands.(i) in
+                  out :=
+                    ( moved,
+                      c,
+                      Mccm.Eval_session.metrics forks.(chunk)
+                        (Arch.Custom.arch_of_spec model c) )
+                    :: !out
+                done;
+                List.rev !out)
+          in
+          Array.iter
+            (fun f -> Mccm.Eval_session.absorb ~into:session f)
+            forks;
+          List.concat slices
+        end
+      in
       let best =
         List.fold_left
-          (fun acc (moved, candidate) ->
-            let m = eval candidate in
+          (fun acc (moved, candidate, m) ->
             let s = score m in
             match acc with
             | Some (_, _, sb) when sb >= s -> acc
             | _ when s > current -> Some ((moved, candidate, m), m, s)
             | _ -> acc)
-          None neigh
+          None evaluated
       in
       match best with
       | None -> List.rev trajectory

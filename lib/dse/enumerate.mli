@@ -17,6 +17,8 @@ val enumerate_specs :
 val exhaustive :
   ?max_specs:int ->
   ?session:Mccm.Eval_session.t ->
+  ?domains:int ->
+  ?clamp:bool ->
   ces:int ->
   Cnn.Model.t ->
   Platform.Board.t ->
@@ -26,7 +28,66 @@ val exhaustive :
     ones, in enumeration order.  [session] (default: a fresh one)
     memoizes segment terms across the lexicographic scan — neighbouring
     specs share nearly all blocks — and across calls; results are
-    bit-identical with or without it. *)
+    bit-identical with or without it.  [domains] (default 1) splits the
+    scan over that many domains in deterministic contiguous chunks
+    (each on a session fork, absorbed after the join), clamped to
+    [Domain.recommended_domain_count] unless [~clamp:false]; the result
+    is identical for every domain count. *)
+
+type objective = [ `Throughput | `Latency ]
+
+type search_stats = {
+  enumerated : int;      (** specs listed (after [max_specs]) *)
+  evaluated : int;       (** specs actually run through the model *)
+  pruned : int;          (** specs skipped by the admissible bound *)
+  domains_used : int;
+}
+
+type bounds
+(** Precomputed bound context for one (model table, board) pair: each
+    layer's minimum Eq.-1 cycle count over every integer 3-D
+    parallelism of degree at most the board's DSPs (a superset of any
+    engine the builder can construct), folded into prefix sums, plus
+    the off-chip traffic floor (weights + network input + output, each
+    crossing the port at least once per image). *)
+
+val bounds : Cnn.Table.t -> Platform.Board.t -> bounds
+(** O(n sqrt(extents)) one-time pass; the per-spec bounds below are
+    then O(blocks). *)
+
+val throughput_upper_bound : bounds -> Arch.Custom.spec -> float
+(** Admissible (never below any achievable value) throughput bound for
+    a custom spec, in images/s: the inverse of the larger of the
+    slowest block's compute floor (head: bottleneck engine at least
+    the largest and the mean per-layer floor; tail: summed floors) and
+    the off-chip traffic floor. *)
+
+val latency_lower_bound : bounds -> Arch.Custom.spec -> float
+(** Admissible (never above any achievable value) latency bound in
+    seconds: summed block compute floors, the Cauchy-Schwarz
+    PE-allocation floor ((sum_b sqrt macs_b)^2 over the board peak),
+    and the off-chip traffic floor. *)
+
+val exhaustive_best :
+  ?max_specs:int ->
+  ?session:Mccm.Eval_session.t ->
+  ?domains:int ->
+  ?clamp:bool ->
+  ?prune:bool ->
+  objective:objective ->
+  ces:int ->
+  Cnn.Model.t ->
+  Platform.Board.t ->
+  Explore.evaluated option * search_stats
+(** [exhaustive_best ~objective ~ces model board] returns the first
+    feasible spec (in enumeration order) attaining the best objective —
+    highest throughput or lowest latency — plus scan statistics.
+    [prune] (default true) skips specs whose admissible bound
+    ({!throughput_upper_bound} / {!latency_lower_bound}) cannot
+    strictly beat the running incumbent; because the bounds are
+    admissible and acceptance requires strict improvement, the returned
+    design is identical with and without pruning, and for every
+    [domains] count. *)
 
 type step = {
   moved : string;                 (** human-readable description *)
@@ -46,6 +107,9 @@ val local_search :
   objective:(Mccm.Metrics.t -> float) ->
   ?max_steps:int ->
   ?session:Mccm.Eval_session.t ->
+  ?domains:int ->
+  ?clamp:bool ->
+  ?bound:(Arch.Custom.spec -> float) ->
   Cnn.Model.t ->
   Platform.Board.t ->
   Arch.Custom.spec ->
@@ -57,4 +121,9 @@ val local_search :
     after [max_steps] (default 25) moves.  [session] (default: a fresh
     one) memoizes evaluation — a move touches at most two blocks, so
     only those are recomputed; results are bit-identical with or
-    without it. *)
+    without it.  [domains] (default 1, clamped like {!exhaustive})
+    evaluates each step's neighbourhood in parallel chunks; [bound]
+    (an admissible upper bound on the objective's score, e.g.
+    {!throughput_upper_bound} partially applied) skips neighbours that
+    cannot strictly beat the current spec.  Neither changes the
+    trajectory. *)

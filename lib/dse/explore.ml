@@ -47,7 +47,7 @@ let run ?(seed = 42L) ?(ce_counts = Arch.Baselines.default_ce_counts)
   if domains <= 0 then invalid_arg "Explore.run: non-positive domain count";
   (* More domains than cores is strictly harmful (every minor collection
      synchronises all domains); clamp to what the runtime recommends. *)
-  let domains = min domains (Domain.recommended_domain_count ()) in
+  let domains = min domains (Util.Parallel.recommended ()) in
   let session =
     match session with
     | None -> Mccm.Eval_session.create model board
@@ -99,22 +99,15 @@ let run ?(seed = 42L) ?(ce_counts = Arch.Baselines.default_ce_counts)
          thread-safe); forks merge back after the join, so a session
          reused across runs keeps learning.  Caching is bit-invisible,
          hence the result stays independent of the domain count. *)
-      let per = distinct / domains and rem = distinct mod domains in
-      let bound i = (i * per) + min i rem in
-      let spawned =
-        List.init domains (fun i ->
-            let fork = Mccm.Eval_session.fork session in
-            ( fork,
-              Domain.spawn (fun () ->
-                  eval_slice ~session:fork ~specs ~lo:(bound i)
-                    ~hi:(bound (i + 1)) model) ))
+      let d = Util.Parallel.effective ~domains ~n:distinct () in
+      let forks = Array.init d (fun _ -> Mccm.Eval_session.fork session) in
+      let slices =
+        Util.Parallel.chunked_map ~domains:d ~n:distinct
+          (fun ~chunk ~lo ~hi ->
+            eval_slice ~session:forks.(chunk) ~specs ~lo ~hi model)
       in
-      List.concat_map
-        (fun (fork, d) ->
-          let ev = Domain.join d in
-          Mccm.Eval_session.absorb ~into:session fork;
-          ev)
-        spawned
+      Array.iter (fun f -> Mccm.Eval_session.absorb ~into:session f) forks;
+      List.concat slices
     end
   in
   let elapsed_s = Unix.gettimeofday () -. started in

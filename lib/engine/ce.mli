@@ -46,3 +46,27 @@ val average_utilization : t -> Cnn.Layer.t list -> float
 
 val pp : Format.formatter -> t -> unit
 (** e.g. ["CE3[256 PEs, F16xH4xW4, OS]"]. *)
+
+(** {1 Table-indexed fast path}
+
+    The same quantities computed from a {!Cnn.Table} by absolute layer
+    index — no [Layer.out_shape] recomputation, no per-call extent-list
+    allocation.  Results are bit-identical to the [Layer.t] versions. *)
+
+val layer_cycles_at : t -> Cnn.Table.t -> int -> int
+(** [layer_cycles_at ce tbl i] equals
+    [layer_cycles ce (Model.layer m i)]. *)
+
+val tile_cycles_at : t -> Cnn.Table.t -> int -> rows:int -> int
+(** [tile_cycles_at ce tbl i ~rows] equals
+    [tile_cycles ce (Model.layer m i) ~rows]. *)
+
+val ideal_cycles_at : pes:int -> Cnn.Table.t -> int -> int
+(** [ideal_cycles_at ~pes tbl i] equals
+    [ideal_cycles ~pes (Model.layer m i)]. *)
+
+val average_utilization_at : t -> Cnn.Table.t -> first:int -> last:int -> float
+(** [average_utilization_at ce tbl ~first ~last] equals
+    [average_utilization ce (Model.layers_in_range m ~first ~last)]
+    bit-exactly (identical float operations in identical order).
+    @raise Invalid_argument on an empty range. *)

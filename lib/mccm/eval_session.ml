@@ -66,6 +66,7 @@ type t = {
   board : Platform.Board.t;
   options : Builder.Build.options;
   memoize : bool;
+  table : Cnn.Table.t option;
   seg : Seg_cache.t;
   bcache : Builder.Build.cache;
   archs : Evaluate.t Arch_tbl.t;
@@ -84,13 +85,14 @@ type stats = {
   plan_misses : int;
 }
 
-let create ?(options = Builder.Build.default_options) ?(memoize = true) model
-    board =
+let create ?(options = Builder.Build.default_options) ?(memoize = true)
+    ?(use_table = true) model board =
   {
     model;
     board;
     options;
     memoize;
+    table = (if use_table then Some (Cnn.Table.of_model model) else None);
     seg = Seg_cache.create ();
     bcache = Builder.Build.create_cache ();
     archs = Arch_tbl.create 512;
@@ -101,12 +103,15 @@ let create ?(options = Builder.Build.default_options) ?(memoize = true) model
 let model t = t.model
 let board t = t.board
 let memoized t = t.memoize
+let table t = t.table
 
 let evaluate t archi =
   t.n_evals <- t.n_evals + 1;
   Mccm_obs.Metric.incr c_evals;
   if not t.memoize then
-    Evaluate.run (Builder.Build.build ~options:t.options t.model t.board archi)
+    Evaluate.run ?table:t.table
+      (Builder.Build.build ~options:t.options ?table:t.table t.model t.board
+         archi)
   else begin
     let key = arch_key archi in
     match Arch_tbl.find_opt t.archs key with
@@ -117,10 +122,10 @@ let evaluate t archi =
     | None ->
       Mccm_obs.Metric.incr c_arch_miss;
       let built =
-        Builder.Build.build ~options:t.options ~cache:t.bcache t.model
-          t.board archi
+        Builder.Build.build ~options:t.options ~cache:t.bcache ?table:t.table
+          t.model t.board archi
       in
-      let e = Evaluate.run ~cache:t.seg built in
+      let e = Evaluate.run ~cache:t.seg ?table:t.table built in
       Arch_tbl.add t.archs key e;
       e
   end

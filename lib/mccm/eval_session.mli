@@ -32,17 +32,25 @@ type t
 val create :
   ?options:Builder.Build.options ->
   ?memoize:bool ->
+  ?use_table:bool ->
   Cnn.Model.t ->
   Platform.Board.t ->
   t
 (** [create model board] opens a session.  [options] defaults to
-    {!Builder.Build.default_options}; [memoize] defaults to [true]. *)
+    {!Builder.Build.default_options}; [memoize] defaults to [true].
+    [use_table] (default [true]) builds a {!Cnn.Table} once and threads
+    it through every build and evaluation, replacing per-layer list
+    walks with O(1) array reads; [~use_table:false] keeps the list-fold
+    reference path — results are bit-identical either way. *)
 
 val model : t -> Cnn.Model.t
 val board : t -> Platform.Board.t
 
 val memoized : t -> bool
 (** Whether this session caches ([false] for the uncached baseline). *)
+
+val table : t -> Cnn.Table.t option
+(** The session's precomputed per-layer table, when enabled. *)
 
 val evaluate : t -> Arch.Block.arch -> Evaluate.t
 (** [evaluate t archi] is [Evaluate.evaluate (model t) (board t) archi]

@@ -31,12 +31,14 @@ type t = {
           definition: time per input when processing a batch *)
 }
 
-val run : ?cache:Seg_cache.t -> Builder.Build.t -> t
+val run : ?cache:Seg_cache.t -> ?table:Cnn.Table.t -> Builder.Build.t -> t
 (** [run built] evaluates a built accelerator analytically.  [cache]
     memoizes per-segment model results across calls sharing a (model,
     board) pair — see {!Seg_cache}; results are bit-identical with and
-    without it.  Most callers want {!Eval_session} instead of passing a
-    cache directly. *)
+    without it.  [table] (a {!Cnn.Table} built from the same model)
+    switches per-layer scalar reads in the block models to the
+    precomputed O(1) fast path — also bit-identical.  Most callers want
+    {!Eval_session} instead of passing a cache directly. *)
 
 val evaluate : Cnn.Model.t -> Platform.Board.t -> Arch.Block.arch -> t
 (** [evaluate model board archi] builds with the Multiple-CE Builder and

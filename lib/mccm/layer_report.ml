@@ -23,7 +23,7 @@ let single_rows (built : Builder.Build.t) ~engine ~plan ~first ~last
   let board = built.Builder.Build.board in
   let r =
     Single_ce_model.evaluate ~model ~board ~engine ~plan ~first ~last
-      ~input_on_chip ~output_on_chip
+      ~input_on_chip ~output_on_chip ()
   in
   List.map
     (fun (lr : Single_ce_model.layer_result) ->

@@ -39,6 +39,7 @@ type result = {
 }
 
 val evaluate :
+  ?table:Cnn.Table.t ->
   model:Cnn.Model.t ->
   board:Platform.Board.t ->
   engines:Engine.Ce.t array ->
@@ -47,6 +48,10 @@ val evaluate :
   last:int ->
   input_on_chip:bool ->
   output_on_chip:bool ->
+  unit ->
   result
 (** [evaluate] models layers [first..last] on [engines] under [plan].
-    Boundary-FM conventions match {!Single_ce_model.evaluate}. *)
+    Boundary-FM conventions match {!Single_ce_model.evaluate}.  [table]
+    (a {!Cnn.Table} built from [model]) switches per-layer scalar reads
+    to the precomputed fast path; results are bit-identical with or
+    without it. *)

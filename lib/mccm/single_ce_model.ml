@@ -69,15 +69,10 @@ let cd_window v cap ~reserved x =
    layer); when the IFM sits in an inter-segment buffer it is on-chip
    but costs no capacity.  [ofm_to_interseg] frees the OFM from the
    capacity and forbids spilling it. *)
-let layer_candidates ~validity ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
-    ~ofm_to_interseg =
-  let bpe = board.Platform.Board.bytes_per_element in
+let layer_candidates ~validity ~plan ~w ~ifm ~ofm ~extra ~band ~ifm_on_chip
+    ~ifm_in_cap ~ofm_to_interseg =
   let cap = plan.Builder.Buffer_alloc.fm_capacity_bytes in
   let le_cap t = le_cap validity cap t in
-  let w = Cnn.Layer.weight_elements layer * bpe in
-  let ifm = Cnn.Layer.ifm_elements layer * bpe in
-  let ofm = Cnn.Layer.ofm_elements layer * bpe in
-  let extra = layer.Cnn.Layer.extra_resident_elements * bpe in
   let ifm_cap_bytes = if ifm_in_cap then ifm else 0 in
   let ofm_cap_bytes = if ofm_to_interseg then 0 else ofm in
   (* A resident shortcut stays on-chip only while everything fits; when a
@@ -113,13 +108,8 @@ let layer_candidates ~validity ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
     end
   end
   else begin
-    (* IFM off-chip. *)
-    let ifm_band =
-      Builder.Tiling.ifm_rows_for_ofm_rows layer ~rows:1
-      * layer.Cnn.Layer.in_shape.Cnn.Shape.width
-      * layer.Cnn.Layer.in_shape.Cnn.Shape.channels
-      * bpe
-    in
+    (* IFM off-chip; [band] is the one-OFM-row IFM streaming band. *)
+    let ifm_band = band in
     if le_cap (ifm + ofm_cap_bytes + extra) then begin
       (* Load the IFM once; everything is buffered afterwards. *)
       add (Access.add (Access.weights w) (Access.fms ifm)) true;
@@ -169,10 +159,37 @@ let layer_candidates ~validity ~board ~plan ~layer ~ifm_on_chip ~ifm_in_cap
   end;
   List.rev !cands
 
-let evaluate_with_validity ~model ~board ~engine ~plan ~first ~last
-    ~input_on_chip ~output_on_chip =
+let evaluate_with_validity ?table ~model ~board ~engine ~plan ~first ~last
+    ~input_on_chip ~output_on_chip () =
   let bpe = board.Platform.Board.bytes_per_element in
   let validity = { lo = 0; hi = max_int } in
+  (* Per-layer scalar view, in bytes: (weights, ifm, ofm, extra,
+     one-row IFM band, Eq.-1 cycles).  The table path reads precomputed
+     arrays; the reference path recomputes from [Layer.t] — both produce
+     identical integers. *)
+  let view =
+    match table with
+    | Some tbl ->
+      fun i ->
+        ( Cnn.Table.weight_elements tbl i * bpe,
+          Cnn.Table.ifm_elements tbl i * bpe,
+          Cnn.Table.ofm_elements tbl i * bpe,
+          Cnn.Table.extra_resident_elements tbl i * bpe,
+          Cnn.Table.band1_elements tbl i * bpe,
+          Engine.Ce.layer_cycles_at engine tbl i )
+    | None ->
+      fun i ->
+        let layer = Cnn.Model.layer model i in
+        ( Cnn.Layer.weight_elements layer * bpe,
+          Cnn.Layer.ifm_elements layer * bpe,
+          Cnn.Layer.ofm_elements layer * bpe,
+          layer.Cnn.Layer.extra_resident_elements * bpe,
+          Builder.Tiling.ifm_rows_for_ofm_rows layer ~rows:1
+          * layer.Cnn.Layer.in_shape.Cnn.Shape.width
+          * layer.Cnn.Layer.in_shape.Cnn.Shape.channels
+          * bpe,
+          Engine.Ce.layer_cycles engine layer )
+  in
   (* Two-state DP over the layer chain: a state is whether the layer's
      IFM is resident in the block's FM capacity.  Charging the cheapest
      chain (not a per-layer greedy) keeps the modelled traffic monotone
@@ -185,10 +202,9 @@ let evaluate_with_validity ~model ~board ~engine ~plan ~first ~last
       if Access.total ta <= Access.total tb then a else b
   in
   let step i states =
-    let layer = Cnn.Model.layer model i in
+    let w, ifm, ofm, extra, band, compute_cycles = view i in
     let is_last = i = last in
     let ofm_to_interseg = is_last && output_on_chip in
-    let compute_cycles = Engine.Ce.layer_cycles engine layer in
     let next = [| None; None |] in
     List.iter
       (fun (ifm_on_chip, ifm_in_cap, state) ->
@@ -201,8 +217,7 @@ let evaluate_with_validity ~model ~board ~engine ~plan ~first ~last
                  anyone. *)
               let accesses =
                 if is_last && (not output_on_chip) && stays then
-                  Access.add accesses
-                    (Access.fms (Cnn.Layer.ofm_elements layer * bpe))
+                  Access.add accesses (Access.fms ofm)
                 else accesses
               in
               let r =
@@ -217,8 +232,8 @@ let evaluate_with_validity ~model ~board ~engine ~plan ~first ~last
               let j = if stays then 1 else 0 in
               next.(j) <-
                 better next.(j) (Some (Access.add total accesses, r :: trace)))
-            (layer_candidates ~validity ~board ~plan ~layer ~ifm_on_chip
-               ~ifm_in_cap ~ofm_to_interseg))
+            (layer_candidates ~validity ~plan ~w ~ifm ~ofm ~extra ~band
+               ~ifm_on_chip ~ifm_in_cap ~ofm_to_interseg))
       states;
     next
   in
@@ -262,15 +277,18 @@ let evaluate_with_validity ~model ~board ~engine ~plan ~first ~last
       0.0 layers
   in
   let utilization =
-    Engine.Ce.average_utilization engine
-      (Cnn.Model.layers_in_range model ~first ~last)
+    match table with
+    | Some tbl -> Engine.Ce.average_utilization_at engine tbl ~first ~last
+    | None ->
+      Engine.Ce.average_utilization engine
+        (Cnn.Model.layers_in_range model ~first ~last)
   in
   ( { layers; compute_cycles; accesses; compute_s; memory_s; latency_s;
       utilization },
     (validity.lo, validity.hi) )
 
-let evaluate ~model ~board ~engine ~plan ~first ~last ~input_on_chip
-    ~output_on_chip =
+let evaluate ?table ~model ~board ~engine ~plan ~first ~last ~input_on_chip
+    ~output_on_chip () =
   fst
-    (evaluate_with_validity ~model ~board ~engine ~plan ~first ~last
-       ~input_on_chip ~output_on_chip)
+    (evaluate_with_validity ?table ~model ~board ~engine ~plan ~first ~last
+       ~input_on_chip ~output_on_chip ())

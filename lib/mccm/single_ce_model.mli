@@ -32,6 +32,7 @@ type result = {
 }
 
 val evaluate :
+  ?table:Cnn.Table.t ->
   model:Cnn.Model.t ->
   board:Platform.Board.t ->
   engine:Engine.Ce.t ->
@@ -40,8 +41,12 @@ val evaluate :
   last:int ->
   input_on_chip:bool ->
   output_on_chip:bool ->
+  unit ->
   result
-(** [evaluate] walks layers [first..last] on [engine].
+(** [evaluate] walks layers [first..last] on [engine].  [table] (a
+    {!Cnn.Table} built from [model]) switches the per-layer scalar
+    reads to the precomputed fast path; results are bit-identical with
+    or without it.
     [input_on_chip] tells whether the block's input FMs arrive through an
     on-chip inter-segment buffer; [output_on_chip] whether its final OFM
     leaves through one.  Boundary FM traffic is charged here (a load when
@@ -49,6 +54,7 @@ val evaluate :
     blocks sums accesses without double counting. *)
 
 val evaluate_with_validity :
+  ?table:Cnn.Table.t ->
   model:Cnn.Model.t ->
   board:Platform.Board.t ->
   engine:Engine.Ce.t ->
@@ -57,6 +63,7 @@ val evaluate_with_validity :
   last:int ->
   input_on_chip:bool ->
   output_on_chip:bool ->
+  unit ->
   result * (int * int)
 (** Like {!evaluate}, but also returns the inclusive interval
     [(cap_lo, cap_hi)] of [fm_capacity_bytes] values over which the

@@ -23,7 +23,7 @@ let simulate ~cfg ~dma ~model ~board ~engine ~plan ~first ~last ~input_on_chip
      parity; the event simulation below only adds time. *)
   let reference =
     Mccm.Single_ce_model.evaluate ~model ~board ~engine ~plan ~first ~last
-      ~input_on_chip ~output_on_chip
+      ~input_on_chip ~output_on_chip ()
   in
   let port_cycles = ref 0.0 in
   let t = ref start in

@@ -1,0 +1,37 @@
+(** Deterministic fork/join scaffolding for Domains-parallel sweeps.
+
+    Every parallel consumer in the repo (DSE exploration, enumeration,
+    validation sweeps) shares the same shape: split [0, n) into [d]
+    contiguous chunks, run one domain per chunk, join in chunk order.
+    The chunk boundaries depend only on [(d, n)] — never on timing — so
+    any per-chunk results can be merged in a fixed order and the overall
+    output is schedule-independent. *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val effective : ?clamp:bool -> domains:int -> n:int -> unit -> int
+(** [effective ~domains ~n ()] is the number of chunks actually used
+    for [n] work items: [domains] clamped to at least 1, to
+    {!recommended} (unless [~clamp:false] — useful to exercise true
+    multi-domain schedules on small machines), and to [n] (but at least
+    1 even when [n = 0]). *)
+
+val bounds : chunks:int -> n:int -> (int * int) array
+(** [bounds ~chunks ~n] splits [0, n) into [chunks] contiguous
+    half-open intervals [(lo, hi)] whose sizes differ by at most one,
+    earlier chunks taking the remainder.  Concatenating them in order
+    yields exactly [0, n). *)
+
+val chunked_map :
+  ?clamp:bool ->
+  domains:int ->
+  n:int ->
+  (chunk:int -> lo:int -> hi:int -> 'a) ->
+  'a list
+(** [chunked_map ~domains ~n f] applies [f ~chunk ~lo ~hi] to each
+    chunk of [0, n) (see {!bounds}, with {!effective} chunks) and
+    returns the results in chunk order.  With one effective chunk the
+    call runs inline in the current domain; otherwise one domain is
+    spawned per chunk and joined in order.  [f] must be safe to run
+    concurrently with itself on disjoint chunks. *)

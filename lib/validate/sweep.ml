@@ -28,7 +28,7 @@ let run ?(suite = Invariant.default_suite ()) ?(samples = 200) ?(seed = 42L)
   Mccm_obs.span ~cat:"validate" "validate.sweep" @@ fun () ->
   if samples < 0 then invalid_arg "Sweep.run: negative sample count";
   if domains <= 0 then invalid_arg "Sweep.run: non-positive domain count";
-  let domains = min domains (Domain.recommended_domain_count ()) in
+  let domains = min domains (Util.Parallel.recommended ()) in
   let started = Unix.gettimeofday () in
   (* The regression corpus replays first, sequentially: committed
      counterexamples are few, and a regression there should surface
@@ -57,17 +57,9 @@ let run ?(suite = Invariant.default_suite ()) ?(samples = 200) ?(seed = 42L)
     Array.of_list (List.rev !a)
   in
   let generated_verdicts =
-    if domains = 1 then check_slice ~suite cases 0 samples
-    else begin
-      let per = samples / domains and rem = samples mod domains in
-      let bound i = (i * per) + min i rem in
-      let spawned =
-        List.init domains (fun i ->
-            Domain.spawn (fun () ->
-                check_slice ~suite cases (bound i) (bound (i + 1))))
-      in
-      List.concat_map Domain.join spawned
-    end
+    List.concat
+      (Util.Parallel.chunked_map ~domains ~n:samples (fun ~chunk:_ ~lo ~hi ->
+           check_slice ~suite cases lo hi))
   in
   let verdicts = corpus_verdicts @ generated_verdicts in
   let failures =

@@ -62,7 +62,7 @@ let single_block_setup ~fm_capacity_mib =
 let eval_single ~fm_capacity_mib =
   let board, engine, plan = single_block_setup ~fm_capacity_mib in
   Mccm.Single_ce_model.evaluate ~model:res50 ~board ~engine ~plan ~first:0
-    ~last:9 ~input_on_chip:false ~output_on_chip:false
+    ~last:9 ~input_on_chip:false ~output_on_chip:false ()
 
 let test_single_ideal_accesses () =
   (* With FMs fully buffered, accesses = weights + input + output. *)
@@ -107,11 +107,11 @@ let test_single_interseg_input () =
   let board, engine, plan = single_block_setup ~fm_capacity_mib:8.0 in
   let off =
     Mccm.Single_ce_model.evaluate ~model:res50 ~board ~engine ~plan ~first:0
-      ~last:9 ~input_on_chip:false ~output_on_chip:false
+      ~last:9 ~input_on_chip:false ~output_on_chip:false ()
   in
   let on =
     Mccm.Single_ce_model.evaluate ~model:res50 ~board ~engine ~plan ~first:0
-      ~last:9 ~input_on_chip:true ~output_on_chip:false
+      ~last:9 ~input_on_chip:true ~output_on_chip:false ()
   in
   let bpe = 2 in
   check "saves exactly the input"
@@ -146,7 +146,7 @@ let eval_miniature ~cap_bytes ~input_on_chip =
     }
   in
   Mccm.Single_ce_model.evaluate ~model ~board ~engine ~plan ~first:0 ~last:0
-    ~input_on_chip ~output_on_chip:false
+    ~input_on_chip ~output_on_chip:false ()
 
 let test_eq6_miniature_fits () =
   (* cap 384 B holds IFM+OFM: accesses = W + IFM load + OFM store
@@ -213,7 +213,7 @@ let test_pipelined_throughput_is_bottleneck () =
   let board, engines, plan, first, last = pipelined_setup () in
   let r =
     Mccm.Pipelined_model.evaluate ~model:res50 ~board ~engines ~plan ~first
-      ~last ~input_on_chip:false ~output_on_chip:true
+      ~last ~input_on_chip:false ~output_on_chip:true ()
   in
   let max_busy =
     Array.fold_left Float.max 0.0 r.Mccm.Pipelined_model.busy_s_per_engine
@@ -254,7 +254,7 @@ let test_pipelined_eq2_uniform_round () =
   in
   let r =
     Mccm.Pipelined_model.evaluate ~model ~board ~engines ~plan ~first:0 ~last:2
-      ~input_on_chip:true ~output_on_chip:true
+      ~input_on_chip:true ~output_on_chip:true ()
   in
   let tile_cyc = Engine.Ce.tile_cycles engines.(0) (List.hd layers) ~rows:4 in
   let expected_cycles = (4 + 3 - 1) * tile_cyc in
@@ -281,7 +281,7 @@ let test_pipelined_weight_reload () =
   in
   let eval p =
     (Mccm.Pipelined_model.evaluate ~model:res50 ~board ~engines ~plan:p ~first
-       ~last ~input_on_chip:true ~output_on_chip:true)
+       ~last ~input_on_chip:true ~output_on_chip:true ())
       .Mccm.Pipelined_model.accesses
   in
   let streamed = eval all_streamed and retained = eval all_retained in

@@ -1,0 +1,236 @@
+(* Tests for the precomputed per-layer table (Cnn.Table), the parallel
+   chunking helper (Util.Parallel) and the bound-pruned, Domains-parallel
+   exhaustive scan (Dse.Enumerate.exhaustive_best).
+
+   The load-bearing claims are all bit-exactness claims: the table path
+   must agree with the list-fold reference path to the last bit, and the
+   pruned/parallel scans must return exactly what the sequential
+   unpruned scan returns. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------- table vs list fold *)
+
+(* Every aggregate the table serves must equal the Model/Layer reference
+   computation on random models and random ranges. *)
+let prop_table_matches_model =
+  QCheck2.Test.make ~name:"table aggregates equal list-fold reference"
+    ~count:100
+    QCheck2.Gen.(pair Generators.model (pair small_nat small_nat))
+    (fun (model, (a, b)) ->
+      let t = Cnn.Table.of_model model in
+      let n = Cnn.Model.num_layers model in
+      let first = a mod n and last = b mod n in
+      let first, last = (min first last, max first last) in
+      Cnn.Table.macs_range t ~first ~last
+      = Cnn.Model.macs_in_range model ~first ~last
+      && Cnn.Table.weights_range t ~first ~last
+         = Cnn.Model.weights_in_range model ~first ~last
+      && Cnn.Table.max_fms_range t ~first ~last
+         = Cnn.Model.max_fms_elements model ~first ~last
+      && Cnn.Table.total_macs t
+         = Cnn.Model.macs_in_range model ~first:0 ~last:(n - 1)
+      && Cnn.Table.total_weights t
+         = Cnn.Model.weights_in_range model ~first:0 ~last:(n - 1))
+
+let prop_table_per_layer_scalars =
+  QCheck2.Test.make ~name:"per-layer scalars equal Layer accessors"
+    ~count:100 Generators.model (fun model ->
+      let t = Cnn.Table.of_model model in
+      let ok = ref true in
+      for i = 0 to Cnn.Model.num_layers model - 1 do
+        let l = Cnn.Model.layer model i in
+        let ef, ec, eh, ew, ekh, ekw = Cnn.Table.extents t i in
+        ok :=
+          !ok
+          && Cnn.Table.macs t i = Cnn.Layer.macs l
+          && Cnn.Table.weight_elements t i = Cnn.Layer.weight_elements l
+          && Cnn.Table.ifm_elements t i = Cnn.Layer.ifm_elements l
+          && Cnn.Table.ofm_elements t i = Cnn.Layer.ofm_elements l
+          && Cnn.Table.fms_elements t i = Cnn.Layer.fms_elements l
+          && ef = Cnn.Layer.loop_extent l `Filters
+          && ec = Cnn.Layer.loop_extent l `Channels
+          && eh = Cnn.Layer.loop_extent l `Height
+          && ew = Cnn.Layer.loop_extent l `Width
+          && ekh = Cnn.Layer.loop_extent l `Kernel_h
+          && ekw = Cnn.Layer.loop_extent l `Kernel_w
+      done;
+      !ok)
+
+(* The whole evaluation stack must be bit-identical with and without the
+   table: same model, board and architecture, full Metrics.t equality. *)
+let prop_table_path_bit_identical =
+  QCheck2.Test.make ~name:"table evaluation path is bit-identical"
+    ~count:60 Generators.case (fun case ->
+      let archi = Validate.Case.materialize case in
+      let metrics use_table =
+        let s =
+          Mccm.Eval_session.create ~memoize:false ~use_table
+            case.Validate.Case.model case.Validate.Case.board
+        in
+        Mccm.Eval_session.metrics s archi
+      in
+      metrics true = metrics false)
+
+(* ------------------------------------------------------ Util.Parallel *)
+
+let test_bounds_partition () =
+  List.iter
+    (fun (chunks, n) ->
+      let parts = Util.Parallel.bounds ~chunks ~n in
+      checki "chunk count" (max 1 chunks) (Array.length parts);
+      let lo0, _ = parts.(0) in
+      checki "starts at 0" 0 lo0;
+      let _, hi_last = parts.(Array.length parts - 1) in
+      checki "ends at n" n hi_last;
+      Array.iteri
+        (fun i (lo, hi) ->
+          checkb "contiguous" true
+            (i = 0 || snd parts.(i - 1) = lo);
+          checkb "sizes differ by at most one" true
+            (hi - lo >= (n / max 1 chunks) && hi - lo <= (n / max 1 chunks) + 1))
+        parts)
+    [ (1, 10); (3, 10); (4, 12); (7, 5); (5, 0) ]
+
+let test_effective_clamps () =
+  checki "never below 1" 1 (Util.Parallel.effective ~domains:0 ~n:10 ());
+  checki "clamped by n" 3
+    (Util.Parallel.effective ~clamp:false ~domains:8 ~n:3 ());
+  checki "unclamped honours request" 4
+    (Util.Parallel.effective ~clamp:false ~domains:4 ~n:100 ());
+  checkb "clamped by recommended count" true
+    (Util.Parallel.effective ~domains:64 ~n:1000 ()
+    <= Util.Parallel.recommended ())
+
+let test_chunked_map_order () =
+  (* The concatenated chunk results must reproduce the sequential scan,
+     in order, for every domain count. *)
+  let n = 37 in
+  let seq = List.init n (fun i -> i * i) in
+  List.iter
+    (fun domains ->
+      let out =
+        List.concat
+          (Util.Parallel.chunked_map ~clamp:false ~domains ~n
+             (fun ~chunk:_ ~lo ~hi -> List.init (hi - lo) (fun k ->
+                  let i = lo + k in
+                  i * i)))
+      in
+      checkb (Printf.sprintf "domains=%d" domains) true (out = seq))
+    [ 1; 2; 4; 5 ]
+
+(* ------------------------------- parallel + pruned exhaustive scans *)
+
+let mobv2 = Cnn.Model_zoo.mobilenet_v2 ()
+let board = Platform.Board.vcu108
+
+let test_exhaustive_domain_invariant () =
+  (* The full evaluated list (order included) must be identical for
+     every domain count, even when the domains are oversubscribed. *)
+  let run domains =
+    Dse.Enumerate.exhaustive ~max_specs:120 ~domains ~clamp:false ~ces:3
+      mobv2 board
+  in
+  let reference = run 1 in
+  List.iter
+    (fun d ->
+      checkb (Printf.sprintf "domains=%d identical" d) true (run d = reference))
+    [ 2; 4 ]
+
+let test_exhaustive_best_matches_unpruned_sequential () =
+  (* The pruned, parallel scan must return the same best design as the
+     sequential unpruned scan, for both objectives and domains 1/2/4. *)
+  List.iter
+    (fun objective ->
+      let reference, ref_stats =
+        Dse.Enumerate.exhaustive_best ~max_specs:150 ~domains:1 ~prune:false
+          ~objective ~ces:3 mobv2 board
+      in
+      checki "unpruned evaluates everything" ref_stats.Dse.Enumerate.enumerated
+        ref_stats.Dse.Enumerate.evaluated;
+      List.iter
+        (fun domains ->
+          let best, stats =
+            Dse.Enumerate.exhaustive_best ~max_specs:150 ~domains ~clamp:false
+              ~prune:true ~objective ~ces:3 mobv2 board
+          in
+          checkb
+            (Printf.sprintf "domains=%d same best" domains)
+            true (best = reference);
+          checki "evaluated + pruned = enumerated" stats.Dse.Enumerate.enumerated
+            (stats.Dse.Enumerate.evaluated + stats.Dse.Enumerate.pruned))
+        [ 1; 2; 4 ])
+    [ `Throughput; `Latency ]
+
+let test_exhaustive_best_agrees_with_exhaustive () =
+  (* The scan's winner must be the argmax of the plain evaluated list
+     (first occurrence on ties). *)
+  let evaluated = Dse.Enumerate.exhaustive ~max_specs:150 ~ces:3 mobv2 board in
+  let best, _ =
+    Dse.Enumerate.exhaustive_best ~max_specs:150 ~objective:`Throughput ~ces:3
+      mobv2 board
+  in
+  let by_list =
+    List.fold_left
+      (fun acc (e : Dse.Explore.evaluated) ->
+        match acc with
+        | Some (b : Dse.Explore.evaluated)
+          when b.metrics.Mccm.Metrics.throughput_ips
+               >= e.metrics.Mccm.Metrics.throughput_ips ->
+          acc
+        | _ -> Some e)
+      None evaluated
+  in
+  checkb "argmax of evaluated list" true (best = by_list)
+
+(* ------------------------------------------------ bound admissibility *)
+
+let prop_bounds_admissible =
+  let table = Cnn.Table.of_model mobv2 in
+  let b = Dse.Enumerate.bounds table board in
+  let session = Mccm.Eval_session.create mobv2 board in
+  QCheck2.Test.make ~name:"bounds are admissible on random specs" ~count:60
+    (Generators.custom_spec ~num_layers:(Cnn.Model.num_layers mobv2))
+    (fun spec ->
+      let ub = Dse.Enumerate.throughput_upper_bound b spec in
+      let lb = Dse.Enumerate.latency_lower_bound b spec in
+      let m =
+        Mccm.Eval_session.metrics session (Arch.Custom.arch_of_spec mobv2 spec)
+      in
+      (not m.Mccm.Metrics.feasible)
+      || (ub >= m.Mccm.Metrics.throughput_ips
+         && lb <= m.Mccm.Metrics.latency_s))
+
+(* ---------------------------------------------------------- plumbing *)
+
+let () =
+  Alcotest.run "table"
+    [
+      ( "table",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_table_matches_model;
+            prop_table_per_layer_scalars;
+            prop_table_path_bit_identical;
+          ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "bounds partition [0,n)" `Quick
+            test_bounds_partition;
+          Alcotest.test_case "effective clamps" `Quick test_effective_clamps;
+          Alcotest.test_case "chunked_map preserves order" `Quick
+            test_chunked_map_order;
+        ] );
+      ( "exhaustive",
+        [
+          Alcotest.test_case "domain-count invariant" `Quick
+            test_exhaustive_domain_invariant;
+          Alcotest.test_case "pruned+parallel equals unpruned sequential"
+            `Quick test_exhaustive_best_matches_unpruned_sequential;
+          Alcotest.test_case "agrees with plain exhaustive" `Quick
+            test_exhaustive_best_agrees_with_exhaustive;
+        ] );
+      ( "bounds",
+        List.map QCheck_alcotest.to_alcotest [ prop_bounds_admissible ] );
+    ]
