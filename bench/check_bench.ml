@@ -29,6 +29,14 @@
    would gate on noise.  /2 and /1 files lack all these fields and skip
    the gates.
 
+   mccm-bench-dse/4 files additionally carry an "enumerate_bnb" record
+   (best-first branch-and-bound vs pruned scan on the deep ResNet152
+   configuration): its "prune_ratio" is gated at a 0.5 floor — the
+   headline claim of the admissible segment bounds — and
+   "winner_matches_scan" must be true (both searches are exact, so a
+   mismatch is a soundness bug, not a perf regression).  Older files
+   lack the member and skip the gate.
+
    --validate-trace parses a Chrome trace_event JSON file (as written by
    `mccm --trace` or Mccm_obs.Chrome_trace) and fails unless it holds a
    non-empty "traceEvents" array of well-formed "X" events.
@@ -239,6 +247,20 @@ let parallel_scaling json =
     | _ -> None)
   | _ -> None
 
+(* (prune_ratio, winner_matches_scan) of the enumerate_bnb record
+   (mccm-bench-dse/4); [None] on older files skips the gate. *)
+let bnb_gate_inputs json =
+  match member "enumerate_bnb" json with
+  | Some bnb ->
+    let matches =
+      match member "winner_matches_scan" bnb with
+      | Some (Bool b) -> b
+      | _ -> failwith "enumerate_bnb.winner_matches_scan: missing"
+    in
+    Some (num_exn "enumerate_bnb.prune_ratio" (member "prune_ratio" bnb),
+          matches)
+  | None -> None
+
 let validate_trace path =
   let events =
     match member "traceEvents" (load path) with
@@ -302,6 +324,15 @@ let gate current_path baseline_path tolerance trace_tol =
     Printf.printf
       "%s %-16s 4-domain %.0f specs/s vs 1-domain %.0f (floor 1.50x)\n"
       verdict "exhaustive_par" r4 r1);
+  (match bnb_gate_inputs current_json with
+  | None -> ()
+  | Some (ratio, matches) ->
+    let verdict = if ratio >= 0.5 then "ok  " else (incr failures; "FAIL") in
+    Printf.printf "%s %-16s prune ratio %.1f%% (floor 50%%)\n" verdict
+      "enumerate_bnb" (100.0 *. ratio);
+    let verdict = if matches then "ok  " else (incr failures; "FAIL") in
+    Printf.printf "%s %-16s winner matches pruned scan: %b\n" verdict
+      "enumerate_bnb" matches);
   if !failures > 0 then begin
     Printf.printf "%d gate failure(s)\n" !failures;
     exit 1

@@ -365,9 +365,12 @@ let bench_parallel () =
   in
   let run domains =
     let session = Mccm.Eval_session.create ~memoize:false model board in
+    (* Pin the strategy: `Auto would switch 1-domain runs onto the
+       best-first search and the 4-vs-1-domain gate would compare two
+       different algorithms. *)
     time (fun () ->
         Dse.Enumerate.exhaustive_best ~max_specs ~session ~domains
-          ~clamp:false ~objective:`Throughput ~ces model board)
+          ~clamp:false ~strategy:`Scan ~objective:`Throughput ~ces model board)
   in
   let (ref_best, ref_stats), _ = run 1 in
   let points =
@@ -424,12 +427,94 @@ let bench_parallel () =
   Util.Table.print table;
   bench
 
+(* ------------------------------------------------------------------ *)
+(* Best-first branch-and-bound vs pruned scan on the deep-space
+   configuration (ResNet152, 10 CEs) where the segment bounds actually
+   bite: both searches are exact, so the winner must match bit for bit,
+   and CI gates the recorded prune ratio at 0.5. *)
+
+type bnb_bench = {
+  bb_model : string;
+  bb_board : string;
+  bb_ces : int;
+  bb_max_specs : int;
+  bb_enumerated : int;
+  bb_evaluated : int;
+  bb_pruned : int;
+  bb_nodes : int;
+  bb_prune_ratio : float;
+  bb_seconds : float;
+  bb_scan_seconds : float;
+  bb_winner_matches_scan : bool;
+}
+
+let bench_bnb () =
+  let model = Cnn.Model_zoo.resnet152 () in
+  let board = Platform.Board.vcu108 in
+  let ces = 10 and max_specs = 30000 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let run strategy =
+    let session = Mccm.Eval_session.create ~memoize:false model board in
+    time (fun () ->
+        Dse.Enumerate.exhaustive_best ~max_specs ~session ~clamp:false
+          ~strategy ~objective:`Throughput ~ces model board)
+  in
+  let (bnb_best, bnb_stats), bnb_s = run `Best_first in
+  let (scan_best, _), scan_s = run `Scan in
+  if bnb_best <> scan_best then
+    failwith "enumerate_bnb: best-first winner disagrees with the pruned scan";
+  let bench =
+    {
+      bb_model = "ResNet152";
+      bb_board = "VCU108";
+      bb_ces = ces;
+      bb_max_specs = max_specs;
+      bb_enumerated = bnb_stats.Dse.Enumerate.enumerated;
+      bb_evaluated = bnb_stats.Dse.Enumerate.evaluated;
+      bb_pruned = bnb_stats.Dse.Enumerate.pruned;
+      bb_nodes = bnb_stats.Dse.Enumerate.nodes;
+      bb_prune_ratio =
+        float_of_int bnb_stats.Dse.Enumerate.pruned
+        /. float_of_int (max 1 bnb_stats.Dse.Enumerate.enumerated);
+      bb_seconds = bnb_s;
+      bb_scan_seconds = scan_s;
+      bb_winner_matches_scan = true;
+    }
+  in
+  let table =
+    Util.Table.create
+      ~title:
+        (Format.sprintf
+           "Best-first branch-and-bound (%s / %s, ces=%d, %d specs)"
+           bench.bb_model bench.bb_board ces bench.bb_enumerated)
+      ~columns:
+        [ ("search", Util.Table.Left); ("seconds", Util.Table.Right);
+          ("evaluated", Util.Table.Right); ("pruned", Util.Table.Right);
+          ("nodes", Util.Table.Right) ]
+      ()
+  in
+  Util.Table.add_row table
+    [ "best-first"; Format.sprintf "%.3f" bnb_s;
+      string_of_int bench.bb_evaluated;
+      Format.sprintf "%d (%.1f%%)" bench.bb_pruned
+        (100.0 *. bench.bb_prune_ratio);
+      string_of_int bench.bb_nodes ];
+  Util.Table.add_row table
+    [ "pruned scan"; Format.sprintf "%.3f" scan_s; "-"; "-"; "0" ];
+  Util.Table.print table;
+  Format.printf "winners identical across strategies@.";
+  bench
+
 (* Hand-rolled JSON emission (the toolchain has no JSON library); the
    schema is consumed by check_bench.ml and CI. *)
-let write_bench_json ~path rows par =
+let write_bench_json ~path rows par bnb =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.bprintf buf fmt in
-  add "{\n  \"schema\": \"mccm-bench-dse/3\",\n";
+  add "{\n  \"schema\": \"mccm-bench-dse/4\",\n";
   add "  \"fig10_samples\": %d,\n" !fig10_samples;
   add "  \"recommended_domains\": %d,\n" (Util.Parallel.recommended ());
   add "  \"workloads\": [\n";
@@ -483,6 +568,19 @@ let write_bench_json ~path rows par =
         (if i = np - 1 then "" else ","))
     par.par_points;
   add "    ] },\n";
+  add
+    "  \"enumerate_bnb\": { \"model\": \"%s\", \"board\": \"%s\", \"ces\": \
+     %d, \"max_specs\": %d,\n"
+    bnb.bb_model bnb.bb_board bnb.bb_ces bnb.bb_max_specs;
+  add
+    "    \"enumerated\": %d, \"evaluated\": %d, \"pruned\": %d, \"nodes\": \
+     %d, \"prune_ratio\": %.4f,\n"
+    bnb.bb_enumerated bnb.bb_evaluated bnb.bb_pruned bnb.bb_nodes
+    bnb.bb_prune_ratio;
+  add
+    "    \"seconds\": %.6f, \"scan_seconds\": %.6f, \
+     \"winner_matches_scan\": %b },\n"
+    bnb.bb_seconds bnb.bb_scan_seconds bnb.bb_winner_matches_scan;
   add "  \"artifacts\": [\n";
   (* Only paper artifacts; the Bechamel and cache sections time themselves. *)
   let times =
@@ -534,7 +632,10 @@ let () =
   section "DSE session cache" (fun () -> rows := bench_dse ());
   let par = ref None in
   section "parallel exhaustive scan" (fun () -> par := Some (bench_parallel ()));
+  let bnb = ref None in
+  section "best-first branch-and-bound" (fun () -> bnb := Some (bench_bnb ()));
   write_bench_json
     ~path:(Option.value json ~default:"BENCH_dse.json")
     !rows
     (Option.get !par)
+    (Option.get !bnb)

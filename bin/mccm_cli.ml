@@ -644,23 +644,33 @@ let enumerate_cmd =
             "Disable the admissible-bound prune (every spec is \
              evaluated; the chosen design is unchanged).")
   in
-  let run obs model board ces max_specs domains best no_prune =
+  let scan_arg =
+    Arg.(
+      value & flag
+      & info [ "scan" ]
+          ~doc:
+            "Force the chunked scan instead of the best-first \
+             branch-and-bound (the default with pruning on and one \
+             domain).  The chosen design is unchanged.")
+  in
+  let run obs model board ces max_specs domains best no_prune scan =
     with_obs "enumerate" obs @@ fun () ->
     let started = Unix.gettimeofday () in
+    let strategy = if scan then `Scan else `Auto in
     let winner, stats =
       Dse.Enumerate.exhaustive_best ~max_specs ~domains ~prune:(not no_prune)
-        ~objective:best ~ces model board
+        ~strategy ~objective:best ~ces model board
     in
     let elapsed = Unix.gettimeofday () -. started in
     Format.printf
-      "%d specs enumerated, %d evaluated, %d pruned (%.1f%%), %d domain(s), \
-       %.2f s (%.0f specs/s)@."
+      "%d specs enumerated, %d evaluated, %d pruned (%.1f%%), %d B&B \
+       node(s), %d domain(s), %.2f s (%.0f specs/s)@."
       stats.Dse.Enumerate.enumerated stats.Dse.Enumerate.evaluated
       stats.Dse.Enumerate.pruned
       (100.0
       *. float_of_int stats.Dse.Enumerate.pruned
       /. float_of_int (max 1 stats.Dse.Enumerate.enumerated))
-      stats.Dse.Enumerate.domains_used elapsed
+      stats.Dse.Enumerate.nodes stats.Dse.Enumerate.domains_used elapsed
       (float_of_int stats.Dse.Enumerate.enumerated
       /. Float.max 1e-9 elapsed);
     match winner with
@@ -680,12 +690,12 @@ let enumerate_cmd =
   Cmd.v
     (Cmd.info "enumerate"
        ~doc:
-         "Exhaustively scan every custom design at a fixed CE count, \
-          bound-pruned and Domains-parallel, and print the best design \
-          for an objective.")
+         "Search every custom design at a fixed CE count — best-first \
+          branch-and-bound, or a bound-pruned Domains-parallel scan — \
+          and print the best design for an objective.")
     Term.(
       const run $ obs_args $ model_arg $ board_arg $ ces_arg $ max_specs_arg
-      $ domains_arg $ best_arg $ no_prune_arg)
+      $ domains_arg $ best_arg $ no_prune_arg $ scan_arg)
 
 let () =
   let doc = "Analytical cost model for multiple compute-engine CNN accelerators" in

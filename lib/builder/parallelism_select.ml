@@ -121,6 +121,91 @@ let choose ~pes ~layers =
 let fast_cache : (int * int * int list, P.t) Hashtbl.t = Hashtbl.create 256
 let fast_lock = Mutex.create ()
 
+(* ------------------------------------------------------ cycle floors *)
+
+(* Divisor candidates for minimising [d -> ceil_div e d] under a cap:
+   the O(sqrt e) quotient breakpoints (smallest d per quotient) plus
+   the cap itself. *)
+let ceil_candidates e cap =
+  let m = max 1 (min e cap) in
+  let acc = ref [ m ] in
+  let q = ref 1 in
+  let continue = ref (e >= 1) in
+  while !continue do
+    let d = Util.Int_math.ceil_div e !q in
+    if d <= m then acc := d :: !acc;
+    if d <= 1 then continue := false
+    else begin
+      let q' = Util.Int_math.ceil_div e (d - 1) in
+      if q' <= !q then continue := false else q := q'
+    end
+  done;
+  List.sort_uniq compare !acc
+
+(* Minimum Eq.-1 cycles of one layer over every (d1, h, w) with
+   [d1 * h * w <= budget]: [rest] covers the never-unrolled extents.
+   This really is the minimum, not just a bound: for a fixed ceil
+   quotient the smallest divisor achieving it dominates (it leaves the
+   most budget to the later dimensions), and for fixed (d1, h) the
+   cost only falls as w grows, so the largest feasible w dominates. *)
+let min_cycles_mode ~budget ~e1 ~eh ~ew ~rest =
+  let cd = Util.Int_math.ceil_div in
+  let best = ref max_int in
+  List.iter
+    (fun d1 ->
+      let rem = budget / d1 in
+      if rem >= 1 then
+        List.iter
+          (fun h ->
+            let w = max 1 (min ew (rem / h)) in
+            if rem / h >= 1 then begin
+              let c = rest * cd e1 d1 * cd eh h * cd ew w in
+              if c < !best then best := c
+            end)
+          (ceil_candidates eh rem))
+    (ceil_candidates e1 budget);
+  !best
+
+(* Floors are probed repeatedly with per-layer budgets by the DSE bound
+   precomputation; same mutex-protected memo idiom as the caches above. *)
+let floor_cache : (int * int * int, int) Hashtbl.t = Hashtbl.create 256
+let floor_lock = Mutex.create ()
+
+let cycle_floor ~pes table i =
+  if pes < 1 then invalid_arg "Parallelism_select.cycle_floor: pes < 1";
+  let key = (Cnn.Table.uid table, pes, i) in
+  let cached =
+    Mutex.lock floor_lock;
+    let r = Hashtbl.find_opt floor_cache key in
+    Mutex.unlock floor_lock;
+    r
+  in
+  match cached with
+  | Some c -> c
+  | None ->
+    let ef, ec, eh, ew, ekh, ekw = Cnn.Table.extents table i in
+    let k2 = ekh * ekw in
+    (* Engines unroll (Filters, Height, Width) or (Channels, Height,
+       Width); the floor takes the min over both modes, so it holds
+       whichever mode [choose]/[choose_indices] (or the naive-cube
+       ablation) ends up in. *)
+    let c =
+      min
+        (min_cycles_mode ~budget:pes ~e1:ef ~eh ~ew ~rest:(ec * k2))
+        (min_cycles_mode ~budget:pes ~e1:ec ~eh ~ew ~rest:(ef * k2))
+    in
+    Mutex.lock floor_lock;
+    (if not (Hashtbl.mem floor_cache key) then Hashtbl.add floor_cache key c);
+    Mutex.unlock floor_lock;
+    c
+
+let utilization_ceiling ~pes table i =
+  let floor = cycle_floor ~pes table i in
+  if floor <= 0 then 1.0
+  else
+    let ideal = float_of_int (Cnn.Table.macs table i) /. float_of_int pes in
+    Float.min 1.0 (ideal /. float_of_int floor)
+
 let choose_indices ~pes table indices =
   if pes < 1 then invalid_arg "Parallelism_select.choose_indices: pes < 1";
   match indices with

@@ -24,6 +24,25 @@ val choose : pes:int -> layers:Cnn.Layer.t list -> Engine.Parallelism.t
 
     @raise Invalid_argument if [pes < 1]. *)
 
+val cycle_floor : pes:int -> Cnn.Table.t -> int -> int
+(** [cycle_floor ~pes table i] is the minimum Eq.-1 cycle count of the
+    table's layer [i] over {e every} integer 3-D parallelism of total
+    degree at most [pes] — both unroll modes ((Filters, Height, Width)
+    and (Channels, Height, Width)), all degrees, not just 7-smooth
+    ones.  It therefore lower-bounds the per-layer cycles of any engine
+    this module (or the naive-cube ablation) can construct with at most
+    [pes] PEs, which makes it the compute-floor primitive of the DSE
+    pruning bounds ({!Dse.Bounds}).  Nonincreasing in [pes]; results
+    are memoised per (table, pes, layer).
+    @raise Invalid_argument if [pes < 1]. *)
+
+val utilization_ceiling : pes:int -> Cnn.Table.t -> int -> float
+(** [utilization_ceiling ~pes table i] is the best PE utilization any
+    [pes]-PE engine can reach on layer [i]:
+    [macs / (pes * cycle_floor)], clamped to [0, 1].  The compute floor
+    in {!Dse.Bounds} is exactly
+    [macs / (pes * utilization_ceiling * clock)] seconds. *)
+
 val choose_indices :
   pes:int -> Cnn.Table.t -> int list -> Engine.Parallelism.t
 (** [choose_indices ~pes table indices] is [choose ~pes ~layers] for the

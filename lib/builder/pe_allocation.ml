@@ -1,3 +1,19 @@
+let share_upper_bound ~budget ~engines ~workload ~total =
+  if engines < 1 then invalid_arg "Pe_allocation.share_upper_bound: no engines";
+  if budget < engines then
+    invalid_arg "Pe_allocation.share_upper_bound: budget below engine count";
+  if workload < 0 || total < 0 then
+    invalid_arg "Pe_allocation.share_upper_bound: negative workload";
+  let spare = budget - engines in
+  (* [distribute] gives 1 (floor) + spare * w / total (proportional,
+     integer division) + at most 1 (largest-remainder leftover); no
+     engine can exceed the budget minus one PE for each other engine.
+     A zero total falls back to uniform weights inside [distribute], so
+     only the hard cap applies. *)
+  let cap = spare + 1 in
+  if total <= 0 || workload >= total then cap
+  else min cap (2 + (spare * workload / total))
+
 let distribute ~budget ~workloads =
   let n = Array.length workloads in
   if n = 0 then [||]

@@ -1,5 +1,25 @@
 (** Distribution of the board's PE (DSP) budget across compute engines. *)
 
+val share_upper_bound :
+  budget:int -> engines:int -> workload:int -> total:int -> int
+(** [share_upper_bound ~budget ~engines ~workload ~total] bounds from
+    above the PE count {!distribute} can give an engine whose workload
+    is [workload] out of a [total] shared by [engines] engines:
+
+    [min (budget - engines + 1) (2 + (budget - engines) * workload / total)]
+
+    — one floor PE, the proportional share of the spare budget, at most
+    one largest-remainder PE, and never more than the budget minus one
+    PE per other engine.  This is the admissibility anchor of the DSE
+    segment bounds ({!Dse.Bounds}): for every workload vector with the
+    given total, [distribute ~budget ~workloads].(i) <=
+    [share_upper_bound ~budget ~engines ~workload:workloads.(i)
+    ~total].  With [total <= 0] (uniform fallback) or [workload >=
+    total] only the hard cap applies.
+
+    @raise Invalid_argument if [engines < 1], [budget < engines], or a
+    count is negative. *)
+
 val distribute : budget:int -> workloads:int array -> int array
 (** [distribute ~budget ~workloads] splits [budget] PEs over
     [Array.length workloads] engines proportionally to each engine's

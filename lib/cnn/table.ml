@@ -46,6 +46,7 @@ type t = {
   weights_pfx : int array;      (* likewise for weight elements *)
   fms_sparse : int array array;
       (* fms_sparse.(k).(i) = max fms.(i .. i + 2^k - 1) *)
+  macs_sparse : int array array; (* likewise over macs *)
   log2 : int array;             (* log2.(l) = floor (log2 l), length n+1 *)
 }
 
@@ -100,15 +101,19 @@ let of_model model =
     log2.(l) <- log2.(l / 2) + 1
   done;
   let levels = log2.(n) + 1 in
-  let fms_sparse = Array.make levels [||] in
-  fms_sparse.(0) <- Array.copy fms;
-  for k = 1 to levels - 1 do
-    let half = 1 lsl (k - 1) in
-    let width = n - (1 lsl k) + 1 in
-    let prev = fms_sparse.(k - 1) in
-    fms_sparse.(k) <-
-      Array.init (max 0 width) (fun i -> max prev.(i) prev.(i + half))
-  done;
+  let sparse_max a =
+    let s = Array.make levels [||] in
+    s.(0) <- Array.copy a;
+    for k = 1 to levels - 1 do
+      let half = 1 lsl (k - 1) in
+      let width = n - (1 lsl k) + 1 in
+      let prev = s.(k - 1) in
+      s.(k) <- Array.init (max 0 width) (fun i -> max prev.(i) prev.(i + half))
+    done;
+    s
+  in
+  let fms_sparse = sparse_max fms in
+  let macs_sparse = sparse_max macs in
   {
     model; uid = Atomic.fetch_and_add next_uid 1;
     n; macs; weights; ifm; ofm; extra; fms;
@@ -118,7 +123,7 @@ let of_model model =
     band1;
     macs_pfx = prefix macs;
     weights_pfx = prefix weights;
-    fms_sparse; log2;
+    fms_sparse; macs_sparse; log2;
   }
 
 let model t = t.model
@@ -178,4 +183,11 @@ let max_fms_range t ~first ~last =
   let len = last - first + 1 in
   let k = t.log2.(len) in
   let row = t.fms_sparse.(k) in
+  max row.(first) row.(last + 1 - (1 lsl k))
+
+let max_macs_range t ~first ~last =
+  check_range t ~first ~last;
+  let len = last - first + 1 in
+  let k = t.log2.(len) in
+  let row = t.macs_sparse.(k) in
   max row.(first) row.(last + 1 - (1 lsl k))

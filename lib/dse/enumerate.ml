@@ -1,10 +1,12 @@
-(* Exhaustive enumeration and hill-climbing over custom specs. *)
+(* Exhaustive enumeration, best-first branch-and-bound, and
+   hill-climbing over custom specs. *)
 
 let h_neighbourhood = Mccm_obs.Metric.histogram "dse.neighbourhood_size"
 let c_steps = Mccm_obs.Metric.counter "dse.local_search.steps"
 let c_exhaustive = Mccm_obs.Metric.counter "dse.exhaustive.specs"
 let c_evaluated = Mccm_obs.Metric.counter "dse.exhaustive.evaluated"
 let c_pruned = Mccm_obs.Metric.counter "dse.exhaustive.pruned"
+let c_nodes = Mccm_obs.Metric.counter "dse.bnb.nodes"
 let c_ls_pruned = Mccm_obs.Metric.counter "dse.local_search.pruned"
 let g_best_objective = Mccm_obs.Metric.gauge "dse.best_objective"
 
@@ -47,181 +49,13 @@ let table_or_fresh session model =
   | Some t when Cnn.Table.for_model t model -> t
   | _ -> Cnn.Table.of_model model
 
-(* Per-block MAC totals of a spec, O(blocks) via the table's prefix
-   sums: the pipelined head [0, f) followed by the tail segments. *)
-let block_macs table spec =
-  let n = Cnn.Table.num_layers table in
-  let f = spec.Arch.Custom.pipelined_layers in
-  let starts = f :: spec.Arch.Custom.tail_boundaries in
-  let ends =
-    List.map (fun b -> b - 1) spec.Arch.Custom.tail_boundaries @ [ n - 1 ]
-  in
-  Cnn.Table.macs_range table ~first:0 ~last:(f - 1)
-  :: List.map2
-       (fun first last -> Cnn.Table.macs_range table ~first ~last)
-       starts ends
+(* The admissible bound machinery lives in {!Bounds}; these aliases
+   keep the historical entry points (and their callers) intact. *)
+type bounds = Bounds.t
 
-(* Admissible bounds for pruning.  They must never fall below an
-   achievable throughput / above an achievable latency, or pruning
-   would change results.  Three facts hold for every design the
-   builder can produce on a custom spec:
-
-   - an engine's Eq.-1 cycle count for a layer is at least the layer's
-     minimum over EVERY integer 3-D parallelism of total degree at most
-     [dsps] — the builder's engines unroll exactly three dimensions
-     ((Filters|Channels), Height, Width) with PEs at most the board's
-     DSP budget, so that minimum (precomputed per layer below) is a
-     superset optimum;
-   - a pipelined block's initiation interval is its slowest engine's
-     busy time, which is at least the largest per-layer floor in the
-     block and at least the mean (sum over engines);
-   - every weight byte crosses the off-chip port at least once per
-     image (retention saves re-loads, not the first load), as do the
-     network's input and output FMs (a custom spec's first block input
-     and last block output are always off-chip).
-
-   The 1e-7 slack absorbs float rounding in the comparison chain; it
-   only loosens the bound. *)
-let slack = 1e-7
-
-(* Divisor candidates for minimising [d -> ceil_div e d] under a cap:
-   the O(sqrt e) quotient breakpoints (smallest d per quotient) plus
-   the cap itself. *)
-let ceil_candidates e cap =
-  let m = max 1 (min e cap) in
-  let acc = ref [ m ] in
-  let q = ref 1 in
-  let continue = ref (e >= 1) in
-  while !continue do
-    let d = Util.Int_math.ceil_div e !q in
-    if d <= m then acc := d :: !acc;
-    if d <= 1 then continue := false
-    else begin
-      let q' = Util.Int_math.ceil_div e (d - 1) in
-      if q' <= !q then continue := false else q := q'
-    end
-  done;
-  List.sort_uniq compare !acc
-
-(* Minimum Eq.-1 cycles of one layer over every (d1, h, w) with
-   [d1 * h * w <= budget]: [rest] covers the never-unrolled extents. *)
-let min_cycles_mode ~budget ~e1 ~eh ~ew ~rest =
-  let cd = Util.Int_math.ceil_div in
-  let best = ref max_int in
-  List.iter
-    (fun d1 ->
-      let rem = budget / d1 in
-      if rem >= 1 then
-        List.iter
-          (fun h ->
-            let w = max 1 (min ew (rem / h)) in
-            if rem / h >= 1 then begin
-              let c = rest * cd e1 d1 * cd eh h * cd ew w in
-              if c < !best then best := c
-            end)
-          (ceil_candidates eh rem))
-    (ceil_candidates e1 budget);
-  !best
-
-type bounds = {
-  b_clock : float;
-  b_peak : float;               (* dsps * clock, MACs/s *)
-  b_mem_floor_s : float;        (* (weights + net input + net output) / bw *)
-  b_cmin_pfx : int array;       (* prefix sums of per-layer cycle floors *)
-  b_cmin_headmax : int array;   (* headmax.(i) = max cmin over layers < i *)
-  b_table : Cnn.Table.t;
-}
-
-let bounds table board =
-  let n = Cnn.Table.num_layers table in
-  let dsps = board.Platform.Board.dsps in
-  let cmin =
-    Array.init n (fun i ->
-        let ef, ec, eh, ew, ekh, ekw = Cnn.Table.extents table i in
-        let k2 = ekh * ekw in
-        min
-          (min_cycles_mode ~budget:dsps ~e1:ef ~eh ~ew ~rest:(ec * k2))
-          (min_cycles_mode ~budget:dsps ~e1:ec ~eh ~ew ~rest:(ef * k2)))
-  in
-  let pfx = Array.make (n + 1) 0 in
-  let headmax = Array.make (n + 1) 0 in
-  for i = 0 to n - 1 do
-    pfx.(i + 1) <- pfx.(i) + cmin.(i);
-    headmax.(i + 1) <- max headmax.(i) cmin.(i)
-  done;
-  let bpe = board.Platform.Board.bytes_per_element in
-  let mem_bytes =
-    (Cnn.Table.total_weights table + Cnn.Table.ifm_elements table 0
-    + Cnn.Table.ofm_elements table (n - 1))
-    * bpe
-  in
-  {
-    b_clock = board.Platform.Board.clock_hz;
-    b_peak = float_of_int dsps *. board.Platform.Board.clock_hz;
-    b_mem_floor_s = Platform.Board.bytes_to_seconds board mem_bytes;
-    b_cmin_pfx = pfx;
-    b_cmin_headmax = headmax;
-    b_table = table;
-  }
-
-(* Tail segment [first, last] inclusive, as (first, last) pairs. *)
-let tail_ranges table spec =
-  let n = Cnn.Table.num_layers table in
-  let f = spec.Arch.Custom.pipelined_layers in
-  let starts = f :: spec.Arch.Custom.tail_boundaries in
-  let ends =
-    List.map (fun b -> b - 1) spec.Arch.Custom.tail_boundaries @ [ n - 1 ]
-  in
-  List.combine starts ends
-
-let throughput_upper_bound b spec =
-  let f = spec.Arch.Custom.pipelined_layers in
-  (* Coarse pipelining: the interval is the slowest block.  Head block:
-     one layer per engine, so the bottleneck engine is at least the
-     largest layer floor and at least the mean.  Tail blocks: a single
-     engine runs the whole range, so at least the summed floors. *)
-  let head_cyc =
-    Float.max
-      (float_of_int b.b_cmin_headmax.(f))
-      (float_of_int b.b_cmin_pfx.(f) /. float_of_int f)
-  in
-  let worst_cyc =
-    List.fold_left
-      (fun acc (first, last) ->
-        Float.max acc
-          (float_of_int (b.b_cmin_pfx.(last + 1) - b.b_cmin_pfx.(first))))
-      head_cyc (tail_ranges b.b_table spec)
-  in
-  let ii = Float.max (worst_cyc /. b.b_clock) b.b_mem_floor_s in
-  if ii <= 0.0 then infinity else 1.0 /. ii *. (1.0 +. slack)
-
-let latency_lower_bound b spec =
-  let f = spec.Arch.Custom.pipelined_layers in
-  let tails = tail_ranges b.b_table spec in
-  (* Latency sums block times: head at least its bottleneck floor, each
-     tail at least its summed layer floors. *)
-  let compute_cyc =
-    List.fold_left
-      (fun acc (first, last) ->
-        acc +. float_of_int (b.b_cmin_pfx.(last + 1) - b.b_cmin_pfx.(first)))
-      (Float.max
-         (float_of_int b.b_cmin_headmax.(f))
-         (float_of_int b.b_cmin_pfx.(f) /. float_of_int f))
-      tails
-  in
-  (* Allocation-aware floor: block times are also at least
-     macs_b / (pes_b * clock) with [sum pes_b = dsps]; Cauchy-Schwarz
-     minimises the sum at pes_b proportional to sqrt(macs_b). *)
-  let sum_sqrt =
-    List.fold_left
-      (fun acc m -> acc +. sqrt (float_of_int m))
-      0.0
-      (block_macs b.b_table spec)
-  in
-  Float.max
-    (Float.max (compute_cyc /. b.b_clock) (sum_sqrt *. sum_sqrt /. b.b_peak))
-    b.b_mem_floor_s
-  *. (1.0 -. slack)
+let bounds table board = Bounds.create table board
+let throughput_upper_bound = Bounds.throughput_upper_bound
+let latency_lower_bound = Bounds.latency_lower_bound
 
 let exhaustive ?(max_specs = 20000) ?session ?(domains = 1) ?clamp ~ces model
     board =
@@ -241,7 +75,7 @@ let exhaustive ?(max_specs = 20000) ?session ?(domains = 1) ?clamp ~ces model
     for i = lo to hi - 1 do
       let spec = specs.(i) in
       let archi = Arch.Custom.arch_of_spec model spec in
-      let metrics = Mccm.Eval_session.metrics session archi in
+      let metrics = Mccm.Eval_session.metrics ~store_arch:false session archi in
       if metrics.Mccm.Metrics.feasible then
         out := { Explore.spec; metrics } :: !out
     done;
@@ -261,18 +95,242 @@ let exhaustive ?(max_specs = 20000) ?session ?(domains = 1) ?clamp ~ces model
 
 type objective = [ `Throughput | `Latency ]
 
+type strategy = [ `Auto | `Best_first | `Scan ]
+
 type search_stats = {
   enumerated : int;
   evaluated : int;
   pruned : int;
+  nodes : int;
   domains_used : int;
 }
 
-let exhaustive_best ?(max_specs = 20000) ?session ?(domains = 1) ?clamp
-    ?(prune = true) ~objective ~ces model board =
-  Mccm_obs.span ~cat:"dse" "dse.exhaustive_best" @@ fun () ->
-  let session = session_or_fresh session model board in
-  let table = table_or_fresh session model in
+let sat_add a b = if a > max_int - b then max_int else a + b
+
+(* A branch-and-bound node: a partial spec with pipelined depth [nb_f]
+   and fixed tail boundaries [nb_rev] (reversed), leaving layers
+   [nb_next ..] to be split into [nb_segments] more segments.  Its
+   complete specs form a contiguous run of the lexicographic
+   enumeration order starting at index [nb_rank]; [nb_count] is how
+   many of them fall under the spec cap.  The running aggregates carry
+   the fixed blocks' floors so a child's bound costs O(1). *)
+type bnb_node = {
+  nb_bound : float;     (* optimistic objective score of the subtree *)
+  nb_rank : int;
+  nb_count : int;
+  nb_f : int;
+  nb_rev : int list;
+  nb_next : int;
+  nb_segments : int;
+  nb_worst : float;     (* max fixed-block interval floor, cycles *)
+  nb_lat : float;       (* summed fixed-block floors, cycles *)
+  nb_sq : float;        (* summed sqrt(block MACs) *)
+}
+
+(* Sequential best-first branch-and-bound.  The frontier is a max-heap
+   on the node bound (ties: earliest lexicographic rank), so promising
+   regions are refined first and the incumbent climbs fast; a popped
+   node that cannot beat the incumbent — strictly below it, or exactly
+   at it with only later-rank (tie-losing) specs — kills its whole
+   subtree and, because the heap pops bounds in nonincreasing order,
+   everything still queued behind it.  That discipline plus the rank
+   tie-break on acceptance reproduces the unpruned sequential scan's
+   winner bit-for-bit: the lexicographically first spec attaining the
+   best score. *)
+let best_first ~max_specs ~session ~table ~prune ~score ~objective ~ces model
+    board =
+  let n = Cnn.Model.num_layers model in
+  let b = Bounds.create table board in
+  let ctx = Bounds.context b ~ces in
+  let space =
+    let total = ref 0 in
+    for f = 1 to min (ces - 1) (n - 1) do
+      let s = ces - f in
+      if n - f >= s then
+        total :=
+          sat_add !total (Space.completions ~num_layers:n ~first:f ~segments:s)
+    done;
+    !total
+  in
+  let cap_total = min space max_specs in
+  Mccm_obs.Metric.add c_exhaustive cap_total;
+  let node_bound ~worst ~lat ~sq ~first ~segments =
+    match objective with
+    | `Throughput ->
+      Bounds.partial_throughput_bound ctx ~worst_cycles:worst ~first ~segments
+    | `Latency ->
+      -.Bounds.partial_latency_bound ctx ~latency_cycles:lat ~sum_sqrt_macs:sq
+          ~first
+  in
+  let heap =
+    Util.Heap.create ~cmp:(fun a b ->
+        match Float.compare b.nb_bound a.nb_bound with
+        | 0 -> compare a.nb_rank b.nb_rank
+        | c -> c)
+  in
+  let best = ref None in
+  let evaluated = ref 0 and pruned = ref 0 and nodes = ref 0 in
+  let cur () = match !best with Some (_, s, _) -> s | None -> neg_infinity in
+  (* A subtree is dead when it cannot beat the incumbent even on the
+     tie-break: its bound is strictly below, or exactly at the
+     incumbent score with every rank in the subtree after the
+     incumbent's (an equal-score leaf there loses the earlier-rank
+     tie).  Admissible bounds make both cases exact, so pruning never
+     changes the winner. *)
+  let dead node =
+    match !best with
+    | None -> false
+    | Some (_, s, r) ->
+      node.nb_bound < s || (node.nb_bound = s && node.nb_rank > r)
+  in
+  let consider node =
+    if prune && dead node then pruned := !pruned + node.nb_count
+    else Util.Heap.push heap node
+  in
+  let rank = ref 0 in
+  for f = 1 to min (ces - 1) (n - 1) do
+    let s = ces - f in
+    if n - f >= s then begin
+      let raw = Space.completions ~num_layers:n ~first:f ~segments:s in
+      let count =
+        if !rank >= cap_total then 0 else min raw (cap_total - !rank)
+      in
+      if count > 0 then begin
+        let hf = Bounds.head_ii_floor ctx ~f in
+        let sq =
+          sqrt (float_of_int (Cnn.Table.macs_range table ~first:0 ~last:(f - 1)))
+        in
+        consider
+          {
+            nb_bound = node_bound ~worst:hf ~lat:hf ~sq ~first:f ~segments:s;
+            nb_rank = !rank;
+            nb_count = count;
+            nb_f = f;
+            nb_rev = [];
+            nb_next = f;
+            nb_segments = s;
+            nb_worst = hf;
+            nb_lat = hf;
+            nb_sq = sq;
+          }
+      end;
+      rank := sat_add !rank raw
+    end
+  done;
+  let expand node =
+    let r = node.nb_next and m = node.nb_segments in
+    let child_rank = ref node.nb_rank in
+    (* Children in boundary order keep ranks equal to enumeration
+       indices; later siblings only have larger ranks, so the cap cuts
+       a suffix of them. *)
+    (try
+       for bnd = r + 1 to n - m + 1 do
+         if !child_rank >= cap_total then raise Exit;
+         let raw =
+           Space.completions ~num_layers:n ~first:bnd ~segments:(m - 1)
+         in
+         let count = min raw (cap_total - !child_rank) in
+         if count > 0 then begin
+           let sf = Bounds.segment_ii_floor ctx ~first:r ~last:(bnd - 1) in
+           let worst = Float.max node.nb_worst sf in
+           let lat = node.nb_lat +. sf in
+           let sq =
+             node.nb_sq
+             +. sqrt
+                  (float_of_int
+                     (Cnn.Table.macs_range table ~first:r ~last:(bnd - 1)))
+           in
+           consider
+             {
+               nb_bound =
+                 node_bound ~worst ~lat ~sq ~first:bnd ~segments:(m - 1);
+               nb_rank = !child_rank;
+               nb_count = count;
+               nb_f = node.nb_f;
+               nb_rev = bnd :: node.nb_rev;
+               nb_next = bnd;
+               nb_segments = m - 1;
+               nb_worst = worst;
+               nb_lat = lat;
+               nb_sq = sq;
+             }
+         end;
+         child_rank := sat_add !child_rank raw
+       done
+     with Exit -> ())
+  in
+  let rec drain () =
+    match Util.Heap.pop heap with
+    | None -> ()
+    | Some node ->
+      incr nodes;
+      if prune && dead node then begin
+        (* The heap pops bounds in nonincreasing order (rank-ascending
+           within a bound): every queued subtree is either strictly
+           below the incumbent or an equal-bound later-rank tie loser.
+           Flush and finish. *)
+        pruned := !pruned + node.nb_count;
+        let rec flush () =
+          match Util.Heap.pop heap with
+          | None -> ()
+          | Some nd ->
+            pruned := !pruned + nd.nb_count;
+            flush ()
+        in
+        flush ()
+      end
+      else begin
+        (if node.nb_segments = 1 then begin
+           (* The last segment is forced: the node IS a complete spec. *)
+           incr evaluated;
+           let spec =
+             {
+               Arch.Custom.pipelined_layers = node.nb_f;
+               tail_boundaries = List.rev node.nb_rev;
+             }
+           in
+           let m =
+             Mccm.Eval_session.metrics ~store_arch:false session
+               (Arch.Custom.arch_of_spec model spec)
+           in
+           let s = score m in
+           let c = cur () in
+           let better =
+             s > c
+             || s = c && s > neg_infinity
+                &&
+                match !best with
+                | Some (_, _, r) -> node.nb_rank < r
+                | None -> false
+           in
+           if better then
+             best := Some ({ Explore.spec; metrics = m }, s, node.nb_rank)
+         end
+         else expand node);
+        drain ()
+      end
+  in
+  drain ();
+  Mccm_obs.Metric.add c_evaluated !evaluated;
+  Mccm_obs.Metric.add c_pruned !pruned;
+  Mccm_obs.Metric.add c_nodes !nodes;
+  (match !best with
+  | Some (_, s, _) when s > neg_infinity ->
+    Mccm_obs.Metric.update_max g_best_objective s
+  | _ -> ());
+  ( Option.map (fun (e, _, _) -> e) !best,
+    {
+      enumerated = cap_total;
+      evaluated = !evaluated;
+      pruned = !pruned;
+      nodes = !nodes;
+      domains_used = 1;
+    } )
+
+(* Chunked scan over the materialised spec list (the multi-domain
+   path, and the pruning-off reference). *)
+let scan_best ~max_specs ~session ~table ~domains ~clamp ~prune ~score
+    ~objective ~ces model board =
   let specs =
     Array.of_list
       (enumerate_specs ~num_layers:(Cnn.Model.num_layers model) ~ces
@@ -280,18 +338,12 @@ let exhaustive_best ?(max_specs = 20000) ?session ?(domains = 1) ?clamp
   in
   let n = Array.length specs in
   Mccm_obs.Metric.add c_exhaustive n;
-  let score m =
-    if not m.Mccm.Metrics.feasible then neg_infinity
-    else
-      match objective with
-      | `Throughput -> m.Mccm.Metrics.throughput_ips
-      | `Latency -> -.m.Mccm.Metrics.latency_s
-  in
-  let b = bounds table board in
+  let b = Bounds.create table board in
+  if prune then ignore (Bounds.context b ~ces);
   let bound spec =
     match objective with
-    | `Throughput -> throughput_upper_bound b spec
-    | `Latency -> -.(latency_lower_bound b spec)
+    | `Throughput -> Bounds.throughput_upper_bound b spec
+    | `Latency -> -.(Bounds.latency_lower_bound b spec)
   in
   (* Scan a slice keeping a local incumbent (first strict maximum, like
      the sequential scan).  A spec is skipped when its admissible bound
@@ -311,7 +363,8 @@ let exhaustive_best ?(max_specs = 20000) ?session ?(domains = 1) ?clamp
       else begin
         incr evaluated;
         let m =
-          Mccm.Eval_session.metrics session (Arch.Custom.arch_of_spec model spec)
+          Mccm.Eval_session.metrics ~store_arch:false session
+            (Arch.Custom.arch_of_spec model spec)
         in
         let s = score m in
         if s > cur then best := Some ({ Explore.spec; metrics = m }, s)
@@ -352,7 +405,32 @@ let exhaustive_best ?(max_specs = 20000) ?session ?(domains = 1) ?clamp
     Mccm_obs.Metric.update_max g_best_objective s
   | _ -> ());
   ( Option.map fst best,
-    { enumerated = n; evaluated; pruned; domains_used = d } )
+    { enumerated = n; evaluated; pruned; nodes = 0; domains_used = d } )
+
+let exhaustive_best ?(max_specs = 20000) ?session ?(domains = 1) ?clamp
+    ?(prune = true) ?(strategy = `Auto) ~objective ~ces model board =
+  Mccm_obs.span ~cat:"dse" "dse.exhaustive_best" @@ fun () ->
+  let session = session_or_fresh session model board in
+  let table = table_or_fresh session model in
+  let score m =
+    if not m.Mccm.Metrics.feasible then neg_infinity
+    else
+      match objective with
+      | `Throughput -> m.Mccm.Metrics.throughput_ips
+      | `Latency -> -.m.Mccm.Metrics.latency_s
+  in
+  let use_best_first =
+    match strategy with
+    | `Best_first -> true
+    | `Scan -> false
+    | `Auto -> prune && domains = 1
+  in
+  if use_best_first then
+    best_first ~max_specs ~session ~table ~prune ~score ~objective ~ces model
+      board
+  else
+    scan_best ~max_specs ~session ~table ~domains ~clamp ~prune ~score
+      ~objective ~ces model board
 
 type step = {
   moved : string;

@@ -36,37 +36,40 @@ val exhaustive :
 
 type objective = [ `Throughput | `Latency ]
 
+type strategy = [ `Auto | `Best_first | `Scan ]
+(** How {!exhaustive_best} walks the space.  [`Scan] materialises the
+    spec list and scans it in deterministic contiguous chunks (the only
+    strategy that uses [domains]).  [`Best_first] runs the sequential
+    branch-and-bound: partial specs ordered by their composed optimistic
+    bound ({!Bounds.partial_throughput_bound} /
+    {!Bounds.partial_latency_bound}), so hopeless subtrees die before
+    their specs are ever materialised.  [`Auto] (the default) picks
+    [`Best_first] when pruning is on and a single domain was requested,
+    [`Scan] otherwise.  All strategies return the same winner. *)
+
 type search_stats = {
-  enumerated : int;      (** specs listed (after [max_specs]) *)
+  enumerated : int;      (** specs in scope (after [max_specs]) *)
   evaluated : int;       (** specs actually run through the model *)
   pruned : int;          (** specs skipped by the admissible bound *)
+  nodes : int;           (** branch-and-bound nodes popped (0 for scans) *)
   domains_used : int;
 }
 
-type bounds
-(** Precomputed bound context for one (model table, board) pair: each
-    layer's minimum Eq.-1 cycle count over every integer 3-D
-    parallelism of degree at most the board's DSPs (a superset of any
-    engine the builder can construct), folded into prefix sums, plus
-    the off-chip traffic floor (weights + network input + output, each
-    crossing the port at least once per image). *)
+type bounds = Bounds.t
+(** Precomputed bound context for one (model table, board) pair — see
+    {!Bounds}.  Kept as an alias (with the constructors below) for the
+    callers of the pre-[Bounds] API. *)
 
 val bounds : Cnn.Table.t -> Platform.Board.t -> bounds
-(** O(n sqrt(extents)) one-time pass; the per-spec bounds below are
-    then O(blocks). *)
+(** [Bounds.create]. *)
 
 val throughput_upper_bound : bounds -> Arch.Custom.spec -> float
-(** Admissible (never below any achievable value) throughput bound for
-    a custom spec, in images/s: the inverse of the larger of the
-    slowest block's compute floor (head: bottleneck engine at least
-    the largest and the mean per-layer floor; tail: summed floors) and
-    the off-chip traffic floor. *)
+(** [Bounds.throughput_upper_bound]: admissible (never below any
+    achievable value) throughput bound for a custom spec, images/s. *)
 
 val latency_lower_bound : bounds -> Arch.Custom.spec -> float
-(** Admissible (never above any achievable value) latency bound in
-    seconds: summed block compute floors, the Cauchy-Schwarz
-    PE-allocation floor ((sum_b sqrt macs_b)^2 over the board peak),
-    and the off-chip traffic floor. *)
+(** [Bounds.latency_lower_bound]: admissible (never above any
+    achievable value) latency bound, seconds. *)
 
 val exhaustive_best :
   ?max_specs:int ->
@@ -74,6 +77,7 @@ val exhaustive_best :
   ?domains:int ->
   ?clamp:bool ->
   ?prune:bool ->
+  ?strategy:strategy ->
   objective:objective ->
   ces:int ->
   Cnn.Model.t ->
@@ -81,13 +85,13 @@ val exhaustive_best :
   Explore.evaluated option * search_stats
 (** [exhaustive_best ~objective ~ces model board] returns the first
     feasible spec (in enumeration order) attaining the best objective —
-    highest throughput or lowest latency — plus scan statistics.
-    [prune] (default true) skips specs whose admissible bound
-    ({!throughput_upper_bound} / {!latency_lower_bound}) cannot
-    strictly beat the running incumbent; because the bounds are
-    admissible and acceptance requires strict improvement, the returned
-    design is identical with and without pruning, and for every
-    [domains] count. *)
+    highest throughput or lowest latency — plus search statistics.
+    [prune] (default true) skips specs (and, under [`Best_first], whole
+    subtrees of partial specs) whose admissible bound cannot strictly
+    beat the running incumbent; because the bounds are admissible and
+    acceptance requires strict improvement (ties broken towards the
+    earlier enumeration rank), the returned design is bit-identical
+    across [prune], [strategy], and [domains] choices. *)
 
 type step = {
   moved : string;                 (** human-readable description *)

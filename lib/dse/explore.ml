@@ -23,7 +23,9 @@ let point (e : evaluated) =
   }
 
 (* Evaluate a contiguous slice of the pre-drawn spec array, keeping
-   evaluation order. *)
+   draw order.  Every draw goes through the session — a duplicate is
+   exactly the arch-cache hit the session exists to serve — and the
+   feasibility split happens later, on assembly. *)
 let eval_slice ~session ~specs ~lo ~hi model =
   Mccm_obs.span ~cat:"dse" "dse.eval_slice"
     ~args:[ ("designs", string_of_int (hi - lo)) ]
@@ -33,11 +35,7 @@ let eval_slice ~session ~specs ~lo ~hi model =
     let spec = specs.(i) in
     let archi = Arch.Custom.arch_of_spec model spec in
     let metrics = Mccm.Eval_session.metrics session archi in
-    if metrics.Mccm.Metrics.feasible then begin
-      Mccm_obs.Metric.incr c_feasible;
-      Mccm_obs.Metric.update_max g_best metrics.Mccm.Metrics.throughput_ips;
-      evaluated := { spec; metrics } :: !evaluated
-    end
+    evaluated := { spec; metrics } :: !evaluated
   done;
   List.rev !evaluated
 
@@ -68,48 +66,56 @@ let run ?(seed = 42L) ?(ce_counts = Arch.Baselines.default_ce_counts)
         Array.init samples (fun _ ->
             Space.random_spec rng ~num_layers ~ce_counts))
   in
-  (* Uniform sampling draws duplicate specs (often, in small spaces);
-     evaluate each distinct design once, in first-occurrence order.
-     [sampled] still counts every draw, so hit-rate statistics and the
-     seed-determinism contract are unchanged. *)
-  let specs =
-    Mccm_obs.span ~cat:"dse" "dse.dedup" (fun () ->
-        let seen = Hashtbl.create (2 * samples) in
-        Array.to_list drawn
-        |> List.filter (fun s ->
-               if Hashtbl.mem seen s then false
-               else begin
-                 Hashtbl.add seen s ();
-                 true
-               end)
-        |> Array.of_list)
-  in
-  let distinct = Array.length specs in
   Mccm_obs.Metric.add c_sampled samples;
-  Mccm_obs.Metric.add c_distinct distinct;
-  Mccm_obs.Metric.add c_duplicates (samples - distinct);
-  let evaluated =
+  (* Every draw is evaluated through the session: a repeated spec is an
+     arch-cache hit, not a precomputed skip, so the session's hit-rate
+     statistics measure real duplication and a warm session keeps paying
+     off across runs.  Dedup happens on assembly below. *)
+  let all =
     Mccm_obs.span ~cat:"dse" "dse.eval"
-      ~args:[ ("distinct", string_of_int distinct) ]
+      ~args:[ ("designs", string_of_int samples) ]
     @@ fun () ->
-    if domains = 1 then eval_slice ~session ~specs ~lo:0 ~hi:distinct model
+    if domains = 1 then eval_slice ~session ~specs:drawn ~lo:0 ~hi:samples model
     else begin
       (* Contiguous slices per domain, concatenated back in order.  Each
          domain works on its own session fork (the tables are not
          thread-safe); forks merge back after the join, so a session
          reused across runs keeps learning.  Caching is bit-invisible,
          hence the result stays independent of the domain count. *)
-      let d = Util.Parallel.effective ~domains ~n:distinct () in
+      let d = Util.Parallel.effective ~domains ~n:samples () in
       let forks = Array.init d (fun _ -> Mccm.Eval_session.fork session) in
       let slices =
-        Util.Parallel.chunked_map ~domains:d ~n:distinct
+        Util.Parallel.chunked_map ~domains:d ~n:samples
           (fun ~chunk ~lo ~hi ->
-            eval_slice ~session:forks.(chunk) ~specs ~lo ~hi model)
+            eval_slice ~session:forks.(chunk) ~specs:drawn ~lo ~hi model)
       in
       Array.iter (fun f -> Mccm.Eval_session.absorb ~into:session f) forks;
       List.concat slices
     end
   in
+  (* Keep each distinct design's first occurrence; feasible ones make
+     the result.  [sampled] still counts every draw, so the dedup ratio
+     and the seed-determinism contract are unchanged. *)
+  let seen = Hashtbl.create (2 * samples) in
+  let evaluated =
+    List.filter
+      (fun e ->
+        if Hashtbl.mem seen e.spec then false
+        else begin
+          Hashtbl.add seen e.spec ();
+          if e.metrics.Mccm.Metrics.feasible then begin
+            Mccm_obs.Metric.incr c_feasible;
+            Mccm_obs.Metric.update_max g_best
+              e.metrics.Mccm.Metrics.throughput_ips;
+            true
+          end
+          else false
+        end)
+      all
+  in
+  let distinct = Hashtbl.length seen in
+  Mccm_obs.Metric.add c_distinct distinct;
+  Mccm_obs.Metric.add c_duplicates (samples - distinct);
   let elapsed_s = Unix.gettimeofday () -. started in
   {
     sampled = samples;

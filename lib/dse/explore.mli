@@ -30,18 +30,20 @@ val run :
   result
 (** [run ~samples model board] draws custom designs uniformly (CE counts
     default to the paper's 2-11), evaluates each with the analytical
-    model, and extracts the throughput/buffer Pareto front.  Duplicate
-    draws are evaluated once ([sampled] still counts them); infeasible
-    designs are dropped.  Deterministic for a fixed [seed] (default 42),
+    model, and extracts the throughput/buffer Pareto front.  Every draw
+    goes through [session] — a duplicate is an architecture-cache hit,
+    so the session's hit-rate statistics reflect real duplication — and
+    [evaluated] keeps each distinct design's first occurrence, feasible
+    ones only.  Deterministic for a fixed [seed] (default 42),
     independent of [domains] and of [session] warmth.
 
     [domains] (default 1) spreads the evaluation over that many parallel
     OCaml domains.  The whole design set is drawn from a single PRNG
-    stream and deduplicated before any evaluation starts, so a given
-    [(seed, samples)] pair yields the same designs — and the same
-    result, in the same order — for every domain count.  The value is
-    clamped to [Domain.recommended_domain_count ()]; oversubscribing
-    cores only adds garbage-collector synchronisation.
+    stream before any evaluation starts, so a given [(seed, samples)]
+    pair yields the same designs — and the same result, in the same
+    order — for every domain count.  The value is clamped to
+    [Domain.recommended_domain_count ()]; oversubscribing cores only
+    adds garbage-collector synchronisation.
 
     [session] (default: a fresh one) memoizes evaluation across the
     sweep and across calls — pass one session to successive runs on the

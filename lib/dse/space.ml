@@ -10,6 +10,33 @@ let float_binomial n k =
     !acc
   end
 
+(* Binomial in saturating integers: exact while it fits, [max_int]
+   beyond.  The branch-and-bound enumerator only ever compares these
+   counts against a spec cap, so saturation is harmless there. *)
+let binomial_capped n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    (try
+       for i = 1 to k do
+         let m = n - k + i in
+         if !acc > max_int / m then begin
+           acc := max_int;
+           raise Exit
+         end;
+         (* C(n-k+i, i) is an integer, so the running product stays
+            divisible by i. *)
+         acc := !acc * m / i
+       done
+     with Exit -> ());
+    !acc
+  end
+
+let completions ~num_layers ~first ~segments =
+  if segments < 1 || first < 0 || first >= num_layers then 0
+  else binomial_capped (num_layers - first - 1) (segments - 1)
+
 let designs_for_ce_count ~num_layers ~ces =
   let total = ref 0.0 in
   for f = 1 to ces - 1 do

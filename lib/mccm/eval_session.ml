@@ -105,7 +105,7 @@ let board t = t.board
 let memoized t = t.memoize
 let table t = t.table
 
-let evaluate t archi =
+let evaluate ?(store_arch = true) t archi =
   t.n_evals <- t.n_evals + 1;
   Mccm_obs.Metric.incr c_evals;
   if not t.memoize then
@@ -126,11 +126,11 @@ let evaluate t archi =
           t.model t.board archi
       in
       let e = Evaluate.run ~cache:t.seg ?table:t.table built in
-      Arch_tbl.add t.archs key e;
+      if store_arch then Arch_tbl.add t.archs key e;
       e
   end
 
-let metrics t archi = (evaluate t archi).Evaluate.metrics
+let metrics ?store_arch t archi = (evaluate ?store_arch t archi).Evaluate.metrics
 
 let metrics_batch t archis = List.map (metrics t) archis
 

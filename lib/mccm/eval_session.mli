@@ -52,12 +52,16 @@ val memoized : t -> bool
 val table : t -> Cnn.Table.t option
 (** The session's precomputed per-layer table, when enabled. *)
 
-val evaluate : t -> Arch.Block.arch -> Evaluate.t
+val evaluate : ?store_arch:bool -> t -> Arch.Block.arch -> Evaluate.t
 (** [evaluate t archi] is [Evaluate.evaluate (model t) (board t) archi]
     (under the session's build options), served from the caches when
-    possible. *)
+    possible.  [store_arch] (default [true]) controls whether a miss is
+    added to the whole-architecture table; pass [false] from callers
+    that never revisit a candidate (exhaustive enumeration) to keep the
+    session's footprint flat — the segment and builder caches still
+    memoize, and results are bit-identical either way. *)
 
-val metrics : t -> Arch.Block.arch -> Metrics.t
+val metrics : ?store_arch:bool -> t -> Arch.Block.arch -> Metrics.t
 (** [(evaluate t archi).metrics]. *)
 
 val metrics_batch : t -> Arch.Block.arch list -> Metrics.t list

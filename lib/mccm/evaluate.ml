@@ -18,6 +18,8 @@ type t = {
   breakdown : Breakdown.t;
   blocks : block_eval list;
   initiation_interval_s : float;
+  ii_compute_s : float;
+  ii_memory_s : float;
 }
 
 let boundary_flags plan ~num_blocks ~index =
@@ -227,7 +229,8 @@ let run ?cache ?table (built : Builder.Build.t) =
   let breakdown =
     Breakdown.of_segments (List.concat_map (fun b -> b.segments) blocks)
   in
-  { metrics; breakdown; blocks; initiation_interval_s = ii }
+  { metrics; breakdown; blocks; initiation_interval_s = ii;
+    ii_compute_s = ii_compute; ii_memory_s = ii_memory }
 
 let evaluate model board archi =
   let table = Cnn.Table.of_model model in

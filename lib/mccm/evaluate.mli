@@ -29,6 +29,16 @@ type t = {
       (** steady-state spacing between completed inputs — the inverse of
           throughput, and the paper's second ("batch") latency
           definition: time per input when processing a batch *)
+  ii_compute_s : float;
+      (** the compute side of the interval (slowest stage, or the whole
+          schedule without coarse pipelining) before the memory-port
+          bound; [initiation_interval_s = max ii_compute_s ii_memory_s].
+          Exposed so admissible compute floors (e.g. [Dse.Bounds]) can
+          be property-tested against the exact value they bound rather
+          than only against the combined interval *)
+  ii_memory_s : float;
+      (** the shared-port side: total off-chip traffic over bandwidth —
+          the exact value the DSE memory floor lower-bounds *)
 }
 
 val run : ?cache:Seg_cache.t -> ?table:Cnn.Table.t -> Builder.Build.t -> t

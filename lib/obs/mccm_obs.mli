@@ -15,8 +15,9 @@
     Span taxonomy (categories in parentheses): [eval.run],
     [eval.single_ce], [eval.pipelined] (mccm); [build.build],
     [build.parallelism_select], [build.plan], [build.planning_floor]
-    (build); [dse.draw], [dse.dedup], [dse.eval], [dse.eval_slice],
-    [dse.exhaustive], [dse.local_search] (dse); [validate.sweep] phases
+    (build); [dse.draw], [dse.eval], [dse.eval_slice],
+    [dse.exhaustive], [dse.exhaustive_best], [dse.local_search] (dse);
+    [validate.sweep] phases
     and one [validate.<invariant>] per invariant check (validate);
     [mccm.<subcommand>] CLI roots (cli).  Metric names mirror the
     subsystem: [session.*], [seg.*], [plan.*], [build.*], [dse.*],

@@ -1,0 +1,64 @@
+(* Array-backed binary min-heap with the classic sift-up / sift-down
+   invariant: a.(i) <= a.(2i+1), a.(2i+2) under cmp for i < len. *)
+
+type 'a t = { mutable a : 'a array; mutable len : int; cmp : 'a -> 'a -> int }
+
+let create ~cmp = { a = [||]; len = 0; cmp }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let swap a i j =
+  let tmp = a.(i) in
+  a.(i) <- a.(j);
+  a.(j) <- tmp
+
+let push t x =
+  if t.len = Array.length t.a then begin
+    (* Grow by doubling; the pushed element doubles as the filler for
+       the not-yet-used slots. *)
+    let a' = Array.make (max 4 (2 * t.len)) x in
+    Array.blit t.a 0 a' 0 t.len;
+    t.a <- a'
+  end;
+  let a = t.a in
+  let i = ref t.len in
+  a.(!i) <- x;
+  t.len <- t.len + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if t.cmp a.(!i) a.(p) < 0 then begin
+      swap a !i p;
+      i := p
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let a = t.a in
+    let root = a.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      a.(0) <- a.(t.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let s = ref !i in
+        if l < t.len && t.cmp a.(l) a.(!s) < 0 then s := l;
+        if r < t.len && t.cmp a.(r) a.(!s) < 0 then s := r;
+        if !s <> !i then begin
+          swap a !i !s;
+          i := !s
+        end
+        else continue := false
+      done
+    end;
+    Some root
+  end
+
+let peek t = if t.len = 0 then None else Some t.a.(0)

@@ -1,0 +1,25 @@
+(** Mutable binary heap over a caller-supplied total order.
+
+    [pop] returns the smallest element under [cmp], so a max-heap (e.g.
+    a best-first frontier keyed on an upper bound) is obtained by
+    flipping the comparison.  Not thread-safe. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** O(log n). *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the [cmp]-smallest element; O(log n).  Among
+    [cmp]-equal elements the extraction order is unspecified — give
+    [cmp] a total tie-break when determinism matters. *)
+
+val peek : 'a t -> 'a option
+(** The element {!pop} would return, without removing it; O(1). *)

@@ -293,6 +293,26 @@ let prop_pe_distribution =
       let pes = Builder.Pe_allocation.distribute ~budget ~workloads in
       Array.fold_left ( + ) 0 pes = budget && Array.for_all (fun p -> p >= 1) pes)
 
+let prop_share_upper_bound =
+  QCheck2.Test.make
+    ~name:"distribute never exceeds share_upper_bound"
+    Generators.pe_budget_workloads
+    (fun (budget, workloads) ->
+      QCheck2.assume (budget >= Array.length workloads);
+      let engines = Array.length workloads in
+      let total = Array.fold_left ( + ) 0 workloads in
+      let pes = Builder.Pe_allocation.distribute ~budget ~workloads in
+      let ok = ref true in
+      Array.iteri
+        (fun i p ->
+          let ub =
+            Builder.Pe_allocation.share_upper_bound ~budget ~engines
+              ~workload:workloads.(i) ~total
+          in
+          if p > ub then ok := false)
+        pes;
+      !ok)
+
 let prop_ifm_rows_monotone =
   QCheck2.Test.make ~name:"IFM rows monotone in OFM rows, never below kernel"
     QCheck2.Gen.(
@@ -326,8 +346,8 @@ let prop_producer_tile_range =
 let properties =
   List.map QCheck_alcotest.to_alcotest
     [
-      prop_pe_distribution; prop_ifm_rows_monotone; prop_row_tiles_roundtrip;
-      prop_producer_tile_range;
+      prop_pe_distribution; prop_share_upper_bound; prop_ifm_rows_monotone;
+      prop_row_tiles_roundtrip; prop_producer_tile_range;
     ]
 
 let () =

@@ -244,6 +244,20 @@ let test_explore_dedupes_duplicates () =
          (s.Arch.Custom.pipelined_layers, s.Arch.Custom.tail_boundaries))
        r.Dse.Explore.front)
 
+let test_explore_session_serves_duplicates () =
+  (* Regression for the cached-arm fix: every draw goes through one
+     shared evaluation session, so a redrawn design must be served from
+     the session's whole-architecture cache rather than rebuilt.  With
+     CE count pinned to 2 the slice holds exactly one design, so a
+     60-sample run is 1 miss + 59 arch-cache hits. *)
+  let r =
+    Dse.Explore.run ~seed:21L ~samples:60 ~ce_counts:[ 2 ] mobv2
+      Platform.Board.vcu110
+  in
+  check "sampled" 60 r.Dse.Explore.sampled;
+  check "distinct" 1 r.Dse.Explore.distinct;
+  check "arch hits" 59 r.Dse.Explore.stats.Mccm.Eval_session.arch_hits
+
 let test_improvement_over_self () =
   let r = Dse.Explore.run ~seed:3L ~samples:100 mobv2 Platform.Board.vcu110 in
   match r.Dse.Explore.evaluated with
@@ -374,6 +388,8 @@ let () =
           Alcotest.test_case "front subset" `Quick test_explore_front_subset;
           Alcotest.test_case "dedupes duplicate draws" `Quick
             test_explore_dedupes_duplicates;
+          Alcotest.test_case "session serves duplicates" `Quick
+            test_explore_session_serves_duplicates;
           Alcotest.test_case "improvement over self" `Quick
             test_improvement_over_self;
           Alcotest.test_case "parallel deterministic" `Quick

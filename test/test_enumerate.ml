@@ -177,6 +177,120 @@ let test_exhaustive_session_invisible () =
   in
   checkb "identical evaluations" true (run true = run false)
 
+(* ------------------------------------------- best-first bit-exactness *)
+
+(* A 10-layer chain of identical layers: a dense plateau of equal-score
+   designs, the hardest case for tie-breaking determinism. *)
+let chain10 =
+  let layers =
+    List.init 10 (fun i ->
+        Cnn.Layer.v ~index:i ~name:(Printf.sprintf "u%d" i)
+          ~kind:Cnn.Layer.Standard
+          ~in_shape:(Cnn.Shape.v ~channels:8 ~height:16 ~width:16)
+          ~out_channels:8 ~kernel:3 ~stride:1 ~padding:1 ())
+  in
+  Cnn.Model.v ~name:"Chain10" ~abbreviation:"C10" ~layers
+
+let winner_testable =
+  let pp ppf = function
+    | None -> Format.fprintf ppf "none"
+    | Some (e : Dse.Explore.evaluated) ->
+      Format.fprintf ppf "{f=%d; b=[%s]} %.17g"
+        e.Dse.Explore.spec.Arch.Custom.pipelined_layers
+        (String.concat ";"
+           (List.map string_of_int
+              e.Dse.Explore.spec.Arch.Custom.tail_boundaries))
+        e.Dse.Explore.metrics.Mccm.Metrics.throughput_ips
+  in
+  Alcotest.testable pp ( = )
+
+(* Every (strategy, prune, domains) combination must return the winner
+   of the unpruned reference scan — same spec, bit-identical metrics. *)
+let test_best_first_bit_exact () =
+  List.iter
+    (fun (model, ces, objective, max_specs) ->
+      let reference, _ =
+        Dse.Enumerate.exhaustive_best ~max_specs ~prune:false ~strategy:`Scan
+          ~objective ~ces model board
+      in
+      List.iter
+        (fun (label, strategy, prune, domains) ->
+          let got, stats =
+            Dse.Enumerate.exhaustive_best ~max_specs ~prune ~strategy ~domains
+              ~clamp:false ~objective ~ces model board
+          in
+          Alcotest.check winner_testable label reference got;
+          check (label ^ ": specs accounted for")
+            stats.Dse.Enumerate.enumerated
+            (stats.Dse.Enumerate.evaluated + stats.Dse.Enumerate.pruned))
+        [
+          ("best-first pruned", `Best_first, true, 1);
+          ("best-first unpruned", `Best_first, false, 1);
+          ("scan pruned", `Scan, true, 1);
+          ("scan pruned 2 domains", `Scan, true, 2);
+          ("scan pruned 4 domains", `Scan, true, 4);
+          ("auto", `Auto, true, 1);
+        ])
+    [
+      (mobv2, 3, `Throughput, 800);
+      (mobv2, 4, `Throughput, 600);
+      (mobv2, 3, `Latency, 800);
+      (chain10, 4, `Throughput, 10000);
+      (chain10, 4, `Latency, 10000);
+    ]
+
+(* On the uniform chain nearly every design ties: the returned winner
+   must still be the lexicographically first one. *)
+let test_tie_breaking_lex_first () =
+  let reference, _ =
+    Dse.Enumerate.exhaustive_best ~max_specs:10000 ~prune:false
+      ~strategy:`Scan ~objective:`Throughput ~ces:3 chain10 board
+  in
+  let bnb, _ =
+    Dse.Enumerate.exhaustive_best ~max_specs:10000 ~prune:true
+      ~strategy:`Best_first ~objective:`Throughput ~ces:3 chain10 board
+  in
+  Alcotest.check winner_testable "tie goes to the lex-first spec" reference
+    bnb;
+  (match reference with
+  | Some e ->
+    (* The lex-first spec of ces=3 is f=1 with the earliest boundary. *)
+    check "lex-first pipelined depth" 1
+      e.Dse.Explore.spec.Arch.Custom.pipelined_layers
+  | None -> Alcotest.fail "no winner");
+  ()
+
+(* Branch-and-bound must actually pay off on a deep ResNet workload —
+   homogeneous mid-network layers make the floors tight: real pruning,
+   winner preserved.  (On depthwise networks like MobileNetV2 the
+   shared-engine parallelism coupling keeps per-layer floors loose and
+   pruning near zero; that is expected, not a bug.) *)
+let test_best_first_prunes () =
+  let res152 = Cnn.Model_zoo.resnet152 () in
+  let reference, _ =
+    Dse.Enumerate.exhaustive_best ~max_specs:30000 ~prune:false
+      ~strategy:`Scan ~objective:`Throughput ~ces:10 res152 board
+  in
+  let got, stats =
+    Dse.Enumerate.exhaustive_best ~max_specs:30000 ~prune:true
+      ~strategy:`Best_first ~objective:`Throughput ~ces:10 res152 board
+  in
+  Alcotest.check winner_testable "winner identical under pruning" reference
+    got;
+  checkb "pruned something" true (stats.Dse.Enumerate.pruned > 0);
+  checkb "visited nodes" true (stats.Dse.Enumerate.nodes > 0);
+  checkb "fewer evaluations than specs" true
+    (stats.Dse.Enumerate.evaluated < stats.Dse.Enumerate.enumerated);
+  check "accounting" stats.Dse.Enumerate.enumerated
+    (stats.Dse.Enumerate.evaluated + stats.Dse.Enumerate.pruned)
+
+let test_scan_reports_no_nodes () =
+  let _, stats =
+    Dse.Enumerate.exhaustive_best ~max_specs:100 ~prune:true ~strategy:`Scan
+      ~objective:`Throughput ~ces:3 mobv2 board
+  in
+  check "scan has no B&B nodes" 0 stats.Dse.Enumerate.nodes
+
 (* --------------------------------------------------- builder options *)
 
 let res50 = Cnn.Model_zoo.resnet50 ()
@@ -286,6 +400,17 @@ let () =
             test_local_search_reaches_local_optimum;
           Alcotest.test_case "session invisible" `Quick
             test_local_search_session_invisible;
+        ] );
+      ( "best-first",
+        [
+          Alcotest.test_case "bit-exact across strategies" `Slow
+            test_best_first_bit_exact;
+          Alcotest.test_case "ties break lex-first" `Quick
+            test_tie_breaking_lex_first;
+          Alcotest.test_case "pruning pays and preserves" `Slow
+            test_best_first_prunes;
+          Alcotest.test_case "scan reports no nodes" `Quick
+            test_scan_reports_no_nodes;
         ] );
       ( "builder options",
         [
