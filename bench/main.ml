@@ -339,12 +339,32 @@ let bench_dse () =
 (* ------------------------------------------------------------------ *)
 (* Domains-parallel exhaustive scan: the same bound-pruned argmax scan
    at domain counts 1/2/4 on unmemoized sessions (raw model evaluation
-   is what must scale; caching would blur it).  CI gates 4-domain vs
-   1-domain throughput — but only when the recording machine actually
-   had >= 4 cores, so the JSON also records the runner's recommended
-   domain count. *)
+   is what must scale; caching would blur it).  Each domain count is
+   timed twice: against a caller-owned warm pool (domains spawned once,
+   outside the timed region — the steady-state DSE loop) and cold (the
+   call spawns and retires its own crew, so pool amortisation shows up
+   as the cold/warm gap).  A traced 4-domain pooled run supplies the
+   per-phase breakdown (warm-up / fork / chunk / absorb seconds) the
+   JSON records.  CI gates 4-domain vs 1-domain warm throughput — but
+   only when the recording machine actually had >= 4 cores, so the JSON
+   also records the runner's recommended domain count — plus a
+   winners-identical matrix over {1,2,4} domains x {scan, best-first} x
+   {pruned, unpruned}. *)
 
-type par_point = { pd_domains : int; pd_seconds : float }
+type par_point = {
+  pd_domains : int;
+  pd_seconds : float;       (* warm caller-owned pool *)
+  pd_cold_seconds : float;  (* crew spawned and retired inside the call *)
+}
+
+type par_phases = {
+  ph_warmup_s : float;
+  ph_fork_s : float;
+  ph_chunk_s : float;
+  ph_absorb_s : float;
+  ph_rounds : int;
+  ph_chunks : int;
+}
 
 type par_bench = {
   par_ces : int;
@@ -352,6 +372,8 @@ type par_bench = {
   par_enumerated : int;
   par_prune_ratio : float;
   par_points : par_point list;
+  par_phases : par_phases;
+  par_winners_identical : bool;
 }
 
 let bench_parallel () =
@@ -363,30 +385,104 @@ let bench_parallel () =
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
   in
-  let run domains =
+  (* Pin the strategy: `Auto would switch 1-domain runs onto the
+     best-first search and the 4-vs-1-domain gate would compare two
+     different algorithms. *)
+  let run ?pool domains =
     let session = Mccm.Eval_session.create ~memoize:false model board in
-    (* Pin the strategy: `Auto would switch 1-domain runs onto the
-       best-first search and the 4-vs-1-domain gate would compare two
-       different algorithms. *)
     time (fun () ->
-        Dse.Enumerate.exhaustive_best ~max_specs ~session ~domains
+        Dse.Enumerate.exhaustive_best ~max_specs ~session ~domains ?pool
           ~clamp:false ~strategy:`Scan ~objective:`Throughput ~ces model board)
   in
   let (ref_best, ref_stats), _ = run 1 in
   let points =
     List.map
       (fun domains ->
-        (* Best of two samples; every domain count must return the very
-           same winning design (the scan is deterministic by
+        (* Best of two samples per arm; every configuration must return
+           the very same winning design (the scan is deterministic by
            construction). *)
-        let (best, _), s1 = run domains in
-        let _, s2 = run domains in
+        let pool = Util.Parallel.Pool.create ~clamp:false ~domains () in
+        let warm =
+          Fun.protect
+            ~finally:(fun () -> Util.Parallel.Pool.shutdown pool)
+            (fun () ->
+              ignore (run ~pool domains) (* spend the one-off domain spawns *);
+              let (best, _), w1 = run ~pool domains in
+              let _, w2 = run ~pool domains in
+              if best <> ref_best then
+                failwith
+                  (Printf.sprintf
+                     "exhaustive_parallel: %d-domain pooled scan disagrees \
+                      with 1-domain"
+                     domains);
+              Float.min w1 w2)
+        in
+        let (best, _), c1 = run domains in
+        let _, c2 = run domains in
         if best <> ref_best then
           failwith
             (Printf.sprintf
                "exhaustive_parallel: %d-domain scan disagrees with 1-domain"
                domains);
-        { pd_domains = domains; pd_seconds = Float.min s1 s2 })
+        {
+          pd_domains = domains;
+          pd_seconds = warm;
+          pd_cold_seconds = Float.min c1 c2;
+        })
+      [ 1; 2; 4 ]
+  in
+  (* Per-phase breakdown of one traced 4-domain pooled run: where the
+     parallel wall-clock actually goes (warm-up, session forks, chunk
+     execution, memo absorption). *)
+  let phases =
+    let pool = Util.Parallel.Pool.create ~clamp:false ~domains:4 () in
+    Fun.protect
+      ~finally:(fun () -> Util.Parallel.Pool.shutdown pool)
+      (fun () ->
+        Mccm_obs.enable ();
+        Mccm_obs.reset ();
+        ignore (run ~pool 4);
+        let snap = Mccm_obs.Metric.snapshot () in
+        Mccm_obs.disable ();
+        Mccm_obs.reset ();
+        let hist n =
+          match List.assoc_opt n snap.Mccm_obs.Metric.histograms with
+          | Some h -> h.Mccm_obs.Metric.sum
+          | None -> 0.0
+        in
+        let counter n =
+          Option.value ~default:0
+            (List.assoc_opt n snap.Mccm_obs.Metric.counters)
+        in
+        {
+          ph_warmup_s = hist "dse.parallel.warmup_s";
+          ph_fork_s = hist "dse.parallel.fork_s";
+          ph_chunk_s = hist "dse.parallel.chunk_s";
+          ph_absorb_s = hist "dse.parallel.absorb_s";
+          ph_rounds = counter "dse.parallel.rounds";
+          ph_chunks = counter "dse.parallel.chunks";
+        })
+  in
+  (* The determinism matrix behind the /5 gate: every combination of
+     domain count, search strategy and pruning must return the same
+     winner as the sequential unpruned reference. *)
+  let winners_identical =
+    let winner ~domains ~strategy ~prune =
+      let session = Mccm.Eval_session.create ~memoize:false model board in
+      fst
+        (Dse.Enumerate.exhaustive_best ~max_specs ~session ~domains
+           ~clamp:false ~strategy ~prune ~objective:`Throughput ~ces model
+           board)
+    in
+    let reference = winner ~domains:1 ~strategy:`Scan ~prune:false in
+    List.for_all
+      (fun domains ->
+        List.for_all
+          (fun strategy ->
+            List.for_all
+              (fun prune -> winner ~domains ~strategy ~prune = reference)
+              [ true; false ])
+          [ `Scan; `Best_first ])
       [ 1; 2; 4 ]
   in
   let bench =
@@ -398,6 +494,8 @@ let bench_parallel () =
         float_of_int ref_stats.Dse.Enumerate.pruned
         /. float_of_int (max 1 ref_stats.Dse.Enumerate.enumerated);
       par_points = points;
+      par_phases = phases;
+      par_winners_identical = winners_identical;
     }
   in
   let table =
@@ -410,8 +508,9 @@ let bench_parallel () =
            (100.0 *. bench.par_prune_ratio)
            (Util.Parallel.recommended ()))
       ~columns:
-        [ ("domains", Util.Table.Right); ("seconds", Util.Table.Right);
-          ("specs/s", Util.Table.Right); ("scaling", Util.Table.Right) ]
+        [ ("domains", Util.Table.Right); ("warm s", Util.Table.Right);
+          ("cold s", Util.Table.Right); ("specs/s", Util.Table.Right);
+          ("scaling", Util.Table.Right) ]
       ()
   in
   let base_s = (List.hd points).pd_seconds in
@@ -420,11 +519,21 @@ let bench_parallel () =
       Util.Table.add_row table
         [ string_of_int p.pd_domains;
           Format.sprintf "%.3f" p.pd_seconds;
+          Format.sprintf "%.3f" p.pd_cold_seconds;
           Format.sprintf "%.0f"
             (evals_per_sec bench.par_enumerated p.pd_seconds);
           Format.sprintf "%.2fx" (base_s /. Float.max 1e-9 p.pd_seconds) ])
     points;
   Util.Table.print table;
+  Format.printf
+    "4-domain pooled phases: warmup %.3fs, fork %.3fs, chunk %.3fs, absorb \
+     %.3fs over %d round(s) / %d chunk(s)@."
+    phases.ph_warmup_s phases.ph_fork_s phases.ph_chunk_s phases.ph_absorb_s
+    phases.ph_rounds phases.ph_chunks;
+  Format.printf "winners identical across domains x strategy x pruning: %b@."
+    winners_identical;
+  if not winners_identical then
+    failwith "exhaustive_parallel: winner matrix disagrees";
   bench
 
 (* ------------------------------------------------------------------ *)
@@ -514,7 +623,7 @@ let bench_bnb () =
 let write_bench_json ~path rows par bnb =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.bprintf buf fmt in
-  add "{\n  \"schema\": \"mccm-bench-dse/4\",\n";
+  add "{\n  \"schema\": \"mccm-bench-dse/5\",\n";
   add "  \"fig10_samples\": %d,\n" !fig10_samples;
   add "  \"recommended_domains\": %d,\n" (Util.Parallel.recommended ());
   add "  \"workloads\": [\n";
@@ -556,15 +665,24 @@ let write_bench_json ~path rows par bnb =
     "  \"exhaustive_parallel\": { \"ces\": %d, \"max_specs\": %d, \
      \"enumerated\": %d, \"prune_ratio\": %.4f,\n"
     par.par_ces par.par_max_specs par.par_enumerated par.par_prune_ratio;
+  add "    \"winners_identical\": %b,\n" par.par_winners_identical;
+  add
+    "    \"phases\": { \"warmup_s\": %.6f, \"fork_s\": %.6f, \"chunk_s\": \
+     %.6f, \"absorb_s\": %.6f, \"rounds\": %d, \"chunks\": %d },\n"
+    par.par_phases.ph_warmup_s par.par_phases.ph_fork_s
+    par.par_phases.ph_chunk_s par.par_phases.ph_absorb_s
+    par.par_phases.ph_rounds par.par_phases.ph_chunks;
   add "    \"domains\": [\n";
   let np = List.length par.par_points in
   List.iteri
     (fun i p ->
       add
         "      { \"domains\": %d, \"seconds\": %.6f, \"evals_per_sec\": \
-         %.1f }%s\n"
+         %.1f, \"cold_seconds\": %.6f, \"cold_evals_per_sec\": %.1f }%s\n"
         p.pd_domains p.pd_seconds
         (evals_per_sec par.par_enumerated p.pd_seconds)
+        p.pd_cold_seconds
+        (evals_per_sec par.par_enumerated p.pd_cold_seconds)
         (if i = np - 1 then "" else ","))
     par.par_points;
   add "    ] },\n";

@@ -653,13 +653,24 @@ let enumerate_cmd =
              branch-and-bound (the default with pruning on and one \
              domain).  The chosen design is unchanged.")
   in
-  let run obs model board ces max_specs domains best no_prune scan =
+  let no_clamp_arg =
+    Arg.(
+      value & flag
+      & info [ "no-clamp" ]
+          ~doc:
+            "Honour $(b,-j) exactly instead of clamping it to the \
+             machine's recommended domain count.  The chosen design is \
+             unchanged; useful for exercising the multi-domain path on \
+             small machines.")
+  in
+  let run obs model board ces max_specs domains best no_prune scan no_clamp =
     with_obs "enumerate" obs @@ fun () ->
     let started = Unix.gettimeofday () in
     let strategy = if scan then `Scan else `Auto in
     let winner, stats =
-      Dse.Enumerate.exhaustive_best ~max_specs ~domains ~prune:(not no_prune)
-        ~strategy ~objective:best ~ces model board
+      Dse.Enumerate.exhaustive_best ~max_specs ~domains
+        ~clamp:(not no_clamp) ~prune:(not no_prune) ~strategy ~objective:best
+        ~ces model board
     in
     let elapsed = Unix.gettimeofday () -. started in
     Format.printf
@@ -695,7 +706,7 @@ let enumerate_cmd =
           and print the best design for an objective.")
     Term.(
       const run $ obs_args $ model_arg $ board_arg $ ces_arg $ max_specs_arg
-      $ domains_arg $ best_arg $ no_prune_arg $ scan_arg)
+      $ domains_arg $ best_arg $ no_prune_arg $ scan_arg $ no_clamp_arg)
 
 let () =
   let doc = "Analytical cost model for multiple compute-engine CNN accelerators" in

@@ -386,6 +386,75 @@ let throughput_upper_bound t spec =
   let ii = Float.max (cyc /. t.clock) t.mem_floor_s in
   if ii <= 0.0 then infinity else 1.0 /. ii
 
+(* ---------------------------------------------- flat-row bounds *)
+
+(* The scan hot loop reads specs straight out of a [Space.Flat] buffer:
+   same floors, same accumulation order as the list-based bounds above
+   (so the results are bit-identical), but no per-candidate allocation
+   — the row is walked in place and the caller hoists the [ctx] lookup
+   (one mutex round per scan, not per spec). *)
+
+let compute_ii_floor_cycles_flat ctx buf ~width i =
+  let t = ctx.cx_owner in
+  let n = Cnn.Table.num_layers t.table in
+  let f = Space.Flat.pipelined buf ~width i in
+  let worst = ref (head_ii_floor ctx ~f) in
+  let first = ref f in
+  let k = ref 0 in
+  let more = ref true in
+  while !more && !k <= width - 2 do
+    let b = Space.Flat.boundary buf ~width i ~k:!k in
+    if b = 0 then more := false
+    else begin
+      worst := Float.max !worst (segment_ii_floor ctx ~first:!first ~last:(b - 1));
+      first := b;
+      incr k
+    end
+  done;
+  worst := Float.max !worst (segment_ii_floor ctx ~first:!first ~last:(n - 1));
+  Float.max !worst (global_ii_cycles t *. (1.0 -. eps))
+
+let throughput_upper_bound_flat ctx buf ~width i =
+  let t = ctx.cx_owner in
+  let cyc = compute_ii_floor_cycles_flat ctx buf ~width i in
+  let ii = Float.max (cyc /. t.clock) t.mem_floor_s in
+  if ii <= 0.0 then infinity else 1.0 /. ii
+
+let latency_lower_bound_flat ctx buf ~width i =
+  let t = ctx.cx_owner in
+  let n = Cnn.Table.num_layers t.table in
+  let f = Space.Flat.pipelined buf ~width i in
+  let compute = ref (head_ii_floor ctx ~f) in
+  let sq =
+    ref (sqrt (float_of_int (Cnn.Table.macs_range t.table ~first:0 ~last:(f - 1))))
+  in
+  let first = ref f in
+  let k = ref 0 in
+  let more = ref true in
+  while !more && !k <= width - 2 do
+    let b = Space.Flat.boundary buf ~width i ~k:!k in
+    if b = 0 then more := false
+    else begin
+      compute := !compute +. segment_ii_floor ctx ~first:!first ~last:(b - 1);
+      sq :=
+        !sq
+        +. sqrt
+             (float_of_int
+                (Cnn.Table.macs_range t.table ~first:!first ~last:(b - 1)));
+      first := b;
+      incr k
+    end
+  done;
+  compute := !compute +. segment_ii_floor ctx ~first:!first ~last:(n - 1);
+  sq :=
+    !sq
+    +. sqrt
+         (float_of_int (Cnn.Table.macs_range t.table ~first:!first ~last:(n - 1)));
+  Float.max
+    (Float.max (!compute /. t.clock) (!sq *. !sq /. t.peak))
+    t.mem_floor_s
+  *. (1.0 -. eps)
+
 let latency_lower_bound t spec =
   let ctx = context t ~ces:(Arch.Custom.total_ces spec) in
   let f = spec.Arch.Custom.pipelined_layers in

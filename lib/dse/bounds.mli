@@ -141,3 +141,22 @@ val throughput_upper_bound : t -> Arch.Custom.spec -> float
 val latency_lower_bound : t -> Arch.Custom.spec -> float
 (** Admissible (never above any achievable value) latency bound for a
     complete spec, seconds. *)
+
+(** {1 Flat-row bounds}
+
+    The same whole-spec bounds evaluated straight off a
+    {!Space.Flat.buf} row: identical floors in identical accumulation
+    order, so for a row encoding spec [p] under the ctx for [p]'s CE
+    count they return bit-for-bit the values of
+    {!throughput_upper_bound} / {!latency_lower_bound} / {!compute_ii_floor_cycles}
+    — but with no per-candidate allocation and the [ctx] lookup
+    hoisted out of the scan loop (pass [context t ~ces] once). *)
+
+val compute_ii_floor_cycles_flat :
+  ctx -> Space.Flat.buf -> width:int -> int -> float
+
+val throughput_upper_bound_flat :
+  ctx -> Space.Flat.buf -> width:int -> int -> float
+
+val latency_lower_bound_flat :
+  ctx -> Space.Flat.buf -> width:int -> int -> float

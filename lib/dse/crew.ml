@@ -1,0 +1,113 @@
+(* Warm per-worker evaluation-session crews.
+
+   Every Domains-parallel consumer in the DSE layer used to pay the
+   same three costs on every parallel call: a [Domain.spawn] per chunk,
+   an [Eval_session.fork] per chunk, and a cold start inside each fork
+   (empty plan/segment tables, unprimed builder memos).  A crew
+   amortises all three: it runs on a persistent {!Util.Parallel.Pool}
+   (spawn once), forks exactly one session per pool worker (the caller
+   keeps the parent as worker 0), and forks only after an optional
+   sequential warm-up pass has populated the parent's tables — so every
+   fork starts warm.  Chunk-to-worker assignment is racy, but each
+   worker's session is a semantically invisible cache: as long as the
+   mapped function's output depends only on its [(lo, hi)] range the
+   overall result is deterministic, chunk results merging in order. *)
+
+let h_warm = Mccm_obs.Metric.histogram "dse.parallel.warmup_s"
+let h_fork = Mccm_obs.Metric.histogram "dse.parallel.fork_s"
+let h_chunk = Mccm_obs.Metric.histogram "dse.parallel.chunk_s"
+let h_absorb = Mccm_obs.Metric.histogram "dse.parallel.absorb_s"
+let c_rounds = Mccm_obs.Metric.counter "dse.parallel.rounds"
+let c_chunks = Mccm_obs.Metric.counter "dse.parallel.chunks"
+
+let secs t0 t1 = float_of_int (t1 - t0) *. 1e-9
+
+type t = {
+  pool : Util.Parallel.Pool.t option; (* None: strictly sequential *)
+  owned : bool;                       (* shutdown on finish? *)
+  session : Mccm.Eval_session.t;
+  mutable forks : Mccm.Eval_session.t array;
+      (* [||] until first parallel round; then [forks.(0) == session]
+         and [forks.(w)] is worker [w]'s private fork *)
+}
+
+let create ?pool ?clamp ?(domains = 1) session =
+  match pool with
+  | Some p -> { pool = Some p; owned = false; session; forks = [||] }
+  | None ->
+    let d = Util.Parallel.effective ?clamp ~domains ~n:max_int () in
+    if d = 1 then { pool = None; owned = false; session; forks = [||] }
+    else
+      {
+        pool = Some (Util.Parallel.Pool.create ~clamp:false ~domains:d ());
+        owned = true;
+        session;
+        forks = [||];
+      }
+
+let size t =
+  match t.pool with None -> 1 | Some p -> Util.Parallel.Pool.size p
+
+let session t = t.session
+
+let warmed t = Array.length t.forks > 0
+
+let warmup t f =
+  (* Only worth running when the crew will fork — and only before it
+     has: a later warm-up could not reach already-forked sessions. *)
+  if size t > 1 && not (warmed t) then begin
+    let t0 = Mccm_obs.Clock.now_ns () in
+    f ();
+    Mccm_obs.Metric.observe h_warm (secs t0 (Mccm_obs.Clock.now_ns ()))
+  end
+
+let ensure_forks t =
+  if not (warmed t) then begin
+    let t0 = Mccm_obs.Clock.now_ns () in
+    t.forks <-
+      Array.init (size t) (fun w ->
+          if w = 0 then t.session else Mccm.Eval_session.fork t.session);
+    Mccm_obs.Metric.observe h_fork (secs t0 (Mccm_obs.Clock.now_ns ()))
+  end;
+  t.forks
+
+let map t ?chunk_hint ~n f =
+  if n = 0 then []
+  else
+    match t.pool with
+    | None -> [ f ~session:t.session ~lo:0 ~hi:n ]
+    | Some p when Util.Parallel.Pool.size p = 1 ->
+      [ f ~session:t.session ~lo:0 ~hi:n ]
+    | Some p ->
+      let forks = ensure_forks t in
+      let res =
+        Util.Parallel.Pool.map p ?chunk_hint ~n
+          (fun ~worker ~chunk:_ ~lo ~hi ->
+            let c0 = Mccm_obs.Clock.now_ns () in
+            let r = f ~session:forks.(worker) ~lo ~hi in
+            Mccm_obs.Metric.observe h_chunk
+              (secs c0 (Mccm_obs.Clock.now_ns ()));
+            r)
+      in
+      Mccm_obs.Metric.incr c_rounds;
+      Mccm_obs.Metric.add c_chunks (List.length res);
+      res
+
+let finish t =
+  let nf = Array.length t.forks in
+  if nf > 1 then begin
+    let t0 = Mccm_obs.Clock.now_ns () in
+    for w = 1 to nf - 1 do
+      Mccm.Eval_session.absorb ~into:t.session t.forks.(w)
+    done;
+    Mccm_obs.Metric.observe h_absorb (secs t0 (Mccm_obs.Clock.now_ns ()))
+  end;
+  t.forks <- [||];
+  if t.owned then
+    match t.pool with
+    | Some p -> Util.Parallel.Pool.shutdown p
+    | None -> ()
+
+let with_crew ?pool ?clamp ?domains session f =
+  let c = create ?pool ?clamp ?domains session in
+  Fun.protect ~finally:(fun () -> finish c) (fun () -> f c)

@@ -1,0 +1,77 @@
+(** Warm per-worker evaluation-session crews for Domains-parallel DSE.
+
+    The pre-pool parallel paths paid a [Domain.spawn], an
+    [Mccm.Eval_session.fork] and a cold fork start {e per chunk}.  A
+    crew binds one parent session to a persistent
+    {!Util.Parallel.Pool}: domains spawn once (or are borrowed from a
+    caller-supplied pool), exactly one session fork is made per pool
+    worker — the caller keeps the parent itself as worker 0 — and the
+    forks are cut only after an optional sequential {!warmup} pass has
+    populated the parent's plan/segment tables, so every worker starts
+    warm.  {!finish} absorbs the forks back into the parent, which
+    therefore keeps learning across crews.
+
+    {b Determinism.}  {!map}'s chunk-to-worker assignment is racy, but
+    a worker's session is a semantically invisible (bit-exact) cache:
+    if the mapped function's output depends only on its [(lo, hi)]
+    range, the in-order merge makes the overall result independent of
+    the crew size, the chunking, and the schedule.
+
+    Rounds, chunk counts and per-phase durations (warm-up, fork, chunk
+    execution, absorb) are recorded under the [dse.parallel.*] metric
+    names when {!Mccm_obs} stats are on. *)
+
+type t
+
+val create :
+  ?pool:Util.Parallel.Pool.t ->
+  ?clamp:bool ->
+  ?domains:int ->
+  Mccm.Eval_session.t ->
+  t
+(** [create ~domains session] builds a crew around [session].  With
+    [pool] the crew borrows it (its size rules; it is not shut down by
+    {!finish}); otherwise [domains] (default 1, clamped to
+    [Domain.recommended_domain_count] unless [~clamp:false]) sizes an
+    owned pool, or no pool at all when the effective count is 1. *)
+
+val size : t -> int
+(** Workers the crew can use, caller included; [>= 1]. *)
+
+val session : t -> Mccm.Eval_session.t
+(** The parent session. *)
+
+val warmed : t -> bool
+(** Whether the per-worker forks have been cut. *)
+
+val warmup : t -> (unit -> unit) -> unit
+(** [warmup t f] runs [f ()] sequentially on the caller — intended to
+    evaluate a small strided sample through the parent session — but
+    only when the crew will actually fork ([size > 1]) and has not yet
+    ({!warmed} is false).  No-op otherwise. *)
+
+val map :
+  t ->
+  ?chunk_hint:int ->
+  n:int ->
+  (session:Mccm.Eval_session.t -> lo:int -> hi:int -> 'a) ->
+  'a list
+(** [map t ~n f] evaluates [f] over contiguous chunks of [0, n) —
+    {!Util.Parallel.Pool.map} chunking, [chunk_hint] default 256 —
+    each call on its worker's fork (cut on first use), and returns the
+    chunk results in order.  Sequential crews run one inline call on
+    the parent.  [f]'s output must depend only on [(lo, hi)]. *)
+
+val finish : t -> unit
+(** Absorb the forks back into the parent session and, if the crew
+    owns its pool, shut it down.  The crew may be reused afterwards
+    (fresh forks are cut on the next {!map}). *)
+
+val with_crew :
+  ?pool:Util.Parallel.Pool.t ->
+  ?clamp:bool ->
+  ?domains:int ->
+  Mccm.Eval_session.t ->
+  (t -> 'a) ->
+  'a
+(** [create] + guaranteed {!finish}. *)

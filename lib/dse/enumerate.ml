@@ -57,23 +57,39 @@ let bounds table board = Bounds.create table board
 let throughput_upper_bound = Bounds.throughput_upper_bound
 let latency_lower_bound = Bounds.latency_lower_bound
 
-let exhaustive ?(max_specs = 20000) ?session ?(domains = 1) ?clamp ~ces model
-    board =
+(* Sequential warm-up for a crew: run a small strided sample of the
+   spec rows through the parent session so its plan/segment tables —
+   and the builder's process-global memos — are populated before the
+   per-worker forks are cut.  Caching is bit-invisible, so the warm-up
+   cannot change any result; it only moves the cold start off the
+   parallel phase. *)
+let warm_strided ~session ~buf ~width ~n model =
+  let stride = max 1 (n / 16) in
+  let i = ref 0 in
+  while !i < n do
+    ignore
+      (Mccm.Eval_session.metrics ~store_arch:false session
+         (Arch.Custom.arch_of_spec model (Space.Flat.decode buf ~width !i)));
+    i := !i + stride
+  done
+
+let exhaustive ?(max_specs = 20000) ?session ?(domains = 1) ?clamp ?pool ~ces
+    model board =
   Mccm_obs.span ~cat:"dse" "dse.exhaustive" @@ fun () ->
   let session = session_or_fresh session model board in
-  let specs =
-    Array.of_list
-      (enumerate_specs ~num_layers:(Cnn.Model.num_layers model) ~ces
-         ~max_specs)
+  let width = Space.Flat.width ~ces in
+  let buf =
+    Space.Flat.enumerate ~num_layers:(Cnn.Model.num_layers model) ~ces
+      ~max_specs
   in
-  let n = Array.length specs in
+  let n = Space.Flat.count buf ~width in
   Mccm_obs.Metric.add c_exhaustive n;
   (* Lexicographic neighbours share almost all their blocks, so the
      session's segment/plan tables turn the scan largely into lookups. *)
-  let eval_slice session lo hi =
+  let eval_slice ~session ~lo ~hi =
     let out = ref [] in
     for i = lo to hi - 1 do
-      let spec = specs.(i) in
+      let spec = Space.Flat.decode buf ~width i in
       let archi = Arch.Custom.arch_of_spec model spec in
       let metrics = Mccm.Eval_session.metrics ~store_arch:false session archi in
       if metrics.Mccm.Metrics.feasible then
@@ -81,17 +97,9 @@ let exhaustive ?(max_specs = 20000) ?session ?(domains = 1) ?clamp ~ces model
     done;
     List.rev !out
   in
-  let d = Util.Parallel.effective ?clamp ~domains ~n () in
-  if d = 1 then eval_slice session 0 n
-  else begin
-    let forks = Array.init d (fun _ -> Mccm.Eval_session.fork session) in
-    let slices =
-      Util.Parallel.chunked_map ~clamp:false ~domains:d ~n
-        (fun ~chunk ~lo ~hi -> eval_slice forks.(chunk) lo hi)
-    in
-    Array.iter (fun f -> Mccm.Eval_session.absorb ~into:session f) forks;
-    List.concat slices
-  end
+  Crew.with_crew ?pool ?clamp ~domains session (fun crew ->
+      Crew.warmup crew (fun () -> warm_strided ~session ~buf ~width ~n model);
+      List.concat (Crew.map crew ~n eval_slice))
 
 type objective = [ `Throughput | `Latency ]
 
@@ -327,41 +335,48 @@ let best_first ~max_specs ~session ~table ~prune ~score ~objective ~ces model
       domains_used = 1;
     } )
 
-(* Chunked scan over the materialised spec list (the multi-domain
-   path, and the pruning-off reference). *)
-let scan_best ~max_specs ~session ~table ~domains ~clamp ~prune ~score
+(* Chunked scan over the flat spec rows (the multi-domain path, and
+   the pruning-off reference). *)
+let scan_best ~max_specs ~session ~table ~domains ~clamp ~pool ~prune ~score
     ~objective ~ces model board =
-  let specs =
-    Array.of_list
-      (enumerate_specs ~num_layers:(Cnn.Model.num_layers model) ~ces
-         ~max_specs)
+  let width = Space.Flat.width ~ces in
+  let buf =
+    Space.Flat.enumerate ~num_layers:(Cnn.Model.num_layers model) ~ces
+      ~max_specs
   in
-  let n = Array.length specs in
+  let n = Space.Flat.count buf ~width in
   Mccm_obs.Metric.add c_exhaustive n;
   let b = Bounds.create table board in
-  if prune then ignore (Bounds.context b ~ces);
-  let bound spec =
-    match objective with
-    | `Throughput -> Bounds.throughput_upper_bound b spec
-    | `Latency -> -.(Bounds.latency_lower_bound b spec)
+  (* Hoisting the per-CE-count ctx takes the memo mutex out of the hot
+     loop, and the flat bounds walk each row in place: a pruned
+     candidate costs no allocation at all — rows are decoded to a spec
+     only when they survive the bound and must be evaluated. *)
+  let ctx = if prune then Some (Bounds.context b ~ces) else None in
+  let bound =
+    match (objective, ctx) with
+    | _, None -> fun _ -> infinity
+    | `Throughput, Some cx ->
+      fun i -> Bounds.throughput_upper_bound_flat cx buf ~width i
+    | `Latency, Some cx ->
+      fun i -> -.(Bounds.latency_lower_bound_flat cx buf ~width i)
   in
   (* Scan a slice keeping a local incumbent (first strict maximum, like
      the sequential scan).  A spec is skipped when its admissible bound
      cannot strictly beat the incumbent; since every element of a chunk
      follows its own incumbent in global enumeration order, merging the
      chunk bests in chunk order on strict improvement reproduces the
-     sequential unpruned scan's answer exactly. *)
-  let scan session lo hi =
+     sequential unpruned scan's answer exactly — for any chunk count. *)
+  let scan ~session ~lo ~hi =
     let best = ref None in
     let evaluated = ref 0 and pruned = ref 0 in
     for i = lo to hi - 1 do
-      let spec = specs.(i) in
       let cur =
         match !best with Some (_, s) -> s | None -> neg_infinity
       in
-      if prune && bound spec <= cur then incr pruned
+      if prune && bound i <= cur then incr pruned
       else begin
         incr evaluated;
+        let spec = Space.Flat.decode buf ~width i in
         let m =
           Mccm.Eval_session.metrics ~store_arch:false session
             (Arch.Custom.arch_of_spec model spec)
@@ -372,18 +387,13 @@ let scan_best ~max_specs ~session ~table ~domains ~clamp ~prune ~score
     done;
     (!best, !evaluated, !pruned)
   in
-  let d = Util.Parallel.effective ?clamp ~domains ~n () in
+  let crew_size = ref 1 in
   let chunks =
-    if d = 1 then [ scan session 0 n ]
-    else begin
-      let forks = Array.init d (fun _ -> Mccm.Eval_session.fork session) in
-      let res =
-        Util.Parallel.chunked_map ~clamp:false ~domains:d ~n
-          (fun ~chunk ~lo ~hi -> scan forks.(chunk) lo hi)
-      in
-      Array.iter (fun f -> Mccm.Eval_session.absorb ~into:session f) forks;
-      res
-    end
+    Crew.with_crew ?pool ?clamp ~domains session (fun crew ->
+        crew_size := Crew.size crew;
+        Crew.warmup crew (fun () ->
+            warm_strided ~session ~buf ~width ~n model);
+        Crew.map crew ~n scan)
   in
   let best, evaluated, pruned =
     List.fold_left
@@ -405,9 +415,10 @@ let scan_best ~max_specs ~session ~table ~domains ~clamp ~prune ~score
     Mccm_obs.Metric.update_max g_best_objective s
   | _ -> ());
   ( Option.map fst best,
-    { enumerated = n; evaluated; pruned; nodes = 0; domains_used = d } )
+    { enumerated = n; evaluated; pruned; nodes = 0; domains_used = !crew_size }
+  )
 
-let exhaustive_best ?(max_specs = 20000) ?session ?(domains = 1) ?clamp
+let exhaustive_best ?(max_specs = 20000) ?session ?(domains = 1) ?clamp ?pool
     ?(prune = true) ?(strategy = `Auto) ~objective ~ces model board =
   Mccm_obs.span ~cat:"dse" "dse.exhaustive_best" @@ fun () ->
   let session = session_or_fresh session model board in
@@ -423,13 +434,13 @@ let exhaustive_best ?(max_specs = 20000) ?session ?(domains = 1) ?clamp
     match strategy with
     | `Best_first -> true
     | `Scan -> false
-    | `Auto -> prune && domains = 1
+    | `Auto -> prune && domains = 1 && Option.is_none pool
   in
   if use_best_first then
     best_first ~max_specs ~session ~table ~prune ~score ~objective ~ces model
       board
   else
-    scan_best ~max_specs ~session ~table ~domains ~clamp ~prune ~score
+    scan_best ~max_specs ~session ~table ~domains ~clamp ~pool ~prune ~score
       ~objective ~ces model board
 
 type step = {
@@ -501,7 +512,7 @@ let neighbours ~num_layers (spec : Arch.Custom.spec) =
     @ merge_each)
 
 let local_search ~objective ?(max_steps = 25) ?session ?(domains = 1) ?clamp
-    ?bound model board seed =
+    ?pool ?bound model board seed =
   Mccm_obs.span ~cat:"dse" "dse.local_search" @@ fun () ->
   let num_layers = Cnn.Model.num_layers model in
   let session = session_or_fresh session model board in
@@ -514,6 +525,28 @@ let local_search ~objective ?(max_steps = 25) ?session ?(domains = 1) ?clamp
   in
   let score m =
     if m.Mccm.Metrics.feasible then objective m else neg_infinity
+  in
+  (* One crew for the whole climb: the old path re-forked the session
+     and re-spawned a domain per chunk on every single step.  Here the
+     per-worker forks are cut once — after the seed evaluation has
+     warmed the parent — and every step's neighbourhood is mapped as
+     singleton chunks over the same crew. *)
+  Crew.with_crew ?pool ?clamp ~domains session @@ fun crew ->
+  let eval_all cands =
+    List.concat
+      (Crew.map crew ~chunk_hint:1 ~n:(Array.length cands)
+         (fun ~session ~lo ~hi ->
+           let out = ref [] in
+           for i = lo to hi - 1 do
+             let moved, c = cands.(i) in
+             out :=
+               ( moved,
+                 c,
+                 Mccm.Eval_session.metrics session
+                   (Arch.Custom.arch_of_spec model c) )
+               :: !out
+           done;
+           List.rev !out))
   in
   let rec climb spec metrics steps_left trajectory =
     if steps_left = 0 then List.rev trajectory
@@ -540,37 +573,7 @@ let local_search ~objective ?(max_steps = 25) ?session ?(domains = 1) ?clamp
             (List.length neigh - List.length kept);
           Array.of_list kept
       in
-      let nc = Array.length cands in
-      let d = Util.Parallel.effective ?clamp ~domains ~n:nc () in
-      let evaluated =
-        if d = 1 then
-          Array.to_list
-            (Array.map (fun (moved, c) -> (moved, c, eval c)) cands)
-        else begin
-          let forks =
-            Array.init d (fun _ -> Mccm.Eval_session.fork session)
-          in
-          let slices =
-            Util.Parallel.chunked_map ~clamp:false ~domains:d ~n:nc
-              (fun ~chunk ~lo ~hi ->
-                let out = ref [] in
-                for i = lo to hi - 1 do
-                  let moved, c = cands.(i) in
-                  out :=
-                    ( moved,
-                      c,
-                      Mccm.Eval_session.metrics forks.(chunk)
-                        (Arch.Custom.arch_of_spec model c) )
-                    :: !out
-                done;
-                List.rev !out)
-          in
-          Array.iter
-            (fun f -> Mccm.Eval_session.absorb ~into:session f)
-            forks;
-          List.concat slices
-        end
-      in
+      let evaluated = eval_all cands in
       let best =
         List.fold_left
           (fun acc (moved, candidate, m) ->

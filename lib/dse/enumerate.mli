@@ -19,20 +19,25 @@ val exhaustive :
   ?session:Mccm.Eval_session.t ->
   ?domains:int ->
   ?clamp:bool ->
+  ?pool:Util.Parallel.Pool.t ->
   ces:int ->
   Cnn.Model.t ->
   Platform.Board.t ->
   Explore.evaluated list
 (** [exhaustive ~ces model board] evaluates every (up to [max_specs],
     default 20000) custom design with exactly [ces] engines; feasible
-    ones, in enumeration order.  [session] (default: a fresh one)
-    memoizes segment terms across the lexicographic scan — neighbouring
-    specs share nearly all blocks — and across calls; results are
-    bit-identical with or without it.  [domains] (default 1) splits the
-    scan over that many domains in deterministic contiguous chunks
-    (each on a session fork, absorbed after the join), clamped to
-    [Domain.recommended_domain_count] unless [~clamp:false]; the result
-    is identical for every domain count. *)
+    ones, in enumeration order.  Specs are enumerated straight into an
+    unboxed {!Space.Flat} buffer and decoded per evaluation.  [session]
+    (default: a fresh one) memoizes segment terms across the
+    lexicographic scan — neighbouring specs share nearly all blocks —
+    and across calls; results are bit-identical with or without it.
+    [domains] (default 1) runs the scan on a {!Crew}: one warm session
+    fork per pool worker (after a sequential strided warm-up pass),
+    deterministic contiguous chunks merged in order, forks absorbed at
+    the end.  [domains] is clamped to [Domain.recommended_domain_count]
+    unless [~clamp:false]; [pool] reuses a caller-owned domain pool
+    (then [domains]/[clamp] are ignored).  The result is identical for
+    every domain count. *)
 
 type objective = [ `Throughput | `Latency ]
 
@@ -76,6 +81,7 @@ val exhaustive_best :
   ?session:Mccm.Eval_session.t ->
   ?domains:int ->
   ?clamp:bool ->
+  ?pool:Util.Parallel.Pool.t ->
   ?prune:bool ->
   ?strategy:strategy ->
   objective:objective ->
@@ -91,7 +97,11 @@ val exhaustive_best :
     beat the running incumbent; because the bounds are admissible and
     acceptance requires strict improvement (ties broken towards the
     earlier enumeration rank), the returned design is bit-identical
-    across [prune], [strategy], and [domains] choices. *)
+    across [prune], [strategy], [domains] and [pool] choices.  The
+    [`Scan] path enumerates into a {!Space.Flat} buffer, prunes with
+    the allocation-free flat bounds (ctx hoisted out of the loop) and
+    decodes only surviving rows; with [pool] it runs on the caller's
+    persistent domain pool ([`Auto] then picks [`Scan]). *)
 
 type step = {
   moved : string;                 (** human-readable description *)
@@ -113,6 +123,7 @@ val local_search :
   ?session:Mccm.Eval_session.t ->
   ?domains:int ->
   ?clamp:bool ->
+  ?pool:Util.Parallel.Pool.t ->
   ?bound:(Arch.Custom.spec -> float) ->
   Cnn.Model.t ->
   Platform.Board.t ->
@@ -126,8 +137,10 @@ val local_search :
     one) memoizes evaluation — a move touches at most two blocks, so
     only those are recomputed; results are bit-identical with or
     without it.  [domains] (default 1, clamped like {!exhaustive})
-    evaluates each step's neighbourhood in parallel chunks; [bound]
-    (an admissible upper bound on the objective's score, e.g.
-    {!throughput_upper_bound} partially applied) skips neighbours that
-    cannot strictly beat the current spec.  Neither changes the
-    trajectory. *)
+    evaluates each step's neighbourhood on one {!Crew} kept for the
+    whole climb — domains spawn and sessions fork once per search, not
+    once per step; [pool] reuses a caller-owned domain pool across
+    searches.  [bound] (an admissible upper bound on the objective's
+    score, e.g. {!throughput_upper_bound} partially applied) skips
+    neighbours that cannot strictly beat the current spec.  None of
+    these change the trajectory. *)

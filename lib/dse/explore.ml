@@ -40,12 +40,9 @@ let eval_slice ~session ~specs ~lo ~hi model =
   List.rev !evaluated
 
 let run ?(seed = 42L) ?(ce_counts = Arch.Baselines.default_ce_counts)
-    ?(domains = 1) ?session ~samples model board =
+    ?(domains = 1) ?clamp ?pool ?session ~samples model board =
   if samples <= 0 then invalid_arg "Explore.run: non-positive sample count";
   if domains <= 0 then invalid_arg "Explore.run: non-positive domain count";
-  (* More domains than cores is strictly harmful (every minor collection
-     synchronises all domains); clamp to what the runtime recommends. *)
-  let domains = min domains (Util.Parallel.recommended ()) in
   let session =
     match session with
     | None -> Mccm.Eval_session.create model board
@@ -75,23 +72,26 @@ let run ?(seed = 42L) ?(ce_counts = Arch.Baselines.default_ce_counts)
     Mccm_obs.span ~cat:"dse" "dse.eval"
       ~args:[ ("designs", string_of_int samples) ]
     @@ fun () ->
-    if domains = 1 then eval_slice ~session ~specs:drawn ~lo:0 ~hi:samples model
-    else begin
-      (* Contiguous slices per domain, concatenated back in order.  Each
-         domain works on its own session fork (the tables are not
-         thread-safe); forks merge back after the join, so a session
-         reused across runs keeps learning.  Caching is bit-invisible,
-         hence the result stays independent of the domain count. *)
-      let d = Util.Parallel.effective ~domains ~n:samples () in
-      let forks = Array.init d (fun _ -> Mccm.Eval_session.fork session) in
-      let slices =
-        Util.Parallel.chunked_map ~domains:d ~n:samples
-          (fun ~chunk ~lo ~hi ->
-            eval_slice ~session:forks.(chunk) ~specs:drawn ~lo ~hi model)
-      in
-      Array.iter (fun f -> Mccm.Eval_session.absorb ~into:session f) forks;
-      List.concat slices
-    end
+    (* Contiguous chunks, concatenated back in order.  Each pool worker
+       evaluates on its own session fork (the tables are not
+       thread-safe), cut once per run after a sequential strided
+       warm-up; forks merge back at the end, so a session reused across
+       runs keeps learning.  Caching is bit-invisible, hence the result
+       stays independent of the domain count, the pool and the
+       chunking. *)
+    Crew.with_crew ?pool ?clamp ~domains session (fun crew ->
+        Crew.warmup crew (fun () ->
+            let stride = max 1 (samples / 16) in
+            let i = ref 0 in
+            while !i < samples do
+              ignore
+                (Mccm.Eval_session.metrics session
+                   (Arch.Custom.arch_of_spec model drawn.(!i)));
+              i := !i + stride
+            done);
+        List.concat
+          (Crew.map crew ~n:samples (fun ~session ~lo ~hi ->
+               eval_slice ~session ~specs:drawn ~lo ~hi model)))
   in
   (* Keep each distinct design's first occurrence; feasible ones make
      the result.  [sampled] still counts every draw, so the dedup ratio

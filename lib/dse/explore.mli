@@ -23,6 +23,8 @@ val run :
   ?seed:int64 ->
   ?ce_counts:int list ->
   ?domains:int ->
+  ?clamp:bool ->
+  ?pool:Util.Parallel.Pool.t ->
   ?session:Mccm.Eval_session.t ->
   samples:int ->
   Cnn.Model.t ->
@@ -35,21 +37,24 @@ val run :
     so the session's hit-rate statistics reflect real duplication — and
     [evaluated] keeps each distinct design's first occurrence, feasible
     ones only.  Deterministic for a fixed [seed] (default 42),
-    independent of [domains] and of [session] warmth.
+    independent of [domains], [pool] and of [session] warmth.
 
-    [domains] (default 1) spreads the evaluation over that many parallel
-    OCaml domains.  The whole design set is drawn from a single PRNG
-    stream before any evaluation starts, so a given [(seed, samples)]
-    pair yields the same designs — and the same result, in the same
-    order — for every domain count.  The value is clamped to
-    [Domain.recommended_domain_count ()]; oversubscribing cores only
-    adds garbage-collector synchronisation.
+    [domains] (default 1) spreads the evaluation over a {!Crew}: one
+    warm session fork per pool worker, deterministic contiguous chunks
+    merged in draw order.  The whole design set is drawn from a single
+    PRNG stream before any evaluation starts, so a given
+    [(seed, samples)] pair yields the same designs — and the same
+    result, in the same order — for every domain count.  The value is
+    clamped to [Domain.recommended_domain_count ()] unless
+    [~clamp:false] (oversubscribing cores only adds garbage-collector
+    synchronisation); [pool] reuses a caller-owned persistent domain
+    pool instead (then [domains]/[clamp] are ignored).
 
     [session] (default: a fresh one) memoizes evaluation across the
     sweep and across calls — pass one session to successive runs on the
-    same (model, board) to keep its caches warm.  With [domains > 1]
-    each domain works on a {!Mccm.Eval_session.fork}, merged back after
-    the join.
+    same (model, board) to keep its caches warm.  With a multi-worker
+    crew each worker evaluates on a {!Mccm.Eval_session.fork}, merged
+    back at the end.
     @raise Invalid_argument if [session] is bound to a different
     board. *)
 

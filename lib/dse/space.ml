@@ -52,6 +52,126 @@ let total_designs ~num_layers ~ce_counts =
     (fun acc ces -> acc +. designs_for_ce_count ~num_layers ~ces)
     0.0 ce_counts
 
+let sat_add a b = if a > max_int - b then max_int else a + b
+
+let designs_capped ~num_layers ~ces =
+  let total = ref 0 in
+  for f = 1 to min (ces - 1) (num_layers - 1) do
+    let s = ces - f in
+    if num_layers - f >= s then
+      total := sat_add !total (completions ~num_layers ~first:f ~segments:s)
+  done;
+  !total
+
+(* ------------------------------------------------- flat encoding *)
+
+module Flat = struct
+  (* One spec per [width]-slot row: slot 0 is the pipelined depth [f],
+     slots 1 .. width - 1 the tail boundaries in ascending order,
+     0-padded.  Zero is a safe end sentinel — a real boundary is at
+     least [f + 1 >= 2].  A Bigarray holds unboxed ints outside the
+     OCaml heap: enumerating into it allocates nothing per candidate,
+     the GC never scans it, and domains share it without write
+     conflicts (disjoint rows). *)
+
+  type buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  let width ~ces =
+    if ces < 2 then invalid_arg "Space.Flat.width: ces < 2";
+    ces - 1
+
+  let create ~width n =
+    if width < 1 then invalid_arg "Space.Flat.create: width < 1";
+    if n < 0 then invalid_arg "Space.Flat.create: negative count";
+    let buf =
+      Bigarray.Array1.create Bigarray.int Bigarray.c_layout (n * width)
+    in
+    Bigarray.Array1.fill buf 0;
+    buf
+
+  let count buf ~width = Bigarray.Array1.dim buf / width
+  let pipelined buf ~width i = buf.{i * width}
+
+  let boundary buf ~width i ~k = buf.{(i * width) + 1 + k}
+
+  let segments buf ~width i =
+    let off = i * width in
+    let s = ref 1 in
+    (try
+       for k = 1 to width - 1 do
+         if buf.{off + k} = 0 then raise Exit;
+         incr s
+       done
+     with Exit -> ());
+    !s
+
+  let encode buf ~width ~at spec =
+    let f = spec.Arch.Custom.pipelined_layers in
+    let bs = spec.Arch.Custom.tail_boundaries in
+    if f < 1 then invalid_arg "Space.Flat.encode: pipelined_layers < 1";
+    if 1 + List.length bs > width then
+      invalid_arg "Space.Flat.encode: spec too wide for row";
+    let off = at * width in
+    for k = 0 to width - 1 do
+      buf.{off + k} <- 0
+    done;
+    buf.{off} <- f;
+    List.iteri
+      (fun j b ->
+        if b < 2 then invalid_arg "Space.Flat.encode: boundary < 2";
+        buf.{off + 1 + j} <- b)
+      bs
+
+  let decode buf ~width i =
+    let off = i * width in
+    let rec tail k acc =
+      if k >= width then List.rev acc
+      else
+        let b = buf.{off + k} in
+        if b = 0 then List.rev acc else tail (k + 1) (b :: acc)
+    in
+    { Arch.Custom.pipelined_layers = buf.{off}; tail_boundaries = tail 1 [] }
+
+  let enumerate ~num_layers ~ces ~max_specs =
+    if ces < 2 then invalid_arg "Space.Flat.enumerate: ces < 2";
+    let w = width ~ces in
+    let total = min max_specs (designs_capped ~num_layers ~ces) in
+    let total = max 0 total in
+    let buf = create ~width:w total in
+    let filled = ref 0 in
+    (* Same recursion as [Enumerate.enumerate_specs], writing rows
+       directly: [cur] is the row under construction, [depth] its next
+       free slot. *)
+    let cur = Array.make w 0 in
+    let emit depth =
+      if !filled < total then begin
+        let off = !filled * w in
+        for k = 0 to depth - 1 do
+          buf.{off + k} <- cur.(k)
+        done;
+        incr filled
+      end
+    in
+    let rec boundaries ~from ~remaining ~depth =
+      if !filled >= total then ()
+      else if remaining = 0 then emit depth
+      else
+        for b = from to num_layers - remaining do
+          cur.(depth) <- b;
+          boundaries ~from:(b + 1) ~remaining:(remaining - 1)
+            ~depth:(depth + 1)
+        done
+    in
+    for f = 1 to min (ces - 1) (num_layers - 1) do
+      let s = ces - f in
+      if num_layers - f >= s then begin
+        cur.(0) <- f;
+        boundaries ~from:(f + 1) ~remaining:(s - 1) ~depth:1
+      end
+    done;
+    buf
+end
+
 let random_spec rng ~num_layers ~ce_counts =
   if ce_counts = [] then invalid_arg "Space.random_spec: no CE counts";
   let candidates =

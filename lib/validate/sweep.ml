@@ -24,11 +24,10 @@ let check_slice ~suite cases lo hi =
   List.rev !out
 
 let run ?(suite = Invariant.default_suite ()) ?(samples = 200) ?(seed = 42L)
-    ?(domains = 1) ?corpus () =
+    ?(domains = 1) ?clamp ?pool ?corpus () =
   Mccm_obs.span ~cat:"validate" "validate.sweep" @@ fun () ->
   if samples < 0 then invalid_arg "Sweep.run: negative sample count";
   if domains <= 0 then invalid_arg "Sweep.run: non-positive domain count";
-  let domains = min domains (Util.Parallel.recommended ()) in
   let started = Unix.gettimeofday () in
   (* The regression corpus replays first, sequentially: committed
      counterexamples are few, and a regression there should surface
@@ -56,10 +55,13 @@ let run ?(suite = Invariant.default_suite ()) ?(samples = 200) ?(seed = 42L)
     done;
     Array.of_list (List.rev !a)
   in
+  (* Cases carry their own model/board draws, so there is no session to
+     share — the pooled map still amortises domain spawns across
+     chunks (and across sweeps, when the caller passes a pool). *)
   let generated_verdicts =
     List.concat
-      (Util.Parallel.chunked_map ~domains ~n:samples (fun ~chunk:_ ~lo ~hi ->
-           check_slice ~suite cases lo hi))
+      (Util.Parallel.map_pooled ?pool ?clamp ~domains ~n:samples
+         (fun ~worker:_ ~chunk:_ ~lo ~hi -> check_slice ~suite cases lo hi))
   in
   let verdicts = corpus_verdicts @ generated_verdicts in
   let failures =

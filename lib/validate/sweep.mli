@@ -29,13 +29,18 @@ val run :
   ?samples:int ->
   ?seed:int64 ->
   ?domains:int ->
+  ?clamp:bool ->
+  ?pool:Util.Parallel.Pool.t ->
   ?corpus:string ->
   unit ->
   t
 (** [run ()] checks 200 seeded cases on one domain with the default
     suite and no corpus.  [domains] is clamped to
-    [Domain.recommended_domain_count ()].  Raises [Failure] when
-    [corpus] is given but unreadable — a committed corpus that cannot
-    be replayed is itself a failure. *)
+    [Domain.recommended_domain_count ()] unless [~clamp:false]; [pool]
+    runs the chunks on a caller-owned persistent domain pool instead
+    (then [domains]/[clamp] are ignored) — amortising domain spawns
+    across repeated sweeps.  Raises [Failure] when [corpus] is given
+    but unreadable — a committed corpus that cannot be replayed is
+    itself a failure. *)
 
 val pp : Format.formatter -> t -> unit

@@ -342,8 +342,100 @@ let test_objective_best () =
     checkf "picks fastest" 0.25 winner.Dse.Explore.metrics.Mccm.Metrics.latency_s
   | None -> Alcotest.fail "no winner"
 
+(* ------------------------------------------------------- flat codec *)
+
+let prop_flat_roundtrip =
+  QCheck2.Test.make ~name:"flat encode |> decode is the identity" ~count:300
+    (Generators.custom_spec ~num_layers:20)
+    (fun spec ->
+      let ces = Arch.Custom.total_ces spec in
+      let width = Dse.Space.Flat.width ~ces in
+      let buf = Dse.Space.Flat.create ~width 3 in
+      (* Encode into the middle row: a codec that strays outside its
+         row would corrupt the zeroed neighbours. *)
+      Dse.Space.Flat.encode buf ~width ~at:1 spec;
+      Dse.Space.Flat.decode buf ~width 1 = spec
+      && Dse.Space.Flat.pipelined buf ~width 1
+         = spec.Arch.Custom.pipelined_layers
+      && Dse.Space.Flat.segments buf ~width 1
+         = ces - spec.Arch.Custom.pipelined_layers
+      && Dse.Space.Flat.decode buf ~width 0
+         = { Arch.Custom.pipelined_layers = 0; tail_boundaries = [] }
+      && Dse.Space.Flat.decode buf ~width 2
+         = { Arch.Custom.pipelined_layers = 0; tail_boundaries = [] })
+
+let prop_flat_eval_bit_identical =
+  QCheck2.Test.make ~name:"decoded spec evaluates bit-identically" ~count:40
+    (Generators.custom_spec ~num_layers:(Cnn.Model.num_layers mobv2))
+    (fun spec ->
+      let ces = Arch.Custom.total_ces spec in
+      let width = Dse.Space.Flat.width ~ces in
+      let buf = Dse.Space.Flat.create ~width 1 in
+      Dse.Space.Flat.encode buf ~width ~at:0 spec;
+      let spec' = Dse.Space.Flat.decode buf ~width 0 in
+      Mccm.Evaluate.metrics mobv2 Platform.Board.vcu110
+        (Arch.Custom.arch_of_spec mobv2 spec')
+      = Mccm.Evaluate.metrics mobv2 Platform.Board.vcu110
+          (Arch.Custom.arch_of_spec mobv2 spec))
+
+let prop_flat_bounds_bit_identical =
+  let table = Cnn.Table.of_model mobv2 in
+  let b = Dse.Bounds.create table Platform.Board.vcu110 in
+  QCheck2.Test.make
+    ~name:"flat bounds equal list bounds bit-for-bit" ~count:200
+    (Generators.custom_spec ~num_layers:(Cnn.Model.num_layers mobv2))
+    (fun spec ->
+      let ces = Arch.Custom.total_ces spec in
+      let width = Dse.Space.Flat.width ~ces in
+      let buf = Dse.Space.Flat.create ~width 1 in
+      Dse.Space.Flat.encode buf ~width ~at:0 spec;
+      let ctx = Dse.Bounds.context b ~ces in
+      Dse.Bounds.throughput_upper_bound_flat ctx buf ~width 0
+      = Dse.Bounds.throughput_upper_bound b spec
+      && Dse.Bounds.latency_lower_bound_flat ctx buf ~width 0
+         = Dse.Bounds.latency_lower_bound b spec
+      && Dse.Bounds.compute_ii_floor_cycles_flat ctx buf ~width 0
+         = Dse.Bounds.compute_ii_floor_cycles b spec)
+
+(* The flat enumerator must reproduce [Enumerate.enumerate_specs]
+   exactly: same specs, same lexicographic order, same cap handling. *)
+let test_flat_enumerate_matches_list () =
+  List.iter
+    (fun (num_layers, ces, max_specs) ->
+      let reference =
+        Dse.Enumerate.enumerate_specs ~num_layers ~ces ~max_specs
+      in
+      let width = Dse.Space.Flat.width ~ces in
+      let buf = Dse.Space.Flat.enumerate ~num_layers ~ces ~max_specs in
+      check
+        (Printf.sprintf "count n=%d c=%d cap=%d" num_layers ces max_specs)
+        (List.length reference)
+        (Dse.Space.Flat.count buf ~width);
+      List.iteri
+        (fun i spec ->
+          checkb (Printf.sprintf "row %d of n=%d c=%d" i num_layers ces) true
+            (Dse.Space.Flat.decode buf ~width i = spec))
+        reference)
+    [
+      (10, 3, 10000);
+      (10, 4, 10000);
+      (14, 5, 2000);
+      (8, 2, 100);
+      (6, 6, 1000);
+      (4, 7, 50);
+      (10, 4, 17);
+      (10, 4, 0);
+    ]
+
 let properties =
-  List.map QCheck_alcotest.to_alcotest [ prop_pareto_sound; prop_pareto_complete ]
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_pareto_sound;
+      prop_pareto_complete;
+      prop_flat_roundtrip;
+      prop_flat_eval_bit_identical;
+      prop_flat_bounds_bit_identical;
+    ]
 
 let () =
   Alcotest.run "dse"
@@ -357,6 +449,8 @@ let () =
             test_space_random_spec_valid;
           Alcotest.test_case "random deterministic" `Quick
             test_space_random_deterministic;
+          Alcotest.test_case "flat enumerate matches list" `Quick
+            test_flat_enumerate_matches_list;
         ] );
       ( "pareto",
         [

@@ -226,10 +226,54 @@ let test_best_first_bit_exact () =
         [
           ("best-first pruned", `Best_first, true, 1);
           ("best-first unpruned", `Best_first, false, 1);
+          ("best-first pruned, domains ignored", `Best_first, true, 4);
           ("scan pruned", `Scan, true, 1);
+          ("scan unpruned", `Scan, false, 1);
           ("scan pruned 2 domains", `Scan, true, 2);
           ("scan pruned 4 domains", `Scan, true, 4);
+          ("scan unpruned 2 domains", `Scan, false, 2);
+          ("scan unpruned 4 domains", `Scan, false, 4);
           ("auto", `Auto, true, 1);
+          ("auto 4 domains", `Auto, true, 4);
+        ])
+    [
+      (mobv2, 3, `Throughput, 800);
+      (mobv2, 4, `Throughput, 600);
+      (mobv2, 3, `Latency, 800);
+      (chain10, 4, `Throughput, 10000);
+      (chain10, 4, `Latency, 10000);
+    ]
+
+(* The pooled path must reproduce the reference winner too.  One shared
+   pool serves every configuration and workload back-to-back, so
+   per-worker state leaking between runs (a stale fork, a stuck round)
+   would surface as a wrong winner or a hang here. *)
+let test_pooled_bit_exact () =
+  let pool = Util.Parallel.Pool.create ~clamp:false ~domains:4 () in
+  Fun.protect ~finally:(fun () -> Util.Parallel.Pool.shutdown pool)
+  @@ fun () ->
+  List.iter
+    (fun (model, ces, objective, max_specs) ->
+      let reference, _ =
+        Dse.Enumerate.exhaustive_best ~max_specs ~prune:false ~strategy:`Scan
+          ~objective ~ces model board
+      in
+      List.iter
+        (fun (label, strategy, prune) ->
+          let got, stats =
+            Dse.Enumerate.exhaustive_best ~max_specs ~prune ~strategy ~pool
+              ~objective ~ces model board
+          in
+          Alcotest.check winner_testable label reference got;
+          check (label ^ ": ran on the pool") 4
+            stats.Dse.Enumerate.domains_used;
+          check (label ^ ": specs accounted for")
+            stats.Dse.Enumerate.enumerated
+            (stats.Dse.Enumerate.evaluated + stats.Dse.Enumerate.pruned))
+        [
+          ("pooled scan pruned", `Scan, true);
+          ("pooled scan unpruned", `Scan, false);
+          ("pooled auto picks scan", `Auto, true);
         ])
     [
       (mobv2, 3, `Throughput, 800);
@@ -405,6 +449,8 @@ let () =
         [
           Alcotest.test_case "bit-exact across strategies" `Slow
             test_best_first_bit_exact;
+          Alcotest.test_case "pooled path bit-exact" `Quick
+            test_pooled_bit_exact;
           Alcotest.test_case "ties break lex-first" `Quick
             test_tie_breaking_lex_first;
           Alcotest.test_case "pruning pays and preserves" `Slow

@@ -79,7 +79,11 @@ let test_bounds_partition () =
   List.iter
     (fun (chunks, n) ->
       let parts = Util.Parallel.bounds ~chunks ~n in
-      checki "chunk count" (max 1 chunks) (Array.length parts);
+      (* The chunk count is capped at [n]: asking for more chunks than
+         items returns [n] singletons, never empty chunks that would
+         each still cost a domain spawn (the pre-pool regression). *)
+      let expect = max 1 (min chunks (max 1 n)) in
+      checki "chunk count" expect (Array.length parts);
       let lo0, _ = parts.(0) in
       checki "starts at 0" 0 lo0;
       let _, hi_last = parts.(Array.length parts - 1) in
@@ -88,10 +92,11 @@ let test_bounds_partition () =
         (fun i (lo, hi) ->
           checkb "contiguous" true
             (i = 0 || snd parts.(i - 1) = lo);
+          checkb "non-empty while n > 0" true (n = 0 || hi > lo);
           checkb "sizes differ by at most one" true
-            (hi - lo >= (n / max 1 chunks) && hi - lo <= (n / max 1 chunks) + 1))
+            (hi - lo >= n / expect && hi - lo <= (n / expect) + 1))
         parts)
-    [ (1, 10); (3, 10); (4, 12); (7, 5); (5, 0) ]
+    [ (1, 10); (3, 10); (4, 12); (7, 5); (5, 0); (8, 3); (3, 3) ]
 
 let test_effective_clamps () =
   checki "never below 1" 1 (Util.Parallel.effective ~domains:0 ~n:10 ());
