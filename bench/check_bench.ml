@@ -395,8 +395,83 @@ let gate current_path baseline_path tolerance trace_tol =
     Printf.printf "all workloads within %.0f%% of baseline\n"
       (100.0 *. tolerance)
 
+(* ------------------------------------------------------- serve gate *)
+
+(* BENCH_serve.json (mccm-bench-serve/1): hard validity asserts always
+   (progress was made, nothing errored, nothing dropped); the
+   throughput floor only against a committed baseline recorded on a
+   comparable box (same workers and recommended_domains) — the gate
+   stays dormant until such a baseline exists, like the DSE scaling
+   gates above. *)
+let check_serve current_path baseline_path tolerance =
+  let json = load current_path in
+  (match member "schema" json with
+  | Some (Str "mccm-bench-serve/1") -> ()
+  | Some (Str other) -> failwith ("serve schema: unexpected " ^ other)
+  | _ -> failwith "serve schema: missing");
+  let num name = num_exn name (member name json) in
+  let failures = ref 0 in
+  let hard name ok detail =
+    let verdict = if ok then "ok  " else (incr failures; "FAIL") in
+    Printf.printf "%s %-16s %s\n" verdict name detail
+  in
+  let replies = num "total_replies" in
+  let errors = num "errors" in
+  let dropped = num "dropped" in
+  let rate = num "evals_per_sec" in
+  hard "serve_progress" (replies > 0.0)
+    (Printf.sprintf "%.0f replies (%.0f evals/s)" replies rate);
+  hard "serve_errors" (errors = 0.0) (Printf.sprintf "%.0f errors" errors);
+  hard "serve_dropped" (dropped = 0.0)
+    (Printf.sprintf "%.0f dropped connections" dropped);
+  (match baseline_path with
+  | Some path when Sys.file_exists path ->
+    let base = load path in
+    let bnum name = num_exn name (member name base) in
+    let comparable =
+      bnum "workers" = num "workers"
+      && bnum "recommended_domains" = num "recommended_domains"
+    in
+    if comparable then begin
+      let floor = bnum "evals_per_sec" *. (1.0 -. tolerance) in
+      hard "serve_throughput" (rate >= floor)
+        (Printf.sprintf "%.0f evals/s (baseline %.0f, floor %.0f)" rate
+           (bnum "evals_per_sec") floor)
+    end
+    else
+      Printf.printf
+        "skip serve_throughput: baseline recorded on a different box \
+         (workers %.0f/%.0f, cores %.0f/%.0f)\n"
+        (bnum "workers") (num "workers")
+        (bnum "recommended_domains")
+        (num "recommended_domains")
+  | Some path ->
+    Printf.printf "skip serve_throughput: no baseline at %s (gate dormant)\n"
+      path
+  | None -> ());
+  if !failures > 0 then begin
+    Printf.printf "%d serve gate failure(s)\n" !failures;
+    exit 1
+  end
+  else Printf.printf "serve bench ok\n"
+
 let () =
   match Array.to_list Sys.argv with
+  | [ _; "--serve"; c ] -> (
+    try check_serve c None 0.25
+    with Failure msg | Parse_error msg ->
+      Printf.printf "FAIL %s: %s\n" c msg;
+      exit 1)
+  | [ _; "--serve"; c; b ] -> (
+    try check_serve c (Some b) 0.25
+    with Failure msg | Parse_error msg ->
+      Printf.printf "FAIL %s: %s\n" c msg;
+      exit 1)
+  | [ _; "--serve"; c; b; t ] -> (
+    try check_serve c (Some b) (float_of_string t)
+    with Failure msg | Parse_error msg ->
+      Printf.printf "FAIL %s: %s\n" c msg;
+      exit 1)
   | [ _; "--validate-trace"; path ] -> (
     try validate_trace path
     with Failure msg | Parse_error msg ->
@@ -409,5 +484,6 @@ let () =
     prerr_endline
       "usage: check_bench <current.json> <baseline.json> [tolerance] \
        [trace_tol]\n\
+      \       check_bench --serve <current.json> [baseline.json [tolerance]]\n\
       \       check_bench --validate-trace <trace.json>";
     exit 2

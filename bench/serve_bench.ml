@@ -1,0 +1,175 @@
+(* Sustained-throughput benchmark for the mccm daemon.
+
+   Starts an in-process daemon, hammers it with concurrent clients
+   sending evaluate requests over the real Unix socket for a fixed
+   wall-clock budget, and records sustained replies/sec plus
+   client-observed latency quantiles into BENCH_serve.json
+   (mccm-bench-serve/1).  check_bench --serve validates the file and —
+   when a comparable committed baseline exists — gates the rate.
+
+   Usage: serve.exe [out.json] [--seconds S] [--clients N] [--workers N] *)
+
+module Json = Util.Json
+
+let default_seconds = 5.0
+
+type opts = {
+  mutable out : string;
+  mutable seconds : float;
+  mutable clients : int;
+  mutable workers : int;
+}
+
+let parse_argv () =
+  let o =
+    {
+      out = "BENCH_serve.json";
+      seconds = default_seconds;
+      clients = 4;
+      workers = Domain.recommended_domain_count ();
+    }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--seconds" :: v :: rest ->
+      o.seconds <- float_of_string v;
+      go rest
+    | "--clients" :: v :: rest ->
+      o.clients <- int_of_string v;
+      go rest
+    | "--workers" :: v :: rest ->
+      o.workers <- int_of_string v;
+      go rest
+    | path :: rest ->
+      o.out <- path;
+      go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  o
+
+(* The request mix rotates a handful of distinct designs on one
+   (model, board): with store_arch=false this measures the daemon's
+   steady-state serve path (session reuse + batching), not a cache
+   replay of a single architecture. *)
+let archs =
+  [| "hybrid/2"; "hybrid/3"; "hybrid/4"; "segmented/2"; "segmented/3";
+     "segmentedrr/3" |]
+
+type client_tally = {
+  mutable replies : int;
+  mutable errors : int;
+  mutable dropped : int;
+  mutable latencies_ms : float list;
+}
+
+let client_loop sock stop tally k =
+  match Serve.Client.connect sock with
+  | Error _ -> tally.dropped <- tally.dropped + 1
+  | Ok c ->
+    let i = ref k in
+    while not (Atomic.get stop) do
+      incr i;
+      let arch = archs.(!i mod Array.length archs) in
+      let t0 = Mccm_obs.Clock.now_ns () in
+      match
+        Serve.Client.evaluate ~timeout_s:60.0 c ~model:"MobV2"
+          ~board:"VCU108" ~arch
+      with
+      | Ok _ ->
+        tally.replies <- tally.replies + 1;
+        tally.latencies_ms <-
+          (float_of_int (Mccm_obs.Clock.now_ns () - t0) /. 1e6)
+          :: tally.latencies_ms
+      | Error ("transport", _) ->
+        if not (Atomic.get stop) then tally.dropped <- tally.dropped + 1;
+        Atomic.set stop true
+      | Error _ -> tally.errors <- tally.errors + 1
+    done;
+    Serve.Client.close c
+
+let () =
+  let o = parse_argv () in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mccm-bench-%d.sock" (Unix.getpid ()))
+  in
+  let cfg =
+    {
+      (Serve.Daemon.default ~socket_path:sock) with
+      Serve.Daemon.workers = o.workers;
+    }
+  in
+  let h = Serve.Daemon.spawn cfg in
+  (* Warm the session once so the measured window is steady state. *)
+  let warm = Serve.Client.connect_exn sock in
+  Array.iter
+    (fun arch ->
+      match
+        Serve.Client.evaluate ~timeout_s:120.0 warm ~model:"MobV2"
+          ~board:"VCU108" ~arch
+      with
+      | Ok _ -> ()
+      | Error (code, msg) ->
+        Printf.eprintf "warmup %s: %s: %s\n" arch code msg;
+        exit 1)
+    archs;
+  Serve.Client.close warm;
+  let stop = Atomic.make false in
+  let tallies =
+    Array.init o.clients (fun _ ->
+        { replies = 0; errors = 0; dropped = 0; latencies_ms = [] })
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    Array.to_list
+      (Array.mapi
+         (fun k t -> Thread.create (fun () -> client_loop sock stop t k) ())
+         tallies)
+  in
+  Thread.delay o.seconds;
+  Atomic.set stop true;
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Serve.Daemon.shutdown h;
+  let total f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+  let replies = total (fun t -> t.replies) in
+  let errors = total (fun t -> t.errors) in
+  let dropped = total (fun t -> t.dropped) in
+  let lat =
+    Array.fold_left (fun acc t -> List.rev_append t.latencies_ms acc) []
+      tallies
+  in
+  let q p = if lat = [] then 0.0 else Util.Stats.quantile lat ~q:p in
+  let evals_per_sec = float_of_int replies /. elapsed in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "mccm-bench-serve/1");
+        ("workers", Json.Num (float_of_int o.workers));
+        ("clients", Json.Num (float_of_int o.clients));
+        ( "recommended_domains",
+          Json.Num (float_of_int (Domain.recommended_domain_count ())) );
+        ("duration_s", Json.Num elapsed);
+        ("total_replies", Json.Num (float_of_int replies));
+        ("evals_per_sec", Json.Num evals_per_sec);
+        ( "latency_ms",
+          Json.Obj
+            [
+              ("p50", Json.Num (q 0.50));
+              ("p95", Json.Num (q 0.95));
+              ("p99", Json.Num (q 0.99));
+            ] );
+        ("errors", Json.Num (float_of_int errors));
+        ("dropped", Json.Num (float_of_int dropped));
+      ]
+  in
+  let oc = open_out o.out in
+  output_string oc (Json.to_string_pretty doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf
+    "serve bench: %d replies in %.1fs (%.0f evals/s), p50 %.2f ms, p95 %.2f \
+     ms, p99 %.2f ms, %d errors, %d dropped -> %s\n"
+    replies elapsed evals_per_sec (q 0.50) (q 0.95) (q 0.99) errors dropped
+    o.out

@@ -708,10 +708,204 @@ let enumerate_cmd =
       const run $ obs_args $ model_arg $ board_arg $ ces_arg $ max_specs_arg
       $ domains_arg $ best_arg $ no_prune_arg $ scan_arg $ no_clamp_arg)
 
+(* ------------------------------------------------------------ serve *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "mccm.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path of the evaluation daemon.")
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the evaluation pool (0 = the runtime's \
+             recommended domain count).")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Bounded pending-request queue; beyond it requests are \
+             refused immediately with an $(i,overloaded) reply.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Maximum consecutive same-session evaluate requests served \
+             through one memoized batch (1 disables batching).")
+  in
+  let max_frame_arg =
+    Arg.(
+      value
+      & opt int Serve.Protocol.default_max_frame_bytes
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Per-frame size cap; larger frames get an \
+                $(i,oversized_frame) reply.")
+  in
+  let store_arch_arg =
+    Arg.(
+      value & flag
+      & info [ "store-arch" ]
+          ~doc:
+            "Let sessions keep whole-architecture results across \
+             requests.  Faster for workloads that revisit the same \
+             design, but the footprint grows with distinct designs \
+             seen; off by default so a long-lived daemon's RSS stays \
+             flat.")
+  in
+  let run obs socket workers queue_cap batch max_frame store_arch =
+    with_obs "serve" obs @@ fun () ->
+    let cfg = Serve.Daemon.default ~socket_path:socket in
+    let cfg =
+      {
+        cfg with
+        Serve.Daemon.workers =
+          (if workers > 0 then workers else cfg.Serve.Daemon.workers);
+        queue_capacity = queue_cap;
+        batch_limit = batch;
+        max_frame_bytes = max_frame;
+        store_arch;
+      }
+    in
+    match Serve.Daemon.create cfg with
+    | exception Failure msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | d ->
+      (* stop only flips an atomic, so it is legal in a signal context;
+         run returns after the graceful drain. *)
+      let on_signal _ = Serve.Daemon.stop d in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+      Format.printf "mccm daemon (%s) listening on %s (%d workers)@."
+        Serve.Protocol.version socket
+        (Serve.Daemon.config d).Serve.Daemon.workers;
+      Serve.Daemon.run d;
+      Format.printf "drained; %d requests served@."
+        (match List.assoc_opt "completed" (Serve.Daemon.counters d) with
+        | Some n -> n
+        | None -> 0);
+      0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent evaluation daemon: one process pays model \
+          table and plan-cache warm-up once and serves evaluate / \
+          explore / enumerate / validate requests over a Unix-domain \
+          socket (newline-delimited JSON).")
+    Term.(
+      const run $ obs_args $ socket_arg $ workers_arg $ queue_arg $ batch_arg
+      $ max_frame_arg $ store_arch_arg)
+
+(* ----------------------------------------------------------- client *)
+
+let client_cmd =
+  let op_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun o -> (Serve.Protocol.op_to_string o, o)) Serve.Protocol.all_ops))) None
+      & info [] ~docv:"OP"
+          ~doc:
+            "Request: $(b,ping), $(b,evaluate), $(b,explore), \
+             $(b,enumerate), $(b,validate), $(b,stats), $(b,sleep) or \
+             $(b,shutdown).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:
+            "Relative deadline; the daemon refuses the request with \
+             $(i,deadline_exceeded) once the budget expires before \
+             evaluation starts.")
+  in
+  let params_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "params" ] ~docv:"JSON"
+          ~doc:
+            "Raw request parameters as a JSON object; overrides every \
+             other parameter option.")
+  in
+  let str_opt name doc =
+    Arg.(value & opt (some string) None & info [ name ] ~docv:"S" ~doc)
+  in
+  let int_opt name doc =
+    Arg.(value & opt (some int) None & info [ name ] ~docv:"N" ~doc)
+  in
+  let model_arg = str_opt "model" "Model zoo abbreviation (see $(b,mccm models))." in
+  let board_arg = str_opt "board" "Board catalogue name (see $(b,mccm boards))." in
+  let arch_arg = str_opt "arch" "Accelerator shorthand or paper notation." in
+  let objective_arg = str_opt "objective" "enumerate objective: throughput|latency." in
+  let samples_arg = int_opt "samples" "explore/validate sample count." in
+  let seed_arg = int_opt "seed" "PRNG seed." in
+  let ces_arg = int_opt "ces" "enumerate CE count." in
+  let max_specs_arg = int_opt "max-specs" "enumerate spec cap." in
+  let run obs socket op deadline_ms raw model board arch objective samples
+      seed ces max_specs =
+    with_obs "client" obs @@ fun () ->
+    let params =
+      match raw with
+      | Some text -> (
+        match Util.Json.parse text with
+        | Ok j -> j
+        | Error msg -> failwith (Printf.sprintf "--params: %s" msg))
+      | None ->
+        let num = Option.map float_of_int in
+        Util.Json.obj
+          [
+            ("model", Option.map (fun s -> Util.Json.Str s) model);
+            ("board", Option.map (fun s -> Util.Json.Str s) board);
+            ("arch", Option.map (fun s -> Util.Json.Str s) arch);
+            ("objective", Option.map (fun s -> Util.Json.Str s) objective);
+            ("samples", Option.map (fun n -> Util.Json.Num n) (num samples));
+            ("seed", Option.map (fun n -> Util.Json.Num n) (num seed));
+            ("ces", Option.map (fun n -> Util.Json.Num n) (num ces));
+            ( "max_specs",
+              Option.map (fun n -> Util.Json.Num n) (num max_specs) );
+          ]
+    in
+    match Serve.Client.connect socket with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          match Serve.Client.call ?deadline_ms c op params with
+          | Ok result ->
+            print_endline (Util.Json.to_string_pretty result);
+            0
+          | Error (code, msg) ->
+            Format.eprintf "error: %s: %s@." code msg;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running $(b,mccm serve) daemon and print \
+          the JSON result.")
+    Term.(
+      const run $ obs_args $ socket_arg $ op_arg $ deadline_arg $ params_arg
+      $ model_arg $ board_arg $ arch_arg $ objective_arg $ samples_arg
+      $ seed_arg $ ces_arg $ max_specs_arg)
+
 let () =
   let doc = "Analytical cost model for multiple compute-engine CNN accelerators" in
   let info = Cmd.info "mccm" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
           [ eval_cmd; sweep_cmd; explore_cmd; validate_cmd; compress_cmd;
             refine_cmd; enumerate_cmd; layers_cmd; trace_cmd; models_cmd;
-            boards_cmd ]))
+            boards_cmd; serve_cmd; client_cmd ]))

@@ -19,9 +19,13 @@
     [dse.exhaustive], [dse.exhaustive_best], [dse.local_search] (dse);
     [validate.sweep] phases
     and one [validate.<invariant>] per invariant check (validate);
+    [serve.<op>] per-request spans in the daemon's workers (serve);
     [mccm.<subcommand>] CLI roots (cli).  Metric names mirror the
     subsystem: [session.*], [seg.*], [plan.*], [build.*], [dse.*],
-    [validate.*], and a ["span.<name>"] duration histogram per span. *)
+    [validate.*], [serve.*] (request/reply/rejection counters,
+    [serve.queue.depth]/[serve.queue.peak] gauges and per-endpoint
+    [serve.<op>.latency] histograms from the evaluation daemon), and a
+    ["span.<name>"] duration histogram per span. *)
 
 module Control = Control
 module Clock = Clock

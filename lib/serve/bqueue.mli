@@ -1,0 +1,33 @@
+(** Bounded blocking FIFO — the daemon's request queue.
+
+    Producers (connection threads) use {!try_push}, which {e never}
+    blocks: a full queue returns [false] immediately, and the caller
+    answers the client with an [overloaded] reply — backpressure is
+    explicit, the daemon never buffers without bound.  Consumers
+    (worker domains) block in {!pop} until an item or {!close} arrives;
+    after [close] the queue drains — remaining items are still served —
+    and then every pop returns [None], which is the workers' signal to
+    exit.  Safe across any mix of systhreads and domains (one mutex,
+    one condition). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Non-blocking; [false] when full or closed. *)
+
+val pop : 'a t -> 'a option
+(** Blocking; [None] once closed {e and} drained. *)
+
+val pop_head_if : 'a t -> ('a -> bool) -> 'a option
+(** Non-blocking: pop the head iff the predicate accepts it.  Only ever
+    inspects the head, so FIFO order is preserved — this is how a
+    worker gathers a batch of {e consecutive} compatible requests. *)
+
+val close : 'a t -> unit
+(** Reject further pushes; wake all blocked consumers.  Idempotent. *)
+
+val closed : 'a t -> bool
+val length : 'a t -> int

@@ -1,0 +1,160 @@
+(* Synchronous client for the mccm evaluation daemon.  See client.mli. *)
+
+module Json = Util.Json
+
+type t = {
+  fd : Unix.file_descr;
+  acc : Buffer.t;       (* bytes read past the last complete line *)
+  chunk : Bytes.t;
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+let connect path =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd -> (
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () ->
+      Ok
+        {
+          fd;
+          acc = Buffer.create 4096;
+          chunk = Bytes.create 65536;
+          next_id = 0;
+          closed = false;
+        }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+
+let connect_exn path =
+  match connect path with Ok t -> t | Error msg -> failwith msg
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send_bytes t s =
+  let len = String.length s in
+  let sent = ref 0 in
+  try
+    while !sent < len do
+      sent := !sent + Unix.write_substring t.fd s !sent (len - !sent)
+    done;
+    Ok ()
+  with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let send_line t line = send_bytes t (line ^ "\n")
+
+(* One reply line; [timeout_s] bounds the whole wait. *)
+let recv_line ?timeout_s t =
+  let deadline =
+    Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s
+  in
+  let take_line () =
+    let s = Buffer.contents t.acc in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some i ->
+      Buffer.clear t.acc;
+      Buffer.add_substring t.acc s (i + 1) (String.length s - i - 1);
+      Some (String.sub s 0 i)
+  in
+  let rec loop () =
+    match take_line () with
+    | Some line -> Ok line
+    | None -> (
+      let remaining =
+        match deadline with
+        | None -> -1.0 (* block *)
+        | Some d ->
+          let r = d -. Unix.gettimeofday () in
+          if r <= 0.0 then 0.0 else r
+      in
+      if remaining = 0.0 then Error "timeout waiting for reply"
+      else
+        let ready, _, _ =
+          try Unix.select [ t.fd ] [] [] remaining
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([ t.fd ], [], [])
+        in
+        if ready = [] then Error "timeout waiting for reply"
+        else
+          match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+          | 0 -> Error "connection closed by daemon"
+          | n ->
+            Buffer.add_subbytes t.acc t.chunk 0 n;
+            loop ()
+          | exception Unix.Unix_error (e, _, _) ->
+            Error (Unix.error_message e))
+  in
+  loop ()
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Json.Num (float_of_int id)
+
+let call ?timeout_s ?deadline_ms t op params =
+  let id = fresh_id t in
+  let req =
+    Protocol.request_to_json { Protocol.id; op; deadline_ms; params }
+  in
+  match send_line t (Json.to_string req) with
+  | Error msg -> Error ("transport", msg)
+  | Ok () -> (
+    (* One outstanding request per [call]: the next reply with our id
+       is ours.  Replies to other ids (from interleaved callers on a
+       shared connection, which this sync client does not do) would be
+       a protocol violation here. *)
+    let rec read_matching () =
+      match recv_line ?timeout_s t with
+      | Error msg -> Error ("transport", msg)
+      | Ok line -> (
+        match Protocol.parse_reply line with
+        | Error msg -> Error ("transport", msg)
+        | Ok { Protocol.reply_id; outcome } ->
+          if reply_id = id then outcome else read_matching ())
+    in
+    read_matching ())
+
+(* ----------------------------------------------------- conveniences *)
+
+let ping ?timeout_s t = call ?timeout_s t Protocol.Ping Json.Null
+let stats ?timeout_s t = call ?timeout_s t Protocol.Stats Json.Null
+let shutdown ?timeout_s t = call ?timeout_s t Protocol.Shutdown Json.Null
+
+let sleep ?timeout_s ?deadline_ms t ~seconds =
+  call ?timeout_s ?deadline_ms t Protocol.Sleep
+    (Json.Obj [ ("seconds", Json.Num seconds) ])
+
+let evaluate_params ~model ~board ~arch =
+  Json.Obj
+    [ ("model", Json.Str model); ("board", Json.Str board);
+      ("arch", Json.Str arch) ]
+
+let evaluate ?timeout_s ?deadline_ms t ~model ~board ~arch =
+  match
+    call ?timeout_s ?deadline_ms t Protocol.Evaluate
+      (evaluate_params ~model ~board ~arch)
+  with
+  | Error _ as e -> e
+  | Ok result -> (
+    match Option.map Protocol.metrics_of_json (Json.member "metrics" result) with
+    | Some (Ok m) -> Ok m
+    | Some (Error msg) -> Error ("transport", msg)
+    | None -> Error ("transport", "reply without \"metrics\""))
+
+let evaluate_case ?timeout_s ?deadline_ms t (case : Validate.Case.t) =
+  match
+    call ?timeout_s ?deadline_ms t Protocol.Evaluate
+      (Json.Obj [ ("case", Json.Str (Validate.Case.to_string case)) ])
+  with
+  | Error _ as e -> e
+  | Ok result -> (
+    match Option.map Protocol.metrics_of_json (Json.member "metrics" result) with
+    | Some (Ok m) -> Ok m
+    | Some (Error msg) -> Error ("transport", msg)
+    | None -> Error ("transport", "reply without \"metrics\""))

@@ -1,0 +1,77 @@
+(** Synchronous client for the mccm evaluation daemon.
+
+    One connection, one outstanding request at a time: {!call} sends a
+    frame and blocks until the matching reply arrives.  Concurrency is
+    achieved by opening one client per thread (connections are cheap;
+    the daemon multiplexes them onto its worker pool).  The raw
+    {!send_bytes}/{!recv_line} layer is exposed for the protocol fuzz
+    suite, which needs to write malformed and partial frames. *)
+
+type t
+
+val connect : string -> (t, string) result
+(** Connect to a daemon's socket path.  Single attempt; use
+    {!Daemon.wait_ready} first when racing a daemon start. *)
+
+val connect_exn : string -> t
+(** @raise Failure instead of returning [Error]. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val call :
+  ?timeout_s:float ->
+  ?deadline_ms:float ->
+  t ->
+  Protocol.op ->
+  Util.Json.t ->
+  (Util.Json.t, string * string) result
+(** [call t op params] sends one request (fresh id, [deadline_ms]
+    forwarded) and waits for its reply: [Ok result] or
+    [Error (code, message)] — transport failures use the pseudo-code
+    ["transport"].  [timeout_s] bounds the wait. *)
+
+(** {1 Raw layer (fuzzing, scripting)} *)
+
+val send_bytes : t -> string -> (unit, string) result
+(** Write bytes verbatim — partial frames, garbage, anything. *)
+
+val send_line : t -> string -> (unit, string) result
+(** [send_bytes] with a trailing newline. *)
+
+val recv_line : ?timeout_s:float -> t -> (string, string) result
+(** Next complete reply line (LF stripped). *)
+
+(** {1 Conveniences} *)
+
+val ping : ?timeout_s:float -> t -> (Util.Json.t, string * string) result
+val stats : ?timeout_s:float -> t -> (Util.Json.t, string * string) result
+val shutdown : ?timeout_s:float -> t -> (Util.Json.t, string * string) result
+
+val sleep :
+  ?timeout_s:float ->
+  ?deadline_ms:float ->
+  t ->
+  seconds:float ->
+  (Util.Json.t, string * string) result
+
+val evaluate :
+  ?timeout_s:float ->
+  ?deadline_ms:float ->
+  t ->
+  model:string ->
+  board:string ->
+  arch:string ->
+  (Mccm.Metrics.t, string * string) result
+(** Evaluate by zoo abbreviation / board name / {!Arch.Shorthand}
+    string; the reply's metrics decode bit-identically to in-process
+    evaluation. *)
+
+val evaluate_case :
+  ?timeout_s:float ->
+  ?deadline_ms:float ->
+  t ->
+  Validate.Case.t ->
+  (Mccm.Metrics.t, string * string) result
+(** Evaluate a full corpus case (exact round-trip serialisation, so
+    synthetic models and boards replay bit-identically). *)

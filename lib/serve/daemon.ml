@@ -1,0 +1,1019 @@
+(* The mccm evaluation daemon.  See daemon.mli for the architecture
+   overview; the short version:
+
+   - one accept systhread + one reader systhread per connection parse
+     and validate frames, answer control ops inline, and push
+     evaluation work onto a bounded {!Bqueue} (full queue => immediate
+     [overloaded] reply — backpressure is explicit);
+   - worker domains dispatched through {!Util.Parallel.Pool.run} pull
+     work, each evaluating on warm per-worker {!Mccm.Eval_session}
+     forks (the {!Dse.Crew} discipline: fork once per worker, absorb
+     at drain) and batching consecutive compatible evaluate requests
+     through [metrics_batch];
+   - graceful drain: a stop request (signal, [shutdown] op, or
+     {!stop}) flips one atomic; the accept loop stops accepting and
+     closes the queue, workers finish everything already queued, and
+     [run] then unblocks any idle readers and joins every thread. *)
+
+module Json = Util.Json
+module Metric = Mccm_obs.Metric
+
+(* ------------------------------------------------------ obs handles *)
+
+let m_requests = Metric.counter "serve.requests"
+let m_replies = Metric.counter "serve.replies"
+let m_overloaded = Metric.counter "serve.rejected.overloaded"
+let m_deadline = Metric.counter "serve.rejected.deadline"
+let m_errors = Metric.counter "serve.errors"
+let m_batches = Metric.counter "serve.batches"
+let g_queue_depth = Metric.gauge "serve.queue.depth"
+let g_queue_peak = Metric.gauge "serve.queue.peak"
+
+let latency_hist =
+  (* One duration histogram per endpoint, pre-registered so the worker
+     hot path never touches the registry. *)
+  List.map
+    (fun op ->
+      ( op,
+        Metric.histogram
+          (Printf.sprintf "serve.%s.latency" (Protocol.op_to_string op)) ))
+    Protocol.all_ops
+
+let observe_latency op seconds =
+  match List.assoc_opt op latency_hist with
+  | Some h -> Metric.observe h seconds
+  | None -> ()
+
+(* --------------------------------------------------------- counters *)
+
+type counters = {
+  connections_opened : int Atomic.t;
+  connections_closed : int Atomic.t;
+  frames : int Atomic.t;
+  requests : int Atomic.t;
+  enqueued : int Atomic.t;
+  dispatched : int Atomic.t;
+  completed : int Atomic.t;
+  replies : int Atomic.t;
+  batches : int Atomic.t;
+  batched : int Atomic.t;
+  rejected_parse : int Atomic.t;
+  rejected_oversized : int Atomic.t;
+  rejected_overloaded : int Atomic.t;
+  rejected_deadline : int Atomic.t;
+  rejected_shutdown : int Atomic.t;
+  errors_bad_params : int Atomic.t;
+  errors_internal : int Atomic.t;
+  write_failures : int Atomic.t;
+}
+
+let new_counters () =
+  {
+    connections_opened = Atomic.make 0;
+    connections_closed = Atomic.make 0;
+    frames = Atomic.make 0;
+    requests = Atomic.make 0;
+    enqueued = Atomic.make 0;
+    dispatched = Atomic.make 0;
+    completed = Atomic.make 0;
+    replies = Atomic.make 0;
+    batches = Atomic.make 0;
+    batched = Atomic.make 0;
+    rejected_parse = Atomic.make 0;
+    rejected_oversized = Atomic.make 0;
+    rejected_overloaded = Atomic.make 0;
+    rejected_deadline = Atomic.make 0;
+    rejected_shutdown = Atomic.make 0;
+    errors_bad_params = Atomic.make 0;
+    errors_internal = Atomic.make 0;
+    write_failures = Atomic.make 0;
+  }
+
+let counters_alist c =
+  [
+    ("connections_opened", Atomic.get c.connections_opened);
+    ("connections_closed", Atomic.get c.connections_closed);
+    ("frames", Atomic.get c.frames);
+    ("requests", Atomic.get c.requests);
+    ("enqueued", Atomic.get c.enqueued);
+    ("dispatched", Atomic.get c.dispatched);
+    ("completed", Atomic.get c.completed);
+    ("replies", Atomic.get c.replies);
+    ("batches", Atomic.get c.batches);
+    ("batched", Atomic.get c.batched);
+    ("rejected_parse", Atomic.get c.rejected_parse);
+    ("rejected_oversized", Atomic.get c.rejected_oversized);
+    ("rejected_overloaded", Atomic.get c.rejected_overloaded);
+    ("rejected_deadline", Atomic.get c.rejected_deadline);
+    ("rejected_shutdown", Atomic.get c.rejected_shutdown);
+    ("errors_bad_params", Atomic.get c.errors_bad_params);
+    ("errors_internal", Atomic.get c.errors_internal);
+    ("write_failures", Atomic.get c.write_failures);
+  ]
+
+let incr a = Atomic.incr a
+
+(* ----------------------------------------------------------- config *)
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_capacity : int;
+  max_frame_bytes : int;
+  batch_limit : int;
+  store_arch : bool;
+  max_sessions : int;
+  max_samples : int;
+  max_specs_cap : int;
+  max_sleep_s : float;
+}
+
+let default ~socket_path =
+  {
+    socket_path;
+    workers = max 1 (Util.Parallel.recommended ());
+    queue_capacity = 256;
+    max_frame_bytes = Protocol.default_max_frame_bytes;
+    batch_limit = 16;
+    store_arch = false;
+    max_sessions = 64;
+    max_samples = 100_000;
+    max_specs_cap = 2_000_000;
+    max_sleep_s = 30.0;
+  }
+
+(* ------------------------------------------------------ connections *)
+
+type conn = {
+  fd : Unix.file_descr;
+  out_m : Mutex.t;
+  mutable alive : bool;
+  cid : int;
+}
+
+(* ------------------------------------------------------------- work *)
+
+type job =
+  | J_eval of Arch.Block.arch
+  | J_explore of { samples : int; seed : int64 }
+  | J_enumerate of {
+      ces : int;
+      objective : Dse.Enumerate.objective;
+      max_specs : int;
+      prune : bool;
+    }
+  | J_validate of { samples : int; seed : int64 }
+  | J_sleep of float
+
+type work = {
+  w_id : Json.t;
+  w_op : Protocol.op;
+  w_conn : conn;
+  w_key : string; (* session key; "" when the job carries no session *)
+  w_model : Cnn.Model.t option;
+  w_board : Platform.Board.t option;
+  w_job : job;
+  w_enqueued_ns : int;
+  w_deadline_ns : int option;
+}
+
+(* ----------------------------------------------------------- daemon *)
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  queue : work Bqueue.t;
+  stop_flag : bool Atomic.t;
+  conns : (int, conn) Hashtbl.t;
+  conn_threads : (int, Thread.t) Hashtbl.t;
+  conns_m : Mutex.t;
+  next_cid : int Atomic.t;
+  sessions : (string, Mccm.Eval_session.t) Hashtbl.t;
+  sessions_m : Mutex.t;
+  c : counters;
+  started_ns : int;
+  mutable state : [ `Created | `Running | `Stopped ];
+  state_m : Mutex.t;
+}
+
+let now_ns () = Mccm_obs.Clock.now_ns ()
+
+let stop t = Atomic.set t.stop_flag true
+let stopping t = Atomic.get t.stop_flag
+let queue_depth t = Bqueue.length t.queue
+let counters t = counters_alist t.c
+let config t = t.cfg
+
+let session_count t =
+  Mutex.lock t.sessions_m;
+  let n = Hashtbl.length t.sessions in
+  Mutex.unlock t.sessions_m;
+  n
+
+(* ------------------------------------------------------------ bind *)
+
+let bind_socket path =
+  if String.length path >= 104 then
+    failwith (Printf.sprintf "socket path too long (%d bytes): %s"
+                (String.length path) path);
+  let addr = Unix.ADDR_UNIX path in
+  (if Sys.file_exists path then
+     (* A stale socket from a crashed daemon is reclaimed; a live one
+        (something accepts our connect) is an error. *)
+     let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+     match Unix.connect probe addr with
+     | () ->
+       Unix.close probe;
+       failwith (Printf.sprintf "%s: a daemon is already serving here" path)
+     | exception Unix.Unix_error _ ->
+       Unix.close probe;
+       (try Unix.unlink path with Unix.Unix_error _ -> ()));
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd addr;
+     Unix.listen fd 64
+   with e ->
+     Unix.close fd;
+     raise e);
+  fd
+
+let create cfg =
+  if cfg.workers < 1 then invalid_arg "Daemon.create: workers must be >= 1";
+  if cfg.batch_limit < 1 then
+    invalid_arg "Daemon.create: batch_limit must be >= 1";
+  {
+    cfg;
+    listen_fd = bind_socket cfg.socket_path;
+    queue = Bqueue.create ~capacity:cfg.queue_capacity;
+    stop_flag = Atomic.make false;
+    conns = Hashtbl.create 32;
+    conn_threads = Hashtbl.create 32;
+    conns_m = Mutex.create ();
+    next_cid = Atomic.make 0;
+    sessions = Hashtbl.create 16;
+    sessions_m = Mutex.create ();
+    c = new_counters ();
+    started_ns = now_ns ();
+    state = `Created;
+    state_m = Mutex.create ();
+  }
+
+(* ---------------------------------------------------------- replies *)
+
+let write_line t conn frame =
+  Mutex.lock conn.out_m;
+  (try
+     if conn.alive then begin
+       let line = frame ^ "\n" in
+       let len = String.length line in
+       let bytes = Bytes.unsafe_of_string line in
+       let sent = ref 0 in
+       while !sent < len do
+         sent := !sent + Unix.write conn.fd bytes !sent (len - !sent)
+       done;
+       incr t.c.replies;
+       Metric.incr m_replies
+     end
+   with Unix.Unix_error _ | Sys_error _ ->
+     conn.alive <- false;
+     incr t.c.write_failures);
+  Mutex.unlock conn.out_m
+
+let reply_ok t conn ~id result = write_line t conn (Protocol.ok_frame ~id result)
+
+let reply_error t conn ~id code msg =
+  write_line t conn (Protocol.error_frame ~id code msg)
+
+(* ------------------------------------------------------- resolution *)
+
+exception Bad of string
+
+let badf fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let require_int ?default params key =
+  match Json.member key params with
+  | None -> (
+    match default with
+    | Some d -> d
+    | None -> badf "missing %S" key)
+  | Some j -> (
+    match Json.int_ j with
+    | Some v -> v
+    | None -> badf "%S must be an integer" key)
+
+let opt_string params key =
+  match Json.member key params with
+  | None -> None
+  | Some j -> (
+    match Json.string_ j with
+    | Some s -> Some s
+    | None -> badf "%S must be a string" key)
+
+let board_key (b : Platform.Board.t) =
+  Printf.sprintf "%s,%d,%d,%h,%h,%d" b.Platform.Board.name
+    b.Platform.Board.dsps b.Platform.Board.bram_bytes
+    b.Platform.Board.bandwidth_bytes_per_sec b.Platform.Board.clock_hz
+    b.Platform.Board.bytes_per_element
+
+let session_key model board =
+  (* Content-addressed: a model arriving as inline text and the same
+     model from the zoo share one session.  The full serialisation is
+     the key — a hash digest alone could alias two models and silently
+     serve one's metrics for the other. *)
+  board_key board ^ "|" ^ Cnn.Model_io.to_string model
+
+(* (model, board) from params: zoo abbreviation or inline model text,
+   board by catalogue name; or a full corpus case block. *)
+let resolve_target params =
+  match opt_string params "case" with
+  | Some text -> (
+    match Validate.Case.of_string text with
+    | Error msg -> badf "case: %s" msg
+    | Ok case ->
+      let archi =
+        try Validate.Case.materialize case
+        with Invalid_argument msg -> badf "case: %s" msg
+      in
+      (case.Validate.Case.model, case.Validate.Case.board, Some archi))
+  | None ->
+    let model =
+      match (opt_string params "model", opt_string params "model_text") with
+      | Some abbrev, None -> (
+        match Cnn.Model_zoo.by_abbreviation abbrev with
+        | Some m -> m
+        | None -> badf "unknown model %S" abbrev)
+      | None, Some text -> (
+        match Cnn.Model_io.of_string text with
+        | Ok m -> m
+        | Error msg -> badf "model_text: %s" msg)
+      | Some _, Some _ -> badf "give either \"model\" or \"model_text\""
+      | None, None -> badf "missing \"model\" (or \"model_text\"/\"case\")"
+    in
+    let board =
+      match opt_string params "board" with
+      | None -> badf "missing \"board\""
+      | Some name -> (
+        match Platform.Board.by_name name with
+        | Some b -> b
+        | None -> badf "unknown board %S" name)
+    in
+    let archi =
+      match opt_string params "arch" with
+      | None -> None
+      | Some s -> (
+        match Arch.Shorthand.parse model s with
+        | Ok a -> Some a
+        | Error msg -> badf "arch: %s" msg)
+    in
+    (model, board, archi)
+
+let resolve_job cfg (req : Protocol.request) =
+  let params = req.Protocol.params in
+  match req.Protocol.op with
+  | Protocol.Evaluate ->
+    let model, board, archi = resolve_target params in
+    let archi =
+      match archi with Some a -> a | None -> badf "missing \"arch\""
+    in
+    (Some model, Some board, session_key model board, J_eval archi)
+  | Protocol.Explore ->
+    let model, board, _ = resolve_target params in
+    let samples = require_int params "samples" ~default:2000 in
+    if samples < 1 then badf "\"samples\" must be >= 1";
+    if samples > cfg.max_samples then
+      badf "\"samples\" exceeds the server cap (%d)" cfg.max_samples;
+    let seed = Int64.of_int (require_int params "seed" ~default:42) in
+    (Some model, Some board, session_key model board, J_explore { samples; seed })
+  | Protocol.Enumerate ->
+    let model, board, _ = resolve_target params in
+    let ces = require_int params "ces" ~default:4 in
+    if ces < 2 then badf "\"ces\" must be >= 2";
+    let max_specs = require_int params "max_specs" ~default:20_000 in
+    if max_specs < 1 then badf "\"max_specs\" must be >= 1";
+    if max_specs > cfg.max_specs_cap then
+      badf "\"max_specs\" exceeds the server cap (%d)" cfg.max_specs_cap;
+    let objective =
+      match opt_string params "objective" with
+      | None | Some "throughput" -> `Throughput
+      | Some "latency" -> `Latency
+      | Some other -> badf "unknown objective %S" other
+    in
+    let prune =
+      match Json.member "prune" params with
+      | None -> true
+      | Some j -> (
+        match Json.bool_ j with
+        | Some b -> b
+        | None -> badf "\"prune\" must be a boolean")
+    in
+    ( Some model,
+      Some board,
+      session_key model board,
+      J_enumerate { ces; objective; max_specs; prune } )
+  | Protocol.Validate ->
+    let samples = require_int params "samples" ~default:50 in
+    if samples < 1 then badf "\"samples\" must be >= 1";
+    if samples > cfg.max_samples then
+      badf "\"samples\" exceeds the server cap (%d)" cfg.max_samples;
+    let seed = Int64.of_int (require_int params "seed" ~default:42) in
+    (None, None, "", J_validate { samples; seed })
+  | Protocol.Sleep ->
+    let seconds =
+      match Json.member "seconds" params with
+      | None -> badf "missing \"seconds\""
+      | Some j -> (
+        match Json.number j with
+        | Some s when s >= 0.0 && s <= cfg.max_sleep_s -> s
+        | Some _ -> badf "\"seconds\" out of range [0, %g]" cfg.max_sleep_s
+        | None -> badf "\"seconds\" must be a number")
+    in
+    (None, None, "", J_sleep seconds)
+  | Protocol.Ping | Protocol.Stats | Protocol.Shutdown ->
+    badf "control op cannot be queued"
+
+(* --------------------------------------------------------- sessions *)
+
+(* Parent sessions are process-global (one per (model, board) content
+   key, capped); workers evaluate on private forks cut lazily and
+   absorbed back at drain — the Crew discipline, stretched over the
+   daemon's whole lifetime. *)
+
+let parent_session t ~key ~model ~board =
+  Mutex.lock t.sessions_m;
+  let parent =
+    match Hashtbl.find_opt t.sessions key with
+    | Some s -> Some s
+    | None ->
+      if Hashtbl.length t.sessions >= t.cfg.max_sessions then None
+      else begin
+        let s = Mccm.Eval_session.create model board in
+        Hashtbl.add t.sessions key s;
+        Some s
+      end
+  in
+  (* Forking under the registry mutex: absorb (at drain) also holds it,
+     so a fork never reads tables an absorb is mutating. *)
+  let fork = Option.map Mccm.Eval_session.fork parent in
+  Mutex.unlock t.sessions_m;
+  fork
+
+let worker_fork t forks ~key ~model ~board =
+  match Hashtbl.find_opt forks key with
+  | Some s -> Some s
+  | None -> (
+    match parent_session t ~key ~model ~board with
+    | None -> None (* registry full: evaluate uncached *)
+    | Some fork ->
+      Hashtbl.add forks key fork;
+      Some fork)
+
+let absorb_forks t forks =
+  Mutex.lock t.sessions_m;
+  Hashtbl.iter
+    (fun key fork ->
+      match Hashtbl.find_opt t.sessions key with
+      | Some parent -> Mccm.Eval_session.absorb ~into:parent fork
+      | None -> ())
+    forks;
+  Mutex.unlock t.sessions_m;
+  Hashtbl.reset forks
+
+(* ------------------------------------------------------ job running *)
+
+let set_depth_gauge t =
+  let d = float_of_int (Bqueue.length t.queue) in
+  Metric.set g_queue_depth d;
+  Metric.update_max g_queue_peak d
+
+let expired w =
+  match w.w_deadline_ns with
+  | Some d -> now_ns () > d
+  | None -> false
+
+let finish_reply t w result =
+  reply_ok t w.w_conn ~id:w.w_id result;
+  incr t.c.completed;
+  observe_latency w.w_op
+    (float_of_int (now_ns () - w.w_enqueued_ns) /. 1e9)
+
+let reject_deadline t w =
+  incr t.c.rejected_deadline;
+  Metric.incr m_deadline;
+  reply_error t w.w_conn ~id:w.w_id Protocol.Deadline_exceeded
+    "deadline expired before evaluation started"
+
+let json_of_evaluated model (e : Dse.Explore.evaluated) =
+  Json.Obj
+    [
+      ( "arch",
+        Json.Str
+          (Arch.Notation.to_string
+             (Arch.Custom.arch_of_spec model e.Dse.Explore.spec)) );
+      ("metrics", Protocol.json_of_metrics e.Dse.Explore.metrics);
+    ]
+
+let run_explore session model board ~samples ~seed =
+  let r = Dse.Explore.run ~seed ~samples ?session model board in
+  Json.Obj
+    [
+      ("sampled", Json.Num (float_of_int r.Dse.Explore.sampled));
+      ("distinct", Json.Num (float_of_int r.Dse.Explore.distinct));
+      ( "feasible",
+        Json.Num (float_of_int (List.length r.Dse.Explore.evaluated)) );
+      ("elapsed_s", Json.Num r.Dse.Explore.elapsed_s);
+      ( "front",
+        Json.Arr
+          (List.map
+             (fun (p : Dse.Explore.evaluated Dse.Pareto.point) ->
+               json_of_evaluated model p.Dse.Pareto.item)
+             r.Dse.Explore.front) );
+    ]
+
+let run_enumerate session model board ~ces ~objective ~max_specs ~prune =
+  let winner, stats =
+    Dse.Enumerate.exhaustive_best ~max_specs ?session ~prune ~objective ~ces
+      model board
+  in
+  Json.Obj
+    [
+      ( "winner",
+        match winner with
+        | None -> Json.Null
+        | Some e -> json_of_evaluated model e );
+      ("enumerated", Json.Num (float_of_int stats.Dse.Enumerate.enumerated));
+      ("evaluated", Json.Num (float_of_int stats.Dse.Enumerate.evaluated));
+      ("pruned", Json.Num (float_of_int stats.Dse.Enumerate.pruned));
+      ("nodes", Json.Num (float_of_int stats.Dse.Enumerate.nodes));
+    ]
+
+let run_validate ~samples ~seed =
+  let r = Validate.Sweep.run ~samples ~seed () in
+  Json.Obj
+    [
+      ("ok", Json.Bool (Validate.Sweep.ok r));
+      ("corpus_cases", Json.Num (float_of_int r.Validate.Sweep.corpus_cases));
+      ( "generated_cases",
+        Json.Num (float_of_int r.Validate.Sweep.generated_cases) );
+      ( "failures",
+        Json.Num (float_of_int (List.length r.Validate.Sweep.failures)) );
+      ( "worst",
+        Json.Obj
+          [
+            ("latency", Json.Num r.Validate.Sweep.worst.Validate.Envelope.latency);
+            ( "throughput",
+              Json.Num r.Validate.Sweep.worst.Validate.Envelope.throughput );
+            ( "accesses",
+              Json.Num r.Validate.Sweep.worst.Validate.Envelope.accesses );
+            ("buffers", Json.Num r.Validate.Sweep.worst.Validate.Envelope.buffers);
+          ] );
+      ("elapsed_s", Json.Num r.Validate.Sweep.elapsed_s);
+    ]
+
+(* A batch: the head work item plus every consecutive queued evaluate
+   on the same session key, popped without ever skipping over an
+   unrelated request (FIFO order is preserved exactly). *)
+let collect_batch t first =
+  match first.w_job with
+  | J_eval _ when t.cfg.batch_limit > 1 ->
+    let items = ref [ first ] in
+    let count = ref 1 in
+    let continue = ref true in
+    while !continue && !count < t.cfg.batch_limit do
+      match
+        Bqueue.pop_head_if t.queue (fun w ->
+            w.w_key = first.w_key
+            && match w.w_job with J_eval _ -> true | _ -> false)
+      with
+      | Some w ->
+        items := w :: !items;
+        count := !count + 1;
+        Atomic.incr t.c.dispatched
+      | None -> continue := false
+    done;
+    List.rev !items
+  | _ -> [ first ]
+
+let process_eval_batch t forks items =
+  match items with
+  | [] -> ()
+  | first :: _ ->
+    let live, dead = List.partition (fun w -> not (expired w)) items in
+    List.iter (reject_deadline t) dead;
+    if live <> [] then begin
+      let model = Option.get first.w_model in
+      let board = Option.get first.w_board in
+      let archs =
+        List.map
+          (fun w ->
+            match w.w_job with J_eval a -> a | _ -> assert false)
+          live
+      in
+      let results =
+        match worker_fork t forks ~key:first.w_key ~model ~board with
+        | Some session ->
+          Mccm.Eval_session.metrics_batch ~store_arch:t.cfg.store_arch
+            session archs
+        | None -> List.map (fun a -> Mccm.Evaluate.metrics model board a) archs
+      in
+      if List.length live >= 2 then begin
+        incr t.c.batches;
+        Metric.incr m_batches;
+        Atomic.set t.c.batched (Atomic.get t.c.batched + List.length live)
+      end;
+      List.iter2
+        (fun w m ->
+          finish_reply t w
+            (Json.Obj [ ("metrics", Protocol.json_of_metrics m) ]))
+        live results
+    end
+
+let process_one t forks w =
+  match w.w_job with
+  | J_eval _ -> assert false (* handled by process_eval_batch *)
+  | J_sleep seconds ->
+    Unix.sleepf seconds;
+    finish_reply t w (Json.Obj [ ("slept_s", Json.Num seconds) ])
+  | J_explore { samples; seed } ->
+    let model = Option.get w.w_model and board = Option.get w.w_board in
+    let session = worker_fork t forks ~key:w.w_key ~model ~board in
+    finish_reply t w (run_explore session model board ~samples ~seed)
+  | J_enumerate { ces; objective; max_specs; prune } ->
+    let model = Option.get w.w_model and board = Option.get w.w_board in
+    let session = worker_fork t forks ~key:w.w_key ~model ~board in
+    finish_reply t w
+      (run_enumerate session model board ~ces ~objective ~max_specs ~prune)
+  | J_validate { samples; seed } ->
+    finish_reply t w (run_validate ~samples ~seed)
+
+let guarded t w f =
+  match
+    Mccm_obs.span ~cat:"serve"
+      ("serve." ^ Protocol.op_to_string w.w_op)
+      f
+  with
+  | () -> ()
+  | exception (Invalid_argument msg | Failure msg) ->
+    incr t.c.errors_bad_params;
+    Metric.incr m_errors;
+    reply_error t w.w_conn ~id:w.w_id Protocol.Bad_params msg
+  | exception e ->
+    incr t.c.errors_internal;
+    Metric.incr m_errors;
+    reply_error t w.w_conn ~id:w.w_id Protocol.Internal (Printexc.to_string e)
+
+let worker_loop t _worker =
+  let forks = Hashtbl.create 8 in
+  let rec loop () =
+    match Bqueue.pop t.queue with
+    | None -> ()
+    | Some w ->
+      incr t.c.dispatched;
+      (match w.w_job with
+      | J_eval _ ->
+        let batch = collect_batch t w in
+        set_depth_gauge t;
+        guarded t w (fun () -> process_eval_batch t forks batch)
+      | _ ->
+        set_depth_gauge t;
+        if expired w then reject_deadline t w
+        else guarded t w (fun () -> process_one t forks w));
+      loop ()
+  in
+  (try loop () with _ -> ());
+  absorb_forks t forks
+
+(* ------------------------------------------------------ control ops *)
+
+let uptime_s t = float_of_int (now_ns () - t.started_ns) /. 1e9
+
+let stats_json t =
+  let counters =
+    Json.Obj
+      (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) (counters t))
+  in
+  let obs =
+    if Mccm_obs.enabled () then begin
+      let snap = Metric.snapshot () in
+      let latencies =
+        List.filter_map
+          (fun (name, h) ->
+            let prefix = "serve." and suffix = ".latency" in
+            let n = String.length name in
+            let pn = String.length prefix and sn = String.length suffix in
+            if
+              n > pn + sn
+              && String.sub name 0 pn = prefix
+              && String.sub name (n - sn) sn = suffix
+              && h.Metric.count > 0
+            then
+              Some
+                ( String.sub name pn (n - pn - sn),
+                  Json.Obj
+                    [
+                      ("count", Json.Num (float_of_int h.Metric.count));
+                      ("p50", Json.Num (Metric.quantile h ~q:0.5));
+                      ("p95", Json.Num (Metric.quantile h ~q:0.95));
+                      ("p99", Json.Num (Metric.quantile h ~q:0.99));
+                    ] )
+            else None)
+          snap.Metric.histograms
+      in
+      Some (Json.Obj [ ("latency", Json.Obj latencies) ])
+    end
+    else None
+  in
+  Json.obj
+    [
+      ("version", Some (Json.Str Protocol.version));
+      ("uptime_s", Some (Json.Num (uptime_s t)));
+      ("workers", Some (Json.Num (float_of_int t.cfg.workers)));
+      ("queue_depth", Some (Json.Num (float_of_int (queue_depth t))));
+      ( "queue_capacity",
+        Some (Json.Num (float_of_int t.cfg.queue_capacity)) );
+      ("draining", Some (Json.Bool (stopping t)));
+      ("sessions", Some (Json.Num (float_of_int (session_count t))));
+      ("counters", Some counters);
+      ("obs", obs);
+    ]
+
+(* ----------------------------------------------------- frame intake *)
+
+let handle_request t conn (req : Protocol.request) =
+  let id = req.Protocol.id in
+  match req.Protocol.op with
+  | Protocol.Ping ->
+    reply_ok t conn ~id
+      (Json.Obj
+         [
+           ("pong", Json.Bool true);
+           ("version", Json.Str Protocol.version);
+           ("uptime_s", Json.Num (uptime_s t));
+         ])
+  | Protocol.Stats -> reply_ok t conn ~id (stats_json t)
+  | Protocol.Shutdown ->
+    reply_ok t conn ~id (Json.Obj [ ("draining", Json.Bool true) ]);
+    stop t
+  | _ -> (
+    if stopping t then begin
+      incr t.c.rejected_shutdown;
+      reply_error t conn ~id Protocol.Shutting_down "daemon is draining"
+    end
+    else
+      match resolve_job t.cfg req with
+      | exception Bad msg ->
+        incr t.c.errors_bad_params;
+        Metric.incr m_errors;
+        reply_error t conn ~id Protocol.Bad_params msg
+      | model, board, key, job -> (
+        let enq = now_ns () in
+        let deadline_ns =
+          Option.map
+            (fun ms -> enq + int_of_float (ms *. 1e6))
+            req.Protocol.deadline_ms
+        in
+        match deadline_ns with
+        | Some d when d <= enq ->
+          (* Already expired: answered at the gate, the queue and the
+             worker pool never see it. *)
+          incr t.c.rejected_deadline;
+          Metric.incr m_deadline;
+          reply_error t conn ~id Protocol.Deadline_exceeded
+            "deadline expired on arrival"
+        | _ ->
+          let w =
+            {
+              w_id = id;
+              w_op = req.Protocol.op;
+              w_conn = conn;
+              w_key = key;
+              w_model = model;
+              w_board = board;
+              w_job = job;
+              w_enqueued_ns = enq;
+              w_deadline_ns = deadline_ns;
+            }
+          in
+          if Bqueue.try_push t.queue w then begin
+            incr t.c.enqueued;
+            set_depth_gauge t
+          end
+          else if stopping t then begin
+            incr t.c.rejected_shutdown;
+            reply_error t conn ~id Protocol.Shutting_down "daemon is draining"
+          end
+          else begin
+            incr t.c.rejected_overloaded;
+            Metric.incr m_overloaded;
+            reply_error t conn ~id Protocol.Overloaded
+              (Printf.sprintf "request queue full (%d)" t.cfg.queue_capacity)
+          end))
+
+let handle_frame t conn line =
+  incr t.c.frames;
+  match Protocol.parse_request line with
+  | Error (id, code, msg) ->
+    incr t.c.rejected_parse;
+    reply_error t conn ~id code msg
+  | Ok req ->
+    incr t.c.requests;
+    Metric.incr m_requests;
+    handle_request t conn req
+
+(* -------------------------------------------------- connection loop *)
+
+let conn_loop t conn =
+  let chunk = Bytes.create 65536 in
+  let acc = Buffer.create 4096 in
+  let discard = ref false in
+  let process_data data =
+    (* In discard mode (after an oversized frame) bytes are dropped up
+       to the next newline, then parsing resumes. *)
+    let data =
+      if not !discard then data
+      else
+        match String.index_opt data '\n' with
+        | None -> ""
+        | Some i ->
+          discard := false;
+          String.sub data (i + 1) (String.length data - i - 1)
+    in
+    if data <> "" then begin
+      Buffer.add_string acc data;
+      let rec split () =
+        let s = Buffer.contents acc in
+        match String.index_opt s '\n' with
+        | Some i ->
+          let line = String.sub s 0 i in
+          Buffer.clear acc;
+          Buffer.add_substring acc s (i + 1) (String.length s - i - 1);
+          let line =
+            (* Tolerate CRLF clients. *)
+            if String.length line > 0 && line.[String.length line - 1] = '\r'
+            then String.sub line 0 (String.length line - 1)
+            else line
+          in
+          if line <> "" then
+            if String.length line > t.cfg.max_frame_bytes then begin
+              incr t.c.frames;
+              incr t.c.rejected_oversized;
+              reply_error t conn ~id:Json.Null Protocol.Oversized_frame
+                (Printf.sprintf "frame exceeds %d bytes" t.cfg.max_frame_bytes)
+            end
+            else handle_frame t conn line;
+          split ()
+        | None ->
+          if Buffer.length acc > t.cfg.max_frame_bytes then begin
+            incr t.c.frames;
+            incr t.c.rejected_oversized;
+            reply_error t conn ~id:Json.Null Protocol.Oversized_frame
+              (Printf.sprintf "frame exceeds %d bytes" t.cfg.max_frame_bytes);
+            Buffer.clear acc;
+            discard := true
+          end
+      in
+      split ()
+    end
+  in
+  let rec loop () =
+    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      process_data (Bytes.sub_string chunk 0 n);
+      loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ();
+  conn.alive <- false;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.conns_m;
+  Hashtbl.remove t.conns conn.cid;
+  Mutex.unlock t.conns_m;
+  incr t.c.connections_closed
+
+(* ------------------------------------------------------ accept loop *)
+
+let accept_loop t =
+  let rec loop () =
+    if stopping t then ()
+    else begin
+      (* select with a timeout so a stop request is observed promptly
+         even when no client ever connects. *)
+      let ready, _, _ =
+        try Unix.select [ t.listen_fd ] [] [] 0.2
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      (if ready <> [] then
+         match Unix.accept t.listen_fd with
+         | fd, _ ->
+           let cid = Atomic.fetch_and_add t.next_cid 1 in
+           let conn = { fd; out_m = Mutex.create (); alive = true; cid } in
+           incr t.c.connections_opened;
+           Mutex.lock t.conns_m;
+           Hashtbl.replace t.conns cid conn;
+           Hashtbl.replace t.conn_threads cid
+             (Thread.create (fun () -> conn_loop t conn) ());
+           Mutex.unlock t.conns_m
+         | exception Unix.Unix_error _ -> ());
+      loop ()
+    end
+  in
+  loop ();
+  (* Drain begins: no new work is admitted; everything already queued
+     will be served before the workers exit. *)
+  Bqueue.close t.queue
+
+(* -------------------------------------------------------------- run *)
+
+let run t =
+  Mutex.lock t.state_m;
+  (match t.state with
+  | `Created -> t.state <- `Running
+  | `Running | `Stopped ->
+    Mutex.unlock t.state_m;
+    invalid_arg "Daemon.run: already run");
+  Mutex.unlock t.state_m;
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let acceptor = Thread.create (fun () -> accept_loop t) () in
+  (* Worker domains via the shared persistent pool.  The pool is sized
+     workers + 1 and the caller's own slot is a no-op: the main thread
+     then idles inside [Pool.run] instead of computing, so the accept
+     and reader systhreads (which live on the main domain) keep their
+     scheduling latency even under full evaluation load. *)
+  Util.Parallel.Pool.with_pool ~clamp:false ~domains:(t.cfg.workers + 1)
+    (fun pool ->
+      Util.Parallel.Pool.run pool (fun worker ->
+          if worker > 0 then worker_loop t (worker - 1)));
+  (* Workers are done (queue closed and drained).  Unblock idle
+     readers and join every thread. *)
+  Thread.join acceptor;
+  Mutex.lock t.conns_m;
+  let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+  let threads = Hashtbl.fold (fun _ th acc -> th :: acc) t.conn_threads [] in
+  Hashtbl.reset t.conn_threads;
+  Mutex.unlock t.conns_m;
+  List.iter
+    (fun c ->
+      try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  List.iter Thread.join threads;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+  Mutex.lock t.state_m;
+  t.state <- `Stopped;
+  Mutex.unlock t.state_m
+
+(* ------------------------------------------------- test scaffolding *)
+
+type handle = { daemon : t; runner : Thread.t }
+
+let daemon h = h.daemon
+
+let wait_ready ?(timeout_s = 10.0) path =
+  (* Poll until a ping round-trips: proves the accept loop is serving,
+     not merely that the socket file exists. *)
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec attempt () =
+    if Unix.gettimeofday () > deadline then
+      failwith ("daemon not ready within timeout: " ^ path)
+    else
+      let ok =
+        match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+        | fd -> (
+          match
+            Unix.connect fd (Unix.ADDR_UNIX path);
+            let frame = "{\"id\":0,\"op\":\"ping\"}\n" in
+            ignore (Unix.write_substring fd frame 0 (String.length frame));
+            let buf = Bytes.create 4096 in
+            let n = Unix.read fd buf 0 4096 in
+            n > 0
+          with
+          | ok ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            ok
+          | exception _ ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            false)
+        | exception _ -> false
+      in
+      if ok then ()
+      else begin
+        Thread.delay 0.02;
+        attempt ()
+      end
+  in
+  attempt ()
+
+let spawn cfg =
+  let d = create cfg in
+  let runner = Thread.create (fun () -> run d) () in
+  (try wait_ready cfg.socket_path
+   with e ->
+     stop d;
+     Thread.join runner;
+     raise e);
+  { daemon = d; runner }
+
+let shutdown h =
+  stop h.daemon;
+  Thread.join h.runner

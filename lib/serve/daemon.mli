@@ -1,0 +1,106 @@
+(** The persistent mccm evaluation daemon.
+
+    One process serves any number of clients over a Unix-domain socket
+    ({!Protocol} framing), paying process startup, {!Cnn.Table}
+    construction and plan-cache warm-up once instead of per query:
+
+    - {b I/O plane} — an accept systhread plus one reader systhread per
+      connection.  Readers parse and validate frames, answer control
+      ops ([ping]/[stats]/[shutdown]) inline, and push evaluation work
+      onto a bounded {!Bqueue}.  A full queue is answered with an
+      immediate [overloaded] reply — the daemon never buffers without
+      bound.  A request whose relative deadline is already expired at
+      the gate is refused with [deadline_exceeded] without ever
+      touching the queue or the worker pool.
+    - {b Compute plane} — [workers] domains dispatched through one
+      {!Util.Parallel.Pool.run} round (the caller's pool slot idles, so
+      the I/O systhreads on the main domain stay responsive).  Each
+      worker evaluates on private {!Mccm.Eval_session} forks cut lazily
+      from a process-global, content-keyed parent registry and absorbed
+      back at drain — the {!Dse.Crew} warm-session discipline stretched
+      over the daemon's lifetime.  Consecutive queued [evaluate]
+      requests on the same (model, board) are served through one
+      {!Mccm.Eval_session.metrics_batch} call.
+    - {b Drain} — {!stop} (also reachable via the [shutdown] op or a
+      signal handler; it only flips an atomic, so it is safe from a
+      signal context) stops the accept loop, closes the queue, lets the
+      workers finish everything already queued, absorbs their session
+      forks, then unblocks idle readers, joins every thread and unlinks
+      the socket.
+    - {b Health} — lock-free internal counters are always on (the
+      [stats] op and {!counters}); with {!Mccm_obs} enabled the daemon
+      additionally records [serve.*] metrics: per-endpoint latency
+      histograms, queue depth/peak gauges, rejection counters — next to
+      the evaluator's own cache hit-rate counters. *)
+
+type config = {
+  socket_path : string;
+  workers : int;           (** worker domains, [>= 1] *)
+  queue_capacity : int;    (** pending-request bound; default 256 *)
+  max_frame_bytes : int;   (** per-frame cap; default 1 MiB *)
+  batch_limit : int;       (** max evaluate requests per batch; 1 disables *)
+  store_arch : bool;
+      (** whether sessions keep whole-arch results per request (PR 6's
+          [?store_arch] discipline); [false] keeps RSS flat under
+          sustained non-repeating load — segment and plan caches still
+          memoize *)
+  max_sessions : int;      (** parent-session registry cap; beyond it new
+                               (model, board) pairs evaluate uncached *)
+  max_samples : int;       (** server-side cap on explore/validate samples *)
+  max_specs_cap : int;     (** server-side cap on enumerate max_specs *)
+  max_sleep_s : float;     (** cap on the [sleep] testing op *)
+}
+
+val default : socket_path:string -> config
+(** Defaults: recommended-domain-count workers, queue 256, 1 MiB
+    frames, batch 16, [store_arch = false], 64 sessions. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen on [config.socket_path].  A stale socket file with
+    no live daemon behind it is reclaimed.
+    @raise Failure when a live daemon already serves on the path, or
+    the path exceeds the [sun_path] limit.
+    @raise Invalid_argument on a non-positive [workers]/[batch_limit]. *)
+
+val run : t -> unit
+(** Serve until {!stop}; returns after the graceful drain completes.
+    Blocks the calling thread (the CLI's main); tests use {!spawn}.
+    @raise Invalid_argument when called twice. *)
+
+val stop : t -> unit
+(** Request a graceful drain.  Only flips an atomic — safe to call from
+    a signal handler or any thread; {!run} returns once the drain is
+    done. *)
+
+val stopping : t -> bool
+
+val counters : t -> (string * int) list
+(** Snapshot of the internal request-lifecycle counters (always on,
+    independent of {!Mccm_obs}): connections opened/closed, frames,
+    requests, enqueued/dispatched/completed, replies, batches,
+    rejections by reason, errors, write failures.  Every counter is
+    monotone non-decreasing over the daemon's life. *)
+
+val queue_depth : t -> int
+val session_count : t -> int
+val config : t -> config
+
+(** {1 Test scaffolding} *)
+
+type handle
+
+val spawn : config -> handle
+(** {!create} + {!run} on a fresh thread + block until a ping
+    round-trips.  @raise Failure when the daemon does not become ready
+    (the thread is stopped and joined first). *)
+
+val shutdown : handle -> unit
+(** {!stop} + join the {!spawn} thread. *)
+
+val daemon : handle -> t
+
+val wait_ready : ?timeout_s:float -> string -> unit
+(** Poll [socket_path] until a ping round-trips (for daemons started as
+    a separate process).  @raise Failure on timeout. *)

@@ -1,0 +1,204 @@
+(* Wire protocol of the mccm evaluation daemon: newline-delimited JSON
+   frames over a Unix-domain socket.  See protocol.mli. *)
+
+module Json = Util.Json
+
+let version = "mccm-serve/1"
+let default_max_frame_bytes = 1 lsl 20
+
+(* -------------------------------------------------------------- ops *)
+
+type op =
+  | Ping
+  | Evaluate
+  | Explore
+  | Enumerate
+  | Validate
+  | Stats
+  | Sleep
+  | Shutdown
+
+let all_ops =
+  [ Ping; Evaluate; Explore; Enumerate; Validate; Stats; Sleep; Shutdown ]
+
+let op_to_string = function
+  | Ping -> "ping"
+  | Evaluate -> "evaluate"
+  | Explore -> "explore"
+  | Enumerate -> "enumerate"
+  | Validate -> "validate"
+  | Stats -> "stats"
+  | Sleep -> "sleep"
+  | Shutdown -> "shutdown"
+
+let op_of_string s =
+  List.find_opt (fun op -> op_to_string op = s) all_ops
+
+(* ----------------------------------------------------------- errors *)
+
+type error_code =
+  | Parse_error
+  | Invalid_request
+  | Unknown_op
+  | Bad_params
+  | Overloaded
+  | Deadline_exceeded
+  | Oversized_frame
+  | Shutting_down
+  | Internal
+
+let error_code_to_string = function
+  | Parse_error -> "parse_error"
+  | Invalid_request -> "invalid_request"
+  | Unknown_op -> "unknown_op"
+  | Bad_params -> "bad_params"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Oversized_frame -> "oversized_frame"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+(* --------------------------------------------------------- requests *)
+
+type request = {
+  id : Json.t;
+  op : op;
+  deadline_ms : float option;
+  params : Json.t;
+}
+
+let request_to_json { id; op; deadline_ms; params } =
+  Json.obj
+    [
+      ("id", if id = Json.Null then None else Some id);
+      ("op", Some (Json.Str (op_to_string op)));
+      ("deadline_ms", Option.map (fun ms -> Json.Num ms) deadline_ms);
+      ("params", match params with Json.Null -> None | p -> Some p);
+    ]
+
+let request_of_json j =
+  match j with
+  | Json.Obj _ -> (
+    let id = Option.value (Json.member "id" j) ~default:Json.Null in
+    match Json.member "op" j with
+    | None -> Error (id, Invalid_request, "missing \"op\" field")
+    | Some opj -> (
+      match Json.string_ opj with
+      | None -> Error (id, Invalid_request, "\"op\" must be a string")
+      | Some name -> (
+        match op_of_string name with
+        | None -> Error (id, Unknown_op, Printf.sprintf "unknown op %S" name)
+        | Some op -> (
+          let params =
+            Option.value (Json.member "params" j) ~default:Json.Null
+          in
+          match params with
+          | Json.Obj _ | Json.Null -> (
+            match Json.member "deadline_ms" j with
+            | None -> Ok { id; op; deadline_ms = None; params }
+            | Some dj -> (
+              match Json.number dj with
+              | Some ms when Float.is_nan ms ->
+                Error (id, Invalid_request, "\"deadline_ms\" is NaN")
+              | Some ms -> Ok { id; op; deadline_ms = Some ms; params }
+              | None ->
+                Error (id, Invalid_request, "\"deadline_ms\" must be a number")
+              ))
+          | _ ->
+            Error (id, Invalid_request, "\"params\" must be an object")))))
+  | _ -> Error (Json.Null, Invalid_request, "frame is not a JSON object")
+
+let parse_request line =
+  match Json.parse line with
+  | Error msg -> Error (Json.Null, Parse_error, msg)
+  | Ok j -> request_of_json j
+
+(* ---------------------------------------------------------- replies *)
+
+let ok_frame ~id result =
+  Json.to_string
+    (Json.Obj [ ("id", id); ("ok", Json.Bool true); ("result", result) ])
+
+let error_frame ~id code msg =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", id);
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [
+               ("code", Json.Str (error_code_to_string code));
+               ("message", Json.Str msg);
+             ] );
+       ])
+
+type reply = {
+  reply_id : Json.t;
+  outcome : (Json.t, string * string) result;
+}
+
+let parse_reply line =
+  match Json.parse line with
+  | Error msg -> Error ("reply is not JSON: " ^ msg)
+  | Ok j -> (
+    let reply_id = Option.value (Json.member "id" j) ~default:Json.Null in
+    match Json.member "ok" j with
+    | Some (Json.Bool true) -> (
+      match Json.member "result" j with
+      | Some r -> Ok { reply_id; outcome = Ok r }
+      | None -> Error "ok reply without \"result\"")
+    | Some (Json.Bool false) -> (
+      match Json.member "error" j with
+      | Some e ->
+        let code =
+          Option.value ~default:"?"
+            (Option.bind (Json.member "code" e) Json.string_)
+        in
+        let msg =
+          Option.value ~default:""
+            (Option.bind (Json.member "message" e) Json.string_)
+        in
+        Ok { reply_id; outcome = Error (code, msg) }
+      | None -> Error "error reply without \"error\"")
+    | _ -> Error "reply without boolean \"ok\"")
+
+(* ---------------------------------------------------- metrics codec *)
+
+let json_of_metrics (m : Mccm.Metrics.t) =
+  Json.Obj
+    [
+      ("latency_s", Json.Num m.Mccm.Metrics.latency_s);
+      ("throughput_ips", Json.Num m.Mccm.Metrics.throughput_ips);
+      ("buffer_bytes", Json.Num (float_of_int m.Mccm.Metrics.buffer_bytes));
+      ( "weights_bytes",
+        Json.Num (float_of_int m.Mccm.Metrics.accesses.Mccm.Access.weights_bytes)
+      );
+      ( "fms_bytes",
+        Json.Num (float_of_int m.Mccm.Metrics.accesses.Mccm.Access.fms_bytes) );
+      ("feasible", Json.Bool m.Mccm.Metrics.feasible);
+    ]
+
+let metrics_of_json j =
+  let num k = Option.bind (Json.member k j) Json.number in
+  let int k = Option.bind (Json.member k j) Json.int_ in
+  let bool k = Option.bind (Json.member k j) Json.bool_ in
+  match
+    ( num "latency_s",
+      num "throughput_ips",
+      int "buffer_bytes",
+      int "weights_bytes",
+      int "fms_bytes",
+      bool "feasible" )
+  with
+  | Some latency_s, Some throughput_ips, Some buffer_bytes, Some w, Some f,
+    Some feasible ->
+    Ok
+      {
+        Mccm.Metrics.latency_s;
+        throughput_ips;
+        buffer_bytes;
+        accesses = { Mccm.Access.weights_bytes = w; fms_bytes = f };
+        feasible;
+      }
+  | _ -> Error "malformed metrics object"

@@ -1,0 +1,111 @@
+(** Wire protocol of the mccm evaluation daemon.
+
+    Framing is newline-delimited JSON over a Unix-domain socket: every
+    request and every reply is exactly one JSON object on one
+    LF-terminated line.  A connection may pipeline any number of
+    requests; replies carry the request's [id] back verbatim, and may
+    arrive in any order relative to other outstanding requests on the
+    same connection (the daemon's workers complete independently).
+
+    Request frame:
+    {v {"id": <any>, "op": "<op>", "deadline_ms": <num?>, "params": {..}} v}
+
+    [id] is echoed back untouched (clients use it to match pipelined
+    replies); [deadline_ms] is a {e relative} budget in milliseconds —
+    a request whose budget expires before a worker starts it is
+    answered with [deadline_exceeded] instead of being evaluated.
+
+    Reply frames:
+    {v {"id": <echo>, "ok": true,  "result": {..}}
+       {"id": <echo>, "ok": false, "error": {"code": "..", "message": ".."}} v}
+
+    Every frame the daemon receives — including malformed, truncated or
+    oversized ones — is answered with exactly one reply frame; the
+    connection survives all of them (the fuzz suite holds the daemon to
+    this).  All numbers are rendered with round-tripping precision
+    ({!Util.Json}), so metrics received over the wire are bit-identical
+    to in-process evaluation. *)
+
+val version : string
+(** Protocol identifier, ["mccm-serve/1"]; reported by [ping]. *)
+
+val default_max_frame_bytes : int
+(** Default per-frame size cap (1 MiB); longer lines are answered with
+    [oversized_frame] and discarded up to the next newline. *)
+
+(** {1 Operations} *)
+
+type op =
+  | Ping       (** liveness + version; served inline, never queued *)
+  | Evaluate   (** one (model, board, arch) through the cost model *)
+  | Explore    (** random DSE sweep ({!Dse.Explore.run}) *)
+  | Enumerate  (** fixed-CE-count search ({!Dse.Enumerate.exhaustive_best}) *)
+  | Validate   (** differential sweep ({!Validate.Sweep.run}) *)
+  | Stats      (** live daemon health counters; served inline *)
+  | Sleep      (** hold a worker for [params.seconds] — testing aid *)
+  | Shutdown   (** initiate graceful drain; served inline *)
+
+val all_ops : op list
+val op_to_string : op -> string
+val op_of_string : string -> op option
+
+(** {1 Error codes} *)
+
+type error_code =
+  | Parse_error        (** frame is not valid JSON *)
+  | Invalid_request    (** valid JSON, wrong shape *)
+  | Unknown_op
+  | Bad_params
+  | Overloaded         (** request queue full — backpressure *)
+  | Deadline_exceeded
+  | Oversized_frame
+  | Shutting_down      (** daemon is draining; request not accepted *)
+  | Internal
+
+val error_code_to_string : error_code -> string
+
+(** {1 Requests} *)
+
+type request = {
+  id : Util.Json.t;            (** [Null] when the client sent none *)
+  op : op;
+  deadline_ms : float option;  (** relative budget, milliseconds *)
+  params : Util.Json.t;        (** [Obj _] or [Null] *)
+}
+
+val request_to_json : request -> Util.Json.t
+
+val request_of_json :
+  Util.Json.t -> (request, Util.Json.t * error_code * string) result
+(** The error carries the echoable [id] (best effort) next to the code. *)
+
+val parse_request :
+  string -> (request, Util.Json.t * error_code * string) result
+(** [request_of_json] over [Util.Json.parse]. *)
+
+(** {1 Replies} *)
+
+val ok_frame : id:Util.Json.t -> Util.Json.t -> string
+(** One success frame (no trailing newline). *)
+
+val error_frame : id:Util.Json.t -> error_code -> string -> string
+(** One error frame (no trailing newline). *)
+
+type reply = {
+  reply_id : Util.Json.t;
+  outcome : (Util.Json.t, string * string) result;
+      (** [Ok result] or [Error (code, message)] *)
+}
+
+val parse_reply : string -> (reply, string) result
+(** Client side: decode one reply frame. *)
+
+(** {1 Metrics codec} *)
+
+val json_of_metrics : Mccm.Metrics.t -> Util.Json.t
+(** [{latency_s, throughput_ips, buffer_bytes, weights_bytes,
+    fms_bytes, feasible}] with round-tripping floats. *)
+
+val metrics_of_json : Util.Json.t -> (Mccm.Metrics.t, string) result
+(** Exact inverse of {!json_of_metrics} — the bit-exactness property
+    tests compare reconstructed metrics with [=]. *)

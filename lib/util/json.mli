@@ -1,0 +1,60 @@
+(** Minimal JSON values, parser and printers.
+
+    The toolchain deliberately carries no third-party JSON dependency;
+    this module is the one shared implementation behind the serving
+    protocol ({!Serve.Protocol}), replacing the ad-hoc parsers that
+    individual tools previously embedded.  It covers exactly what those
+    producers and consumers need:
+
+    - a strict recursive-descent parser with a nesting-depth cap (deep
+      frames fail with [Error], they can never overflow the stack — the
+      daemon feeds it untrusted bytes);
+    - compact and indented printers whose float rendering ([%.17g])
+      round-trips IEEE-754 doubles exactly, so metrics serialised over
+      the wire compare bit-identical to in-process evaluation;
+    - total accessors returning [option], so protocol code can validate
+      field-by-field without exceptions.
+
+    Numbers are represented as [float] (JSON's own model); integers are
+    exact up to 2{^53}, far beyond any byte count or counter the
+    toolchain emits. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : ?max_depth:int -> string -> (t, string) result
+(** [parse s] parses exactly one JSON value spanning the whole of [s]
+    (surrounding whitespace allowed; trailing bytes are an error).
+    [max_depth] (default 64) bounds array/object nesting.  The error
+    message carries the byte offset of the failure. *)
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace).
+    [parse (to_string v)] reconstructs [v] exactly, NaN and infinities
+    excepted (JSON cannot carry them; they render as [null]). *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented rendering, for humans ([mccm client] output). *)
+
+(** {1 Accessors} — all total; [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on missing field or non-object. *)
+
+val string_ : t -> string option
+val number : t -> float option
+
+val int_ : t -> int option
+(** A number that is integral and within [int] range. *)
+
+val bool_ : t -> bool option
+val list_ : t -> t list option
+
+val obj : (string * t option) list -> t
+(** Build an object, dropping [None] fields — optional reply fields
+    serialise only when set. *)

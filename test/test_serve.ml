@@ -1,0 +1,516 @@
+(* Tests for the mccm evaluation daemon: endpoint round-trips over a
+   real Unix socket, the concurrency bit-exactness property (server
+   replies are bit-identical to sequential in-process evaluation, for
+   any mix of concurrent and batched requests), deadline and
+   backpressure semantics, batching, and graceful drain.
+
+   Every daemon here runs in-process ({!Serve.Daemon.spawn}) on a
+   private socket under a fresh temp path, so suites never interfere
+   and nothing leaks across test cases. *)
+
+module Json = Util.Json
+
+let corpus_path =
+  if Sys.file_exists "corpus/validate.corpus" then "corpus/validate.corpus"
+  else "test/corpus/validate.corpus"
+
+let sock_counter = ref 0
+
+let fresh_sock () =
+  incr sock_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "mccm-t%d-%d.sock" (Unix.getpid ()) !sock_counter)
+
+let with_daemon ?(configure = fun c -> c) f =
+  let cfg = configure (Serve.Daemon.default ~socket_path:(fresh_sock ())) in
+  let h = Serve.Daemon.spawn cfg in
+  Fun.protect
+    ~finally:(fun () -> Serve.Daemon.shutdown h)
+    (fun () -> f cfg (Serve.Daemon.daemon h))
+
+let with_client cfg f =
+  let c = Serve.Client.connect_exn cfg.Serve.Daemon.socket_path in
+  Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error (code, msg) ->
+    Alcotest.failf "%s failed: %s: %s" what code msg
+
+let counter d name =
+  match List.assoc_opt name (Serve.Daemon.counters d) with
+  | Some v -> v
+  | None -> Alcotest.failf "unknown daemon counter %S" name
+
+let wait_until ?(timeout_s = 10.0) pred =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec loop () =
+    if pred () then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Thread.delay 0.01;
+      loop ()
+    end
+  in
+  loop ()
+
+let metrics_equal (a : Mccm.Metrics.t) (b : Mccm.Metrics.t) =
+  (* Bit-exact: float fields must be equal as IEEE values, not close. *)
+  a.Mccm.Metrics.latency_s = b.Mccm.Metrics.latency_s
+  && a.Mccm.Metrics.throughput_ips = b.Mccm.Metrics.throughput_ips
+  && a.Mccm.Metrics.buffer_bytes = b.Mccm.Metrics.buffer_bytes
+  && a.Mccm.Metrics.accesses = b.Mccm.Metrics.accesses
+  && a.Mccm.Metrics.feasible = b.Mccm.Metrics.feasible
+
+let check_metrics what expected actual =
+  if not (metrics_equal expected actual) then
+    Alcotest.failf "%s: metrics differ from in-process evaluation:@.%a@.vs@.%a"
+      what Mccm.Metrics.pp expected Mccm.Metrics.pp actual
+
+(* ------------------------------------------------------- round-trips *)
+
+let test_ping () =
+  with_daemon (fun cfg _d ->
+      with_client cfg (fun c ->
+          let r = ok_exn "ping" (Serve.Client.ping ~timeout_s:30.0 c) in
+          Alcotest.(check bool)
+            "pong" true
+            (Json.member "pong" r = Some (Json.Bool true));
+          Alcotest.(check bool)
+            "version" true
+            (Option.bind (Json.member "version" r) Json.string_
+            = Some Serve.Protocol.version)))
+
+let round_trip_cases =
+  [
+    ("MobV2", "VCU108", "hybrid/4");
+    ("Res50", "ZC706", "segmented/3");
+    ("XCp", "ZCU102", "segmentedrr/5");
+    ("Res152", "VCU110", "{L1-L4:CE1, L5-Last:CE2}");
+  ]
+
+let test_evaluate_round_trip () =
+  with_daemon (fun cfg _d ->
+      with_client cfg (fun c ->
+          List.iter
+            (fun (m, b, a) ->
+              let model = Option.get (Cnn.Model_zoo.by_abbreviation m) in
+              let board = Option.get (Platform.Board.by_name b) in
+              let archi = Result.get_ok (Arch.Shorthand.parse model a) in
+              let expected = Mccm.Evaluate.metrics model board archi in
+              let got =
+                ok_exn "evaluate"
+                  (Serve.Client.evaluate ~timeout_s:60.0 c ~model:m ~board:b
+                     ~arch:a)
+              in
+              check_metrics (Printf.sprintf "%s/%s/%s" m b a) expected got)
+            round_trip_cases))
+
+let test_explore_round_trip () =
+  with_daemon (fun cfg _d ->
+      let model = Option.get (Cnn.Model_zoo.by_abbreviation "MobV2") in
+      let board = Option.get (Platform.Board.by_name "VCU108") in
+      let direct =
+        Dse.Explore.run ~seed:7L ~samples:120 model board
+      in
+      with_client cfg (fun c ->
+          let r =
+            ok_exn "explore"
+              (Serve.Client.call ~timeout_s:120.0 c Serve.Protocol.Explore
+                 (Json.Obj
+                    [
+                      ("model", Json.Str "MobV2");
+                      ("board", Json.Str "VCU108");
+                      ("samples", Json.Num 120.0);
+                      ("seed", Json.Num 7.0);
+                    ]))
+          in
+          Alcotest.(check (option int))
+            "sampled" (Some 120)
+            (Option.bind (Json.member "sampled" r) Json.int_);
+          Alcotest.(check (option int))
+            "distinct"
+            (Some direct.Dse.Explore.distinct)
+            (Option.bind (Json.member "distinct" r) Json.int_);
+          Alcotest.(check (option int))
+            "feasible"
+            (Some (List.length direct.Dse.Explore.evaluated))
+            (Option.bind (Json.member "feasible" r) Json.int_);
+          let front = Option.get (Option.bind (Json.member "front" r) Json.list_) in
+          Alcotest.(check int)
+            "front size"
+            (List.length direct.Dse.Explore.front)
+            (List.length front);
+          List.iter2
+            (fun (p : Dse.Explore.evaluated Dse.Pareto.point) j ->
+              let e = p.Dse.Pareto.item in
+              let want_arch =
+                Arch.Notation.to_string
+                  (Arch.Custom.arch_of_spec model e.Dse.Explore.spec)
+              in
+              Alcotest.(check (option string))
+                "front arch" (Some want_arch)
+                (Option.bind (Json.member "arch" j) Json.string_);
+              let m =
+                Result.get_ok
+                  (Serve.Protocol.metrics_of_json
+                     (Option.get (Json.member "metrics" j)))
+              in
+              check_metrics "front metrics" e.Dse.Explore.metrics m)
+            direct.Dse.Explore.front front))
+
+let test_enumerate_round_trip () =
+  with_daemon (fun cfg _d ->
+      let model = Option.get (Cnn.Model_zoo.by_abbreviation "MobV2") in
+      let board = Option.get (Platform.Board.by_name "VCU108") in
+      let winner, stats =
+        Dse.Enumerate.exhaustive_best ~max_specs:2000 ~objective:`Throughput
+          ~ces:3 model board
+      in
+      with_client cfg (fun c ->
+          let r =
+            ok_exn "enumerate"
+              (Serve.Client.call ~timeout_s:120.0 c Serve.Protocol.Enumerate
+                 (Json.Obj
+                    [
+                      ("model", Json.Str "MobV2");
+                      ("board", Json.Str "VCU108");
+                      ("ces", Json.Num 3.0);
+                      ("max_specs", Json.Num 2000.0);
+                      ("objective", Json.Str "throughput");
+                    ]))
+          in
+          Alcotest.(check (option int))
+            "enumerated"
+            (Some stats.Dse.Enumerate.enumerated)
+            (Option.bind (Json.member "enumerated" r) Json.int_);
+          let e = Option.get winner in
+          let j = Option.get (Json.member "winner" r) in
+          Alcotest.(check (option string))
+            "winner arch"
+            (Some
+               (Arch.Notation.to_string
+                  (Arch.Custom.arch_of_spec model e.Dse.Explore.spec)))
+            (Option.bind (Json.member "arch" j) Json.string_);
+          let m =
+            Result.get_ok
+              (Serve.Protocol.metrics_of_json
+                 (Option.get (Json.member "metrics" j)))
+          in
+          check_metrics "winner metrics" e.Dse.Explore.metrics m))
+
+let test_validate_round_trip () =
+  with_daemon (fun cfg _d ->
+      with_client cfg (fun c ->
+          let r =
+            ok_exn "validate"
+              (Serve.Client.call ~timeout_s:300.0 c Serve.Protocol.Validate
+                 (Json.Obj
+                    [ ("samples", Json.Num 12.0); ("seed", Json.Num 3.0) ]))
+          in
+          Alcotest.(check (option bool))
+            "ok" (Some true)
+            (Option.bind (Json.member "ok" r) Json.bool_);
+          Alcotest.(check (option int))
+            "generated" (Some 12)
+            (Option.bind (Json.member "generated_cases" r) Json.int_)))
+
+(* --------------------------------------- concurrency bit-exactness *)
+
+(* The acceptance property: whatever the interleaving — concurrent
+   clients, pipelined frames, worker batching — every reply is
+   bit-identical to sequential single-process evaluation of the same
+   case.  Cases mix the committed corpus (synthetic models, raw
+   boards; exact round-trip serialisation) with fresh generated ones. *)
+let test_concurrent_bit_exact () =
+  let corpus =
+    match Validate.Corpus.load corpus_path with
+    | Ok cases -> cases
+    | Error msg -> Alcotest.failf "corpus: %s" msg
+  in
+  let generated =
+    List.init 10 (fun i ->
+        let rng = Util.Prng.create ~seed:(Int64.of_int (1000 + i)) in
+        Validate.Gen.case rng ~index:i)
+  in
+  let cases = corpus @ generated in
+  let expected =
+    List.map
+      (fun (case : Validate.Case.t) ->
+        Mccm.Evaluate.metrics case.Validate.Case.model
+          case.Validate.Case.board
+          (Validate.Case.materialize case))
+      cases
+  in
+  with_daemon
+    ~configure:(fun c -> { c with Serve.Daemon.workers = 2; batch_limit = 4 })
+    (fun cfg _d ->
+      let n_threads = 4 in
+      let failures = Atomic.make 0 in
+      let errors = Atomic.make 0 in
+      let rotate k l =
+        let n = List.length l in
+        List.init n (fun i -> List.nth l ((i + k) mod n))
+      in
+      let worker k =
+        with_client cfg (fun c ->
+            List.iter2
+              (fun (case : Validate.Case.t) want ->
+                match Serve.Client.evaluate_case ~timeout_s:120.0 c case with
+                | Ok got ->
+                  if not (metrics_equal want got) then Atomic.incr failures
+                | Error _ -> Atomic.incr errors)
+              (rotate k cases) (rotate k expected))
+      in
+      let threads = List.init n_threads (fun k -> Thread.create worker k) in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "transport errors" 0 (Atomic.get errors);
+      Alcotest.(check int) "bit-exactness failures" 0 (Atomic.get failures))
+
+(* ------------------------------------------- deadline / backpressure *)
+
+let test_deadline_expired_at_gate () =
+  with_daemon (fun cfg d ->
+      with_client cfg (fun c ->
+          let before_enq = counter d "enqueued" in
+          let before_disp = counter d "dispatched" in
+          (match
+             Serve.Client.evaluate ~timeout_s:30.0 ~deadline_ms:(-5.0) c
+               ~model:"MobV2" ~board:"VCU108" ~arch:"hybrid/4"
+           with
+          | Error ("deadline_exceeded", _) -> ()
+          | Ok _ -> Alcotest.fail "expired deadline was evaluated"
+          | Error (code, msg) ->
+            Alcotest.failf "wrong error: %s: %s" code msg);
+          (* The queue and the pool never saw the request. *)
+          Alcotest.(check int) "enqueued" before_enq (counter d "enqueued");
+          Alcotest.(check int) "dispatched" before_disp
+            (counter d "dispatched");
+          Alcotest.(check bool)
+            "rejected_deadline incremented" true
+            (counter d "rejected_deadline" > 0)))
+
+(* Fire the blocking sleep without waiting for its reply, so the test
+   thread is free to queue the doomed request behind it. *)
+let test_deadline_expired_at_dispatch () =
+  with_daemon
+    ~configure:(fun c -> { c with Serve.Daemon.workers = 1 })
+    (fun cfg d ->
+      with_client cfg (fun blocker ->
+          with_client cfg (fun c ->
+              Result.get_ok
+                (Serve.Client.send_line blocker
+                   "{\"id\":\"hold\",\"op\":\"sleep\",\"params\":{\"seconds\":0.5}}");
+              Alcotest.(check bool)
+                "worker occupied" true
+                (wait_until (fun () -> counter d "dispatched" >= 1));
+              (match
+                 Serve.Client.evaluate ~timeout_s:30.0 ~deadline_ms:50.0 c
+                   ~model:"MobV2" ~board:"VCU108" ~arch:"hybrid/4"
+               with
+              | Error ("deadline_exceeded", _) -> ()
+              | Ok _ -> Alcotest.fail "late request was evaluated"
+              | Error (code, msg) ->
+                Alcotest.failf "wrong error: %s: %s" code msg);
+              ignore (Serve.Client.recv_line ~timeout_s:30.0 blocker))))
+
+let test_backpressure_overloaded () =
+  with_daemon
+    ~configure:(fun c ->
+      { c with Serve.Daemon.workers = 1; queue_capacity = 2 })
+    (fun cfg d ->
+      with_client cfg (fun filler ->
+          with_client cfg (fun c ->
+              (* One request occupies the worker ... *)
+              Result.get_ok
+                (Serve.Client.send_line filler
+                   "{\"id\":0,\"op\":\"sleep\",\"params\":{\"seconds\":0.6}}");
+              Alcotest.(check bool)
+                "worker occupied" true
+                (wait_until (fun () -> counter d "dispatched" >= 1));
+              (* ... two more fill the queue to capacity ... *)
+              Result.get_ok
+                (Serve.Client.send_line filler
+                   "{\"id\":1,\"op\":\"sleep\",\"params\":{\"seconds\":0.05}}");
+              Result.get_ok
+                (Serve.Client.send_line filler
+                   "{\"id\":2,\"op\":\"sleep\",\"params\":{\"seconds\":0.05}}");
+              Alcotest.(check bool)
+                "queue full" true
+                (wait_until (fun () -> Serve.Daemon.queue_depth d >= 2));
+              let before = counter d "rejected_overloaded" in
+              (* ... and the next is refused immediately. *)
+              (match
+                 Serve.Client.evaluate ~timeout_s:30.0 c ~model:"MobV2"
+                   ~board:"VCU108" ~arch:"hybrid/4"
+               with
+              | Error ("overloaded", _) -> ()
+              | Ok _ -> Alcotest.fail "overloaded daemon accepted work"
+              | Error (code, msg) ->
+                Alcotest.failf "wrong error: %s: %s" code msg);
+              Alcotest.(check int)
+                "rejected counter" (before + 1)
+                (counter d "rejected_overloaded");
+              (* The queued work itself still completes. *)
+              List.iter
+                (fun _ ->
+                  match Serve.Client.recv_line ~timeout_s:30.0 filler with
+                  | Ok _ -> ()
+                  | Error msg -> Alcotest.failf "filler reply: %s" msg)
+                [ (); (); () ])))
+
+(* ---------------------------------------------------------- batching *)
+
+let test_batching () =
+  with_daemon
+    ~configure:(fun c ->
+      { c with Serve.Daemon.workers = 1; batch_limit = 8 })
+    (fun cfg d ->
+      let model = Option.get (Cnn.Model_zoo.by_abbreviation "MobV2") in
+      let board = Option.get (Platform.Board.by_name "VCU108") in
+      let archs = [ "hybrid/2"; "hybrid/3"; "hybrid/4"; "segmented/2"; "segmented/3" ] in
+      let expected =
+        List.map
+          (fun a ->
+            Mccm.Evaluate.metrics model board
+              (Result.get_ok (Arch.Shorthand.parse model a)))
+          archs
+      in
+      with_client cfg (fun blocker ->
+          with_client cfg (fun c ->
+              Result.get_ok
+                (Serve.Client.send_line blocker
+                   "{\"id\":0,\"op\":\"sleep\",\"params\":{\"seconds\":0.5}}");
+              Alcotest.(check bool)
+                "worker occupied" true
+                (wait_until (fun () -> counter d "dispatched" >= 1));
+              (* Pipeline the evaluates while the worker sleeps: they
+                 queue back-to-back and are served as one batch. *)
+              List.iteri
+                (fun i a ->
+                  Result.get_ok
+                    (Serve.Client.send_line c
+                       (Json.to_string
+                          (Json.Obj
+                             [
+                               ("id", Json.Num (float_of_int i));
+                               ("op", Json.Str "evaluate");
+                               ( "params",
+                                 Json.Obj
+                                   [
+                                     ("model", Json.Str "MobV2");
+                                     ("board", Json.Str "VCU108");
+                                     ("arch", Json.Str a);
+                                   ] );
+                             ]))))
+                archs;
+              Alcotest.(check bool)
+                "queue filled" true
+                (wait_until (fun () ->
+                     Serve.Daemon.queue_depth d >= List.length archs));
+              (* Collect one reply per request, match by id. *)
+              let got = Hashtbl.create 8 in
+              List.iter
+                (fun _ ->
+                  match Serve.Client.recv_line ~timeout_s:60.0 c with
+                  | Error msg -> Alcotest.failf "reply: %s" msg
+                  | Ok line -> (
+                    match Serve.Protocol.parse_reply line with
+                    | Error msg -> Alcotest.failf "reply parse: %s" msg
+                    | Ok { Serve.Protocol.reply_id; outcome } -> (
+                      match (Json.int_ reply_id, outcome) with
+                      | Some i, Ok r -> Hashtbl.replace got i r
+                      | _, Error (code, msg) ->
+                        Alcotest.failf "evaluate error: %s: %s" code msg
+                      | None, _ -> Alcotest.fail "reply without integer id")))
+                archs;
+              List.iteri
+                (fun i want ->
+                  let r = Hashtbl.find got i in
+                  let m =
+                    Result.get_ok
+                      (Serve.Protocol.metrics_of_json
+                         (Option.get (Json.member "metrics" r)))
+                  in
+                  check_metrics (List.nth archs i) want m)
+                expected;
+              Alcotest.(check bool)
+                "served as a batch" true
+                (counter d "batches" >= 1 && counter d "batched" >= 2);
+              ignore (Serve.Client.recv_line ~timeout_s:30.0 blocker))))
+
+(* ------------------------------------------------------------- drain *)
+
+let test_shutdown_drains () =
+  with_daemon
+    ~configure:(fun c -> { c with Serve.Daemon.workers = 1 })
+    (fun cfg d ->
+      with_client cfg (fun c ->
+          (* Queue work, then ask for shutdown; everything already
+             queued must still be answered. *)
+          List.iteri
+            (fun i a ->
+              Result.get_ok
+                (Serve.Client.send_line c
+                   (Printf.sprintf
+                      "{\"id\":%d,\"op\":\"evaluate\",\"params\":{\"model\":\"MobV2\",\"board\":\"VCU108\",\"arch\":\"%s\"}}"
+                      i a)))
+            [ "hybrid/2"; "hybrid/3"; "hybrid/4" ];
+          Result.get_ok
+            (Serve.Client.send_line c "{\"id\":99,\"op\":\"shutdown\"}");
+          let oks = ref 0 and draining = ref false in
+          List.iter
+            (fun _ ->
+              match Serve.Client.recv_line ~timeout_s:60.0 c with
+              | Error msg -> Alcotest.failf "drain reply: %s" msg
+              | Ok line -> (
+                match Serve.Protocol.parse_reply line with
+                | Ok { Serve.Protocol.outcome = Ok r; _ } ->
+                  if Json.member "draining" r <> None then draining := true
+                  else incr oks
+                | Ok { Serve.Protocol.outcome = Error (code, msg); _ } ->
+                  Alcotest.failf "drain error reply: %s: %s" code msg
+                | Error msg -> Alcotest.failf "drain parse: %s" msg))
+            [ (); (); (); () ];
+          Alcotest.(check int) "evaluations answered" 3 !oks;
+          Alcotest.(check bool) "shutdown acknowledged" true !draining;
+          Alcotest.(check bool)
+            "daemon stopping" true
+            (wait_until (fun () -> Serve.Daemon.stopping d))))
+
+(* ---------------------------------------------------------- run all *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "round-trip",
+        [
+          Alcotest.test_case "ping" `Quick test_ping;
+          Alcotest.test_case "evaluate (4 cases)" `Quick
+            test_evaluate_round_trip;
+          Alcotest.test_case "explore" `Quick test_explore_round_trip;
+          Alcotest.test_case "enumerate" `Quick test_enumerate_round_trip;
+          Alcotest.test_case "validate" `Slow test_validate_round_trip;
+        ] );
+      ( "bit-exactness",
+        [
+          Alcotest.test_case "concurrent corpus + generated replay" `Slow
+            test_concurrent_bit_exact;
+        ] );
+      ( "deadline-backpressure",
+        [
+          Alcotest.test_case "expired at gate: immediate, pool untouched"
+            `Quick test_deadline_expired_at_gate;
+          Alcotest.test_case "expired in queue: rejected at dispatch" `Quick
+            test_deadline_expired_at_dispatch;
+          Alcotest.test_case "full queue: overloaded + counter" `Quick
+            test_backpressure_overloaded;
+        ] );
+      ( "batching",
+        [ Alcotest.test_case "consecutive evaluates batched" `Quick
+            test_batching ] );
+      ( "drain",
+        [ Alcotest.test_case "shutdown drains queued work" `Quick
+            test_shutdown_drains ] );
+    ]

@@ -436,11 +436,79 @@ let prop_heap_interleaved =
             Util.Heap.length h = S.cardinal !reference))
         ops)
 
+(* The serve protocol rides on Util.Json, and the daemon's bit-exactness
+   contract rides on its float round-trip: print/parse must be the
+   identity on every finite double and on arbitrary (escaped) strings. *)
+let gen_json =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [
+        return Util.Json.Null;
+        map (fun b -> Util.Json.Bool b) bool;
+        (* Finite doubles only: JSON has no NaN/inf (they print as null
+           by design, breaking identity on purpose). *)
+        map (fun f -> Util.Json.Num f)
+          (oneof [ float; map float_of_int int; return 0.0; return (-0.0) ]);
+        map (fun s -> Util.Json.Str s) string_printable;
+        map (fun s -> Util.Json.Str s)
+          (string_size ~gen:(map Char.chr (int_range 1 255)) (int_range 0 20));
+      ]
+  in
+  sized @@ fix (fun self n ->
+      if n <= 0 then leaf
+      else
+        oneof
+          [
+            leaf;
+            map (fun vs -> Util.Json.Arr vs)
+              (list_size (int_range 0 4) (self (n / 2)));
+            map (fun kvs -> Util.Json.Obj kvs)
+              (list_size (int_range 0 4)
+                 (pair string_printable (self (n / 2))));
+          ])
+
+let rec json_has_nonfinite = function
+  | Util.Json.Num f -> Float.is_nan f || Float.abs f = Float.infinity
+  | Util.Json.Arr vs -> List.exists json_has_nonfinite vs
+  | Util.Json.Obj kvs -> List.exists (fun (_, v) -> json_has_nonfinite v) kvs
+  | _ -> false
+
+let prop_json_roundtrip =
+  QCheck2.Test.make ~name:"json parse (to_string v) = v" ~count:500 gen_json
+    (fun v ->
+      QCheck2.assume (not (json_has_nonfinite v));
+      match Util.Json.parse (Util.Json.to_string v) with
+      | Ok v' -> v' = v
+      | Error _ -> false)
+
+let prop_json_pretty_agrees =
+  QCheck2.Test.make ~name:"json pretty printer parses to the same value"
+    ~count:200 gen_json (fun v ->
+      QCheck2.assume (not (json_has_nonfinite v));
+      Util.Json.parse (Util.Json.to_string_pretty v) = Ok v)
+
+let prop_json_trailing_garbage =
+  QCheck2.Test.make ~name:"json rejects trailing garbage" ~count:200 gen_json
+    (fun v ->
+      match Util.Json.parse (Util.Json.to_string v ^ " x") with
+      | Error _ -> true
+      | Ok _ -> false)
+
+let prop_json_depth_cap =
+  QCheck2.Test.make ~name:"json depth cap rejects deep nesting"
+    QCheck2.Gen.(int_range 70 200)
+    (fun depth ->
+      let s = String.make depth '[' ^ String.make depth ']' in
+      match Util.Json.parse s with Error _ -> true | Ok _ -> false)
+
 let properties =
   List.map QCheck_alcotest.to_alcotest
     [ prop_ceil_div; prop_divisors; prop_partition_cover; prop_prng_distinct;
       prop_quantile_reference; prop_quantile_bounded_monotone;
-      prop_heap_pop_sorted; prop_heap_interleaved ]
+      prop_heap_pop_sorted; prop_heap_interleaved; prop_json_roundtrip;
+      prop_json_pretty_agrees; prop_json_trailing_garbage;
+      prop_json_depth_cap ]
 
 let () =
   Alcotest.run "util"
