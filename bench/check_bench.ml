@@ -397,16 +397,19 @@ let gate current_path baseline_path tolerance trace_tol =
 
 (* ------------------------------------------------------- serve gate *)
 
-(* BENCH_serve.json (mccm-bench-serve/1): hard validity asserts always
-   (progress was made, nothing errored, nothing dropped); the
-   throughput floor only against a committed baseline recorded on a
-   comparable box (same workers and recommended_domains) — the gate
-   stays dormant until such a baseline exists, like the DSE scaling
-   gates above. *)
-let check_serve current_path baseline_path tolerance =
+(* BENCH_serve.json (mccm-bench-serve/1 or /2): hard validity asserts
+   always (progress was made, nothing errored, nothing dropped); /2
+   files additionally carry the interleaved flight-recorder A/B, whose
+   overhead is gated hard at [flight_tol] (default 2%) — the recorder
+   rides every production reply, so it must stay in the noise.  The
+   throughput floor only gates against a committed baseline recorded on
+   a comparable box (same workers and recommended_domains) — it stays
+   dormant until such a baseline exists, like the DSE scaling gates
+   above. *)
+let check_serve ?(flight_tol = 0.02) current_path baseline_path tolerance =
   let json = load current_path in
   (match member "schema" json with
-  | Some (Str "mccm-bench-serve/1") -> ()
+  | Some (Str "mccm-bench-serve/1") | Some (Str "mccm-bench-serve/2") -> ()
   | Some (Str other) -> failwith ("serve schema: unexpected " ^ other)
   | _ -> failwith "serve schema: missing");
   let num name = num_exn name (member name json) in
@@ -424,6 +427,18 @@ let check_serve current_path baseline_path tolerance =
   hard "serve_errors" (errors = 0.0) (Printf.sprintf "%.0f errors" errors);
   hard "serve_dropped" (dropped = 0.0)
     (Printf.sprintf "%.0f dropped connections" dropped);
+  (match member "flight" json with
+  | Some flight ->
+    let fnum name = num_exn ("flight." ^ name) (member name flight) in
+    let off = fnum "disabled_evals_per_sec" in
+    let on = fnum "enabled_evals_per_sec" in
+    let overhead = fnum "overhead" in
+    hard "flight_progress" (off > 0.0 && on > 0.0)
+      (Printf.sprintf "%.0f evals/s off, %.0f evals/s on" off on);
+    hard "flight_overhead" (overhead <= flight_tol)
+      (Printf.sprintf "%.1f%% (budget %.1f%%)" (100.0 *. overhead)
+         (100.0 *. flight_tol))
+  | None -> ());
   (match baseline_path with
   | Some path when Sys.file_exists path ->
     let base = load path in
@@ -472,6 +487,13 @@ let () =
     with Failure msg | Parse_error msg ->
       Printf.printf "FAIL %s: %s\n" c msg;
       exit 1)
+  | [ _; "--serve"; c; b; t; ft ] -> (
+    try
+      check_serve ~flight_tol:(float_of_string ft) c (Some b)
+        (float_of_string t)
+    with Failure msg | Parse_error msg ->
+      Printf.printf "FAIL %s: %s\n" c msg;
+      exit 1)
   | [ _; "--validate-trace"; path ] -> (
     try validate_trace path
     with Failure msg | Parse_error msg ->
@@ -484,6 +506,7 @@ let () =
     prerr_endline
       "usage: check_bench <current.json> <baseline.json> [tolerance] \
        [trace_tol]\n\
-      \       check_bench --serve <current.json> [baseline.json [tolerance]]\n\
+      \       check_bench --serve <current.json> [baseline.json [tolerance \
+       [flight_tol]]]\n\
       \       check_bench --validate-trace <trace.json>";
     exit 2

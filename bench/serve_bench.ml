@@ -1,11 +1,17 @@
 (* Sustained-throughput benchmark for the mccm daemon.
 
-   Starts an in-process daemon, hammers it with concurrent clients
-   sending evaluate requests over the real Unix socket for a fixed
-   wall-clock budget, and records sustained replies/sec plus
-   client-observed latency quantiles into BENCH_serve.json
-   (mccm-bench-serve/1).  check_bench --serve validates the file and —
-   when a comparable committed baseline exists — gates the rate.
+   Starts an in-process daemon and hammers it with concurrent clients
+   sending evaluate requests over the real Unix socket.  The wall-clock
+   budget is split into four interleaved phases — flight recorder
+   disabled / enabled / disabled / enabled — toggled in-process, so the
+   same warm daemon serves both arms and drift (cache state, CPU
+   frequency) cancels out.  Records the combined sustained replies/sec
+   plus client-observed latency quantiles, and the per-arm best rates
+   with the flight-recorder overhead, into BENCH_serve.json
+   (mccm-bench-serve/2; the /1 headline fields are kept, computed over
+   the combined window).  check_bench --serve validates the file and —
+   when a comparable committed baseline exists — gates the rate and the
+   flight overhead.
 
    Usage: serve.exe [out.json] [--seconds S] [--clients N] [--workers N] *)
 
@@ -87,6 +93,43 @@ let client_loop sock stop tally k =
     done;
     Serve.Client.close c
 
+type phase_result = {
+  p_replies : int;
+  p_errors : int;
+  p_dropped : int;
+  p_elapsed : float;
+  p_latencies_ms : float list;
+}
+
+let run_phase o sock ~seconds =
+  let stop = Atomic.make false in
+  let tallies =
+    Array.init o.clients (fun _ ->
+        { replies = 0; errors = 0; dropped = 0; latencies_ms = [] })
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    Array.to_list
+      (Array.mapi
+         (fun k t -> Thread.create (fun () -> client_loop sock stop t k) ())
+         tallies)
+  in
+  Thread.delay seconds;
+  Atomic.set stop true;
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let total f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+  {
+    p_replies = total (fun t -> t.replies);
+    p_errors = total (fun t -> t.errors);
+    p_dropped = total (fun t -> t.dropped);
+    p_elapsed = elapsed;
+    p_latencies_ms =
+      Array.fold_left
+        (fun acc t -> List.rev_append t.latencies_ms acc)
+        [] tallies;
+  }
+
 let () =
   let o = parse_argv () in
   let sock =
@@ -101,7 +144,7 @@ let () =
     }
   in
   let h = Serve.Daemon.spawn cfg in
-  (* Warm the session once so the measured window is steady state. *)
+  (* Warm the session once so every measured phase is steady state. *)
   let warm = Serve.Client.connect_exn sock in
   Array.iter
     (fun arch ->
@@ -115,37 +158,54 @@ let () =
         exit 1)
     archs;
   Serve.Client.close warm;
-  let stop = Atomic.make false in
-  let tallies =
-    Array.init o.clients (fun _ ->
-        { replies = 0; errors = 0; dropped = 0; latencies_ms = [] })
+  (* Interleaved A/B: the daemon is in-process, so flipping the flight
+     gate flips what its workers consult on the very next request.
+     Eight alternating phases, best-of-four per arm: scheduling noise
+     on a shared box swings individual windows by several percent, but
+     the best window of each arm converges on that arm's true peak, so
+     the overhead estimate is stable where a single pair is not. *)
+  let phase_s = Float.max 0.4 (o.seconds /. 8.0) in
+  let phases =
+    List.map
+      (fun flight_on ->
+        if flight_on then Mccm_obs.Flight.enable ()
+        else Mccm_obs.Flight.disable ();
+        let r = run_phase o sock ~seconds:phase_s in
+        (flight_on, r))
+      [ false; true; false; true; false; true; false; true ]
   in
-  let t0 = Unix.gettimeofday () in
-  let threads =
-    Array.to_list
-      (Array.mapi
-         (fun k t -> Thread.create (fun () -> client_loop sock stop t k) ())
-         tallies)
-  in
-  Thread.delay o.seconds;
-  Atomic.set stop true;
-  List.iter Thread.join threads;
-  let elapsed = Unix.gettimeofday () -. t0 in
+  Mccm_obs.Flight.enable ();
   Serve.Daemon.shutdown h;
-  let total f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
-  let replies = total (fun t -> t.replies) in
-  let errors = total (fun t -> t.errors) in
-  let dropped = total (fun t -> t.dropped) in
+  let rate r = float_of_int r.p_replies /. Float.max 1e-9 r.p_elapsed in
+  let best on =
+    List.fold_left
+      (fun acc (o', r) -> if o' = on then Float.max acc (rate r) else acc)
+      0.0 phases
+  in
+  let disabled_rate = best false and enabled_rate = best true in
+  let overhead =
+    if disabled_rate <= 0.0 then 0.0
+    else Float.max 0.0 (1.0 -. (enabled_rate /. disabled_rate))
+  in
+  (* /1-compatible headline numbers over the combined window *)
+  let sum f = List.fold_left (fun acc (_, r) -> acc + f r) 0 phases in
+  let replies = sum (fun r -> r.p_replies) in
+  let errors = sum (fun r -> r.p_errors) in
+  let dropped = sum (fun r -> r.p_dropped) in
+  let elapsed =
+    List.fold_left (fun acc (_, r) -> acc +. r.p_elapsed) 0.0 phases
+  in
   let lat =
-    Array.fold_left (fun acc t -> List.rev_append t.latencies_ms acc) []
-      tallies
+    List.fold_left
+      (fun acc (_, r) -> List.rev_append r.p_latencies_ms acc)
+      [] phases
   in
   let q p = if lat = [] then 0.0 else Util.Stats.quantile lat ~q:p in
   let evals_per_sec = float_of_int replies /. elapsed in
   let doc =
     Json.Obj
       [
-        ("schema", Json.Str "mccm-bench-serve/1");
+        ("schema", Json.Str "mccm-bench-serve/2");
         ("workers", Json.Num (float_of_int o.workers));
         ("clients", Json.Num (float_of_int o.clients));
         ( "recommended_domains",
@@ -162,6 +222,13 @@ let () =
             ] );
         ("errors", Json.Num (float_of_int errors));
         ("dropped", Json.Num (float_of_int dropped));
+        ( "flight",
+          Json.Obj
+            [
+              ("disabled_evals_per_sec", Json.Num disabled_rate);
+              ("enabled_evals_per_sec", Json.Num enabled_rate);
+              ("overhead", Json.Num overhead);
+            ] );
       ]
   in
   let oc = open_out o.out in
@@ -170,6 +237,9 @@ let () =
   close_out oc;
   Printf.printf
     "serve bench: %d replies in %.1fs (%.0f evals/s), p50 %.2f ms, p95 %.2f \
-     ms, p99 %.2f ms, %d errors, %d dropped -> %s\n"
-    replies elapsed evals_per_sec (q 0.50) (q 0.95) (q 0.99) errors dropped
-    o.out
+     ms, p99 %.2f ms, %d errors, %d dropped\n"
+    replies elapsed evals_per_sec (q 0.50) (q 0.95) (q 0.99) errors dropped;
+  Printf.printf
+    "flight recorder: %.0f evals/s off vs %.0f evals/s on (overhead %.1f%%) \
+     -> %s\n"
+    disabled_rate enabled_rate (100.0 *. overhead) o.out

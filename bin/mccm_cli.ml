@@ -761,7 +761,50 @@ let serve_cmd =
              seen; off by default so a long-lived daemon's RSS stays \
              flat.")
   in
-  let run obs socket workers queue_cap batch max_frame store_arch =
+  let telemetry_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "Append one JSONL stats snapshot (the $(b,stats) reply \
+             shape) to $(docv) every telemetry tick.")
+  in
+  let prom_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:
+            "Maintain $(docv) as a Prometheus text-format export, \
+             replaced atomically (tmp + rename) every telemetry tick — \
+             point a node_exporter textfile collector or a scraper \
+             sidecar at it.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "telemetry-interval" ] ~docv:"SECONDS"
+          ~doc:"Telemetry writer tick period.")
+  in
+  let flight_cap_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "flight-cap" ] ~docv:"N"
+          ~doc:
+            "Per-domain flight-recorder ring capacity (0 disables the \
+             recorder; the $(b,recent) op then reports it disabled).")
+  in
+  let slow_ms_arg =
+    Arg.(
+      value & opt float 50.0
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Requests at least $(docv) milliseconds of evaluation time \
+             are retained by the flight recorder beyond ring eviction.")
+  in
+  let run obs socket workers queue_cap batch max_frame store_arch telemetry
+      prom interval flight_cap slow_ms =
     with_obs "serve" obs @@ fun () ->
     let cfg = Serve.Daemon.default ~socket_path:socket in
     let cfg =
@@ -773,6 +816,11 @@ let serve_cmd =
         batch_limit = batch;
         max_frame_bytes = max_frame;
         store_arch;
+        flight_capacity = flight_cap;
+        flight_slow_ms = slow_ms;
+        telemetry_path = telemetry;
+        prom_path = prom;
+        telemetry_interval_s = interval;
       }
     in
     match Serve.Daemon.create cfg with
@@ -804,7 +852,8 @@ let serve_cmd =
           socket (newline-delimited JSON).")
     Term.(
       const run $ obs_args $ socket_arg $ workers_arg $ queue_arg $ batch_arg
-      $ max_frame_arg $ store_arch_arg)
+      $ max_frame_arg $ store_arch_arg $ telemetry_arg $ prom_arg
+      $ interval_arg $ flight_cap_arg $ slow_ms_arg)
 
 (* ----------------------------------------------------------- client *)
 
@@ -816,8 +865,8 @@ let client_cmd =
       & info [] ~docv:"OP"
           ~doc:
             "Request: $(b,ping), $(b,evaluate), $(b,explore), \
-             $(b,enumerate), $(b,validate), $(b,stats), $(b,sleep) or \
-             $(b,shutdown).")
+             $(b,enumerate), $(b,validate), $(b,stats), $(b,health), \
+             $(b,recent), $(b,sleep) or $(b,shutdown).")
   in
   let deadline_arg =
     Arg.(
@@ -852,8 +901,19 @@ let client_cmd =
   let seed_arg = int_opt "seed" "PRNG seed." in
   let ces_arg = int_opt "ces" "enumerate CE count." in
   let max_specs_arg = int_opt "max-specs" "enumerate spec cap." in
+  let n_arg = int_opt "n" "recent flight-record count." in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable output: one compact JSON object on \
+             stdout, $(b,{\"ok\":true,\"result\":..}) or \
+             $(b,{\"ok\":false,\"error\":{\"code\":..,\"message\":..}}) \
+             (still exit 1 on error).")
+  in
   let run obs socket op deadline_ms raw model board arch objective samples
-      seed ces max_specs =
+      seed ces max_specs n json =
     with_obs "client" obs @@ fun () ->
     let params =
       match raw with
@@ -874,23 +934,42 @@ let client_cmd =
             ("ces", Option.map (fun n -> Util.Json.Num n) (num ces));
             ( "max_specs",
               Option.map (fun n -> Util.Json.Num n) (num max_specs) );
+            ("n", Option.map (fun n -> Util.Json.Num n) (num n));
           ]
     in
-    match Serve.Client.connect socket with
-    | Error msg ->
-      Format.eprintf "error: %s@." msg;
+    let report_error code msg =
+      if json then
+        print_endline
+          (Util.Json.to_string
+             (Util.Json.Obj
+                [
+                  ("ok", Util.Json.Bool false);
+                  ( "error",
+                    Util.Json.Obj
+                      [
+                        ("code", Util.Json.Str code);
+                        ("message", Util.Json.Str msg);
+                      ] );
+                ]))
+      else Format.eprintf "error: %s: %s@." code msg;
       1
+    in
+    match Serve.Client.connect socket with
+    | Error msg -> report_error "transport" msg
     | Ok c ->
       Fun.protect
         ~finally:(fun () -> Serve.Client.close c)
         (fun () ->
           match Serve.Client.call ?deadline_ms c op params with
           | Ok result ->
-            print_endline (Util.Json.to_string_pretty result);
+            if json then
+              print_endline
+                (Util.Json.to_string
+                   (Util.Json.Obj
+                      [ ("ok", Util.Json.Bool true); ("result", result) ]))
+            else print_endline (Util.Json.to_string_pretty result);
             0
-          | Error (code, msg) ->
-            Format.eprintf "error: %s: %s@." code msg;
-            1)
+          | Error (code, msg) -> report_error code msg)
   in
   Cmd.v
     (Cmd.info "client"
@@ -900,7 +979,235 @@ let client_cmd =
     Term.(
       const run $ obs_args $ socket_arg $ op_arg $ deadline_arg $ params_arg
       $ model_arg $ board_arg $ arch_arg $ objective_arg $ samples_arg
-      $ seed_arg $ ces_arg $ max_specs_arg)
+      $ seed_arg $ ces_arg $ max_specs_arg $ n_arg $ json_arg)
+
+(* -------------------------------------------------------------- top *)
+
+(* Live daemon dashboard: poll [stats], decode the exact metrics
+   snapshot, and turn consecutive snapshots into interval rates and
+   interval latency quantiles via Metric.delta.  One connection for the
+   whole watch — the polls themselves are served inline by the daemon's
+   reader thread, so the dashboard keeps refreshing even when every
+   worker is busy. *)
+let top_cmd =
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Refresh period (clamped to at least 0.1 s).")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) refreshes; 0 runs until interrupted or \
+             the daemon goes away.")
+  in
+  let run socket interval count =
+    let module Json = Util.Json in
+    let module Metric = Mccm_obs.Metric in
+    let interval = Float.max 0.1 interval in
+    let number name j = Option.bind (Json.member name j) Json.number in
+    let counter_of reply name =
+      match
+        Option.bind (Json.member "counters" reply) (Json.member name)
+      with
+      | Some v -> ( match Json.number v with Some f -> int_of_float f | None -> 0)
+      | None -> 0
+    in
+    let rejected reply =
+      counter_of reply "rejected_overloaded"
+      + counter_of reply "rejected_deadline"
+      + counter_of reply "rejected_shutdown"
+      + counter_of reply "rejected_parse"
+      + counter_of reply "rejected_oversized"
+    in
+    let errors reply =
+      counter_of reply "errors_bad_params" + counter_of reply "errors_internal"
+    in
+    (* "serve.<op>.latency" -> Some "<op>" *)
+    let op_of_latency name =
+      let prefix = "serve." and suffix = ".latency" in
+      let n = String.length name in
+      let pn = String.length prefix and sn = String.length suffix in
+      if n > pn + sn && String.sub name 0 pn = prefix
+         && String.sub name (n - sn) sn = suffix
+      then Some (String.sub name pn (n - pn - sn))
+      else None
+    in
+    let pp_ms h q =
+      Printf.sprintf "%.2f ms" (1e3 *. Metric.quantile h ~q)
+    in
+    let render reply ~(window : Metric.snapshot) ~dt ~prev_counters =
+      let buf = Buffer.create 1024 in
+      let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+      let snap =
+        match Option.map Metric.of_json (Json.member "metrics" reply) with
+        | Some (Ok s) -> Some s
+        | _ -> None
+      in
+      let version =
+        match Json.member "version" reply with
+        | Some (Json.Str v) -> v
+        | _ -> "?"
+      in
+      let draining =
+        match Json.member "draining" reply with
+        | Some (Json.Bool b) -> b
+        | _ -> false
+      in
+      let gauge name =
+        Option.bind snap (fun s -> List.assoc_opt name s.Metric.gauges)
+      in
+      line "mccm top — %s · %s · up %.0f s · %d workers%s" socket version
+        (Option.value ~default:0.0 (number "uptime_s" reply))
+        (int_of_float (Option.value ~default:0.0 (number "workers" reply)))
+        (if draining then " · DRAINING" else "");
+      line "queue %d/%d (peak %s) · sessions %d · window %.1f s"
+        (int_of_float (Option.value ~default:0.0 (number "queue_depth" reply)))
+        (int_of_float
+           (Option.value ~default:0.0 (number "queue_capacity" reply)))
+        (match gauge "serve.queue.peak" with
+        | Some p -> Printf.sprintf "%.0f" p
+        | None -> "-")
+        (int_of_float (Option.value ~default:0.0 (number "sessions" reply)))
+        dt;
+      let activity =
+        Util.Table.create ~title:"activity"
+          ~columns:
+            [ ("counter", Util.Table.Left); ("total", Util.Table.Right);
+              ("window", Util.Table.Right); ("rate", Util.Table.Right) ]
+          ()
+      in
+      List.iter
+        (fun (label, total) ->
+          let before =
+            Option.value ~default:0 (List.assoc_opt label prev_counters)
+          in
+          let d = total - before in
+          Util.Table.add_row activity
+            [ label; string_of_int total; string_of_int d;
+              Printf.sprintf "%.1f/s" (float_of_int d /. dt) ])
+        [
+          ("requests", counter_of reply "requests");
+          ("completed", counter_of reply "completed");
+          ("replies", counter_of reply "replies");
+          ("batches", counter_of reply "batches");
+          ("rejected", rejected reply);
+          ("errors", errors reply);
+        ];
+      Buffer.add_string buf (Util.Table.render activity);
+      Buffer.add_char buf '\n';
+      (match snap with
+      | None -> ()
+      | Some snap ->
+        let rows =
+          List.filter_map
+            (fun (name, life) ->
+              match op_of_latency name with
+              | Some op when life.Metric.count > 0 ->
+                let win =
+                  Option.value ~default:Metric.{ life with count = 0; samples = [||] }
+                    (List.assoc_opt name window.Metric.histograms)
+                in
+                (* interval quantiles when the window saw traffic,
+                   lifetime otherwise *)
+                let h =
+                  if win.Metric.count > 0 && Array.length win.Metric.samples > 0
+                  then win
+                  else life
+                in
+                Some
+                  [ op; string_of_int win.Metric.count;
+                    string_of_int life.Metric.count;
+                    pp_ms h 0.5; pp_ms h 0.95; pp_ms h 0.99 ]
+              | _ -> None)
+            snap.Metric.histograms
+        in
+        if rows <> [] then begin
+          let lat =
+            Util.Table.create ~title:"latency by op (window, lifetime fallback)"
+              ~columns:
+                [ ("op", Util.Table.Left); ("window n", Util.Table.Right);
+                  ("total n", Util.Table.Right); ("p50", Util.Table.Right);
+                  ("p95", Util.Table.Right); ("p99", Util.Table.Right) ]
+              ()
+          in
+          List.iter (Util.Table.add_row lat) rows;
+          Buffer.add_string buf (Util.Table.render lat);
+          Buffer.add_char buf '\n'
+        end);
+      Buffer.contents buf
+    in
+    match Serve.Client.connect socket with
+    | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let tty = Unix.isatty Unix.stdout in
+          let prev = ref None in
+          let rec loop i =
+            match Serve.Client.stats ~timeout_s:5.0 c with
+            | Error (code, msg) ->
+              if i = 0 then begin
+                Format.eprintf "error: %s: %s@." code msg;
+                1
+              end
+              else begin
+                Format.printf "daemon gone (%s: %s)@." code msg;
+                0
+              end
+            | Ok reply ->
+              let now = Unix.gettimeofday () in
+              let snap =
+                match Option.map Metric.of_json (Json.member "metrics" reply) with
+                | Some (Ok s) -> s
+                | _ -> { Metric.counters = []; gauges = []; histograms = [] }
+              in
+              let counter_keys =
+                [ "requests"; "completed"; "replies"; "batches" ]
+              in
+              let cur_counters =
+                ("rejected", rejected reply) :: ("errors", errors reply)
+                :: List.map (fun k -> (k, counter_of reply k)) counter_keys
+              in
+              let dt, prev_counters, prev_snap =
+                match !prev with
+                | Some (t0, counters0, snap0) ->
+                  (Float.max 1e-9 (now -. t0), counters0, snap0)
+                | None ->
+                  (* first frame: the window is the daemon's whole life *)
+                  ( Float.max 1e-9
+                      (Option.value ~default:interval (number "uptime_s" reply)),
+                    [],
+                    { Metric.counters = []; gauges = []; histograms = [] } )
+              in
+              let window = Metric.delta snap prev_snap in
+              prev := Some (now, cur_counters, snap);
+              let frame = render reply ~window ~dt ~prev_counters in
+              if tty then print_string "\027[2J\027[H";
+              print_string frame;
+              flush stdout;
+              if count > 0 && i + 1 >= count then 0
+              else begin
+                Unix.sleepf interval;
+                loop (i + 1)
+              end
+          in
+          loop 0)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard over a running $(b,mccm serve) daemon: poll \
+          $(b,stats), difference consecutive exact metric snapshots, \
+          and show throughput / rejection rates and per-op interval \
+          latency quantiles.")
+    Term.(const run $ socket_arg $ interval_arg $ count_arg)
 
 let () =
   let doc = "Analytical cost model for multiple compute-engine CNN accelerators" in
@@ -908,4 +1215,4 @@ let () =
   exit (Cmd.eval' (Cmd.group info
           [ eval_cmd; sweep_cmd; explore_cmd; validate_cmd; compress_cmd;
             refine_cmd; enumerate_cmd; layers_cmd; trace_cmd; models_cmd;
-            boards_cmd; serve_cmd; client_cmd ]))
+            boards_cmd; serve_cmd; client_cmd; top_cmd ]))

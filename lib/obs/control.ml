@@ -1,15 +1,36 @@
-(* Bit 0: stats recording; bit 1: span events kept for export.  A
-   single atomic int so the disabled fast path is one load. *)
+(* Bit 0: stats recording; bit 1: span events kept for export; bit 2:
+   flight recorder.  A single atomic int so every disabled fast path is
+   one load. *)
 
 let stats_bit = 1
 let trace_bit = 2
+let flight_bit = 4
 let state = Atomic.make 0
 
 let enabled () = Atomic.get state <> 0
 let stats_on () = Atomic.get state land stats_bit <> 0
 let tracing_on () = Atomic.get state land trace_bit <> 0
+let flight_on () = Atomic.get state land flight_bit <> 0
+let span_on () = Atomic.get state land (stats_bit lor trace_bit) <> 0
 
 let enable ?(tracing = false) () =
-  Atomic.set state (stats_bit lor if tracing then trace_bit else 0)
+  let rec go () =
+    let cur = Atomic.get state in
+    let v =
+      cur land flight_bit
+      lor stats_bit
+      lor (if tracing then trace_bit else 0)
+    in
+    if not (Atomic.compare_and_set state cur v) then go ()
+  in
+  go ()
+
+let set_flight on =
+  let rec go () =
+    let cur = Atomic.get state in
+    let v = if on then cur lor flight_bit else cur land lnot flight_bit in
+    if not (Atomic.compare_and_set state cur v) then go ()
+  in
+  go ()
 
 let disable () = Atomic.set state 0

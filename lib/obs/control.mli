@@ -1,17 +1,22 @@
 (** The single switch every instrumentation hook checks.
 
     Hooks throughout the evaluator, builder, DSE and validation layers
-    compile to [if Control.enabled () then ...] — one atomic load on a
-    read-mostly cache line when instrumentation is off, which is what
-    keeps the disabled overhead under the bench gate's threshold.
+    compile to [if Control.stats_on () then ...] (or [span_on] /
+    [flight_on]) — one atomic load on a read-mostly cache line when
+    instrumentation is off, which is what keeps the disabled overhead
+    under the bench gate's threshold.
 
-    Two facets can be on: {e stats} (metric counters, gauges and span
-    duration histograms record) and {e tracing} (span events are kept
-    for Chrome-trace export).  Tracing implies stats, so a traced run
-    always has the duration histograms behind its phase breakdown. *)
+    Three facets share the one atomic word: {e stats} (metric counters,
+    gauges and span duration histograms record), {e tracing} (span
+    events are kept for Chrome-trace export) and {e flight} (the
+    {!Flight} per-request ring recorder).  Tracing implies stats, so a
+    traced run always has the duration histograms behind its phase
+    breakdown; flight is independent of both, so a serving daemon can
+    keep its flight recorder on without paying for span
+    instrumentation. *)
 
 val enabled : unit -> bool
-(** Any instrumentation on?  The one check on hot paths. *)
+(** Any instrumentation on? *)
 
 val stats_on : unit -> bool
 (** Metrics (counters / gauges / histograms) recording? *)
@@ -19,10 +24,21 @@ val stats_on : unit -> bool
 val tracing_on : unit -> bool
 (** Span events kept for trace export? *)
 
+val flight_on : unit -> bool
+(** Per-request flight recorder on? *)
+
+val span_on : unit -> bool
+(** Stats or tracing on — the {!Span.with_span} gate.  Flight alone
+    does not light span instrumentation. *)
+
 val enable : ?tracing:bool -> unit -> unit
 (** Turn stats on; with [tracing:true] (default false) also keep span
-    events. *)
+    events.  The flight bit is preserved. *)
+
+val set_flight : bool -> unit
+(** Switch the flight recorder on or off, leaving stats/tracing
+    untouched. *)
 
 val disable : unit -> unit
-(** Turn everything off.  Recorded data is kept until
-    {!Metric.reset} / {!Span.clear}. *)
+(** Turn everything off (stats, tracing and flight).  Recorded data is
+    kept until {!Metric.reset} / {!Span.clear} / {!Flight.clear}. *)

@@ -1,0 +1,153 @@
+(* Fixed-capacity per-domain ring of per-request records, behind the
+   same one-atomic-load gate as spans (Control.flight_on).  The record
+   path touches only domain-local mutable state; a slow-request side
+   buffer keeps the worst offenders even after the ring has wrapped
+   past them. *)
+
+type record = {
+  rid : string;
+  op : string;
+  worker : int;
+  t_ns : int;
+  queue_ns : int;
+  eval_ns : int;
+  bytes_in : int;
+  bytes_out : int;
+  outcome : string;
+}
+
+type cell = {
+  mutable ring : record option array;
+  mutable pos : int;
+  mutable total : int;
+  mutable slow : record list; (* length <= slow_keep *)
+  mutable slow_len : int;
+}
+
+let capacity = Atomic.make 512
+let slow_ns = Atomic.make 50_000_000
+let slow_keep = Atomic.make 32
+
+let cells_mutex = Mutex.create ()
+let cells : cell list ref = ref []
+
+let fresh_cell () =
+  {
+    ring = Array.make (max 1 (Atomic.get capacity)) None;
+    pos = 0;
+    total = 0;
+    slow = [];
+    slow_len = 0;
+  }
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let c = fresh_cell () in
+      Mutex.protect cells_mutex (fun () -> cells := c :: !cells);
+      c)
+
+let clear () =
+  Mutex.protect cells_mutex (fun () ->
+      List.iter
+        (fun c ->
+          c.ring <- Array.make (max 1 (Atomic.get capacity)) None;
+          c.pos <- 0;
+          c.total <- 0;
+          c.slow <- [];
+          c.slow_len <- 0)
+        !cells)
+
+let configure ?capacity:cap ?slow_ms ?slow_keep:keep () =
+  Option.iter (fun c -> Atomic.set capacity (max 1 c)) cap;
+  Option.iter
+    (fun ms -> Atomic.set slow_ns (int_of_float (Float.max 0.0 ms *. 1e6)))
+    slow_ms;
+  Option.iter (fun k -> Atomic.set slow_keep (max 1 k)) keep;
+  clear ()
+
+let enabled = Control.flight_on
+let enable () = Control.set_flight true
+let disable () = Control.set_flight false
+
+(* Replace-min retention: cheap because slow records are, by
+   definition, rare. *)
+let add_slow c r =
+  if c.slow_len < Atomic.get slow_keep then begin
+    c.slow <- r :: c.slow;
+    c.slow_len <- c.slow_len + 1
+  end
+  else begin
+    let min_r =
+      List.fold_left (fun m x -> if x.eval_ns < m.eval_ns then x else m)
+        (List.hd c.slow) (List.tl c.slow)
+    in
+    if r.eval_ns > min_r.eval_ns then begin
+      let dropped = ref false in
+      c.slow <-
+        r
+        :: List.filter
+             (fun x ->
+               if (not !dropped) && x == min_r then begin
+                 dropped := true;
+                 false
+               end
+               else true)
+             c.slow
+    end
+  end
+
+let record ~rid ~op ~worker ~queue_ns ~eval_ns ~bytes_in ~bytes_out ~outcome =
+  if Control.flight_on () then begin
+    let c = Domain.DLS.get key in
+    let r =
+      {
+        rid;
+        op;
+        worker;
+        t_ns = Clock.now_ns ();
+        queue_ns;
+        eval_ns;
+        bytes_in;
+        bytes_out;
+        outcome;
+      }
+    in
+    c.ring.(c.pos) <- Some r;
+    c.pos <- (c.pos + 1) mod Array.length c.ring;
+    c.total <- c.total + 1;
+    if eval_ns >= Atomic.get slow_ns then add_slow c r
+  end
+
+let total () =
+  Mutex.protect cells_mutex (fun () ->
+      List.fold_left (fun acc c -> acc + c.total) 0 !cells)
+
+let dump () =
+  let cells = Mutex.protect cells_mutex (fun () -> !cells) in
+  let of_cell c =
+    let live =
+      Array.to_list c.ring
+      |> List.filter_map (fun r -> r)
+    in
+    (* A slow record that is still in the ring is the same physical
+       record; keep one copy. *)
+    let extra = List.filter (fun s -> not (List.memq s live)) c.slow in
+    live @ extra
+  in
+  List.concat_map of_cell cells
+  |> List.sort (fun a b -> compare a.t_ns b.t_ns)
+
+let to_json r =
+  let n v = Util.Json.Num (float_of_int v) in
+  Util.Json.Obj
+    [
+      ("rid", Util.Json.Str r.rid);
+      ("op", Util.Json.Str r.op);
+      ("worker", n r.worker);
+      ("t_ns", n r.t_ns);
+      ("queue_ns", n r.queue_ns);
+      ("eval_ns", n r.eval_ns);
+      ("bytes_in", n r.bytes_in);
+      ("bytes_out", n r.bytes_out);
+      ("outcome", Util.Json.Str r.outcome);
+    ]

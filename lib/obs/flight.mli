@@ -1,0 +1,65 @@
+(** Flight recorder: a fixed-capacity per-domain ring buffer of
+    structured per-request records, for answering "what just went
+    through this daemon?" on a live process.
+
+    Recording is gated on {!Control.flight_on} — the same
+    one-atomic-load discipline as spans — and the record path writes
+    only domain-local state (one array store, no lock, no cross-domain
+    traffic).  Each domain keeps the last [capacity] records plus a
+    side buffer of up to [slow_keep] records whose evaluation time met
+    the [slow_ms] threshold, retained by replace-min so the worst
+    offenders survive arbitrarily long after the ring has wrapped past
+    them.
+
+    {!dump} is a snapshot-merge like {!Metric.snapshot}: it folds every
+    domain's cell (ring plus slow buffer, deduplicated) into one list
+    sorted by completion time.  It is exact at quiescent points; during
+    concurrent recording it is best-effort (it may miss the very latest
+    records, like a metric snapshot).  Records written from sibling
+    systhreads of one domain (the daemon's reader threads share domain
+    0) may race slot-for-slot; per-{e domain} writers are exact. *)
+
+type record = {
+  rid : string;      (** client-supplied or daemon-minted request id *)
+  op : string;       (** protocol op name, e.g. ["evaluate"] *)
+  worker : int;      (** worker index; [-1] = answered at the gate *)
+  t_ns : int;        (** completion time, monotonic clock *)
+  queue_ns : int;    (** enqueue → dispatch *)
+  eval_ns : int;     (** dispatch → reply *)
+  bytes_in : int;    (** request frame length *)
+  bytes_out : int;   (** reply frame length (incl. newline) *)
+  outcome : string;  (** ["ok"] or a protocol error code *)
+}
+
+val configure :
+  ?capacity:int -> ?slow_ms:float -> ?slow_keep:int -> unit -> unit
+(** Set ring capacity per domain (default 512), the slow-request
+    threshold on [eval_ns] (default 50 ms) and how many slow records to
+    retain per domain (default 32).  Clears all existing cells (rings
+    are re-sized lazily per domain on its next record). *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+(** Aliases of {!Control.flight_on} / {!Control.set_flight}. *)
+
+val record :
+  rid:string -> op:string -> worker:int -> queue_ns:int -> eval_ns:int ->
+  bytes_in:int -> bytes_out:int -> outcome:string -> unit
+(** Record one completed (or rejected) request.  One atomic load and
+    nothing else while the recorder is off. *)
+
+val dump : unit -> record list
+(** Merge every domain's ring and slow buffer, deduplicated, sorted by
+    {!field-t_ns} ascending. *)
+
+val total : unit -> int
+(** Lifetime records across all domains (including ones the rings have
+    dropped). *)
+
+val clear : unit -> unit
+(** Drop all records (cells and slow buffers). *)
+
+val to_json : record -> Util.Json.t
+(** One record as a flat JSON object (the [recent] protocol op's
+    element schema). *)

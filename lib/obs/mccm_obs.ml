@@ -3,6 +3,8 @@ module Clock = Clock
 module Metric = Metric
 module Span = Span
 module Chrome_trace = Chrome_trace
+module Flight = Flight
+module Prometheus = Prometheus
 
 let enabled = Control.enabled
 let enable = Control.enable

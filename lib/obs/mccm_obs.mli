@@ -19,19 +19,32 @@
     [dse.exhaustive], [dse.exhaustive_best], [dse.local_search] (dse);
     [validate.sweep] phases
     and one [validate.<invariant>] per invariant check (validate);
-    [serve.<op>] per-request spans in the daemon's workers (serve);
-    [mccm.<subcommand>] CLI roots (cli).  Metric names mirror the
-    subsystem: [session.*], [seg.*], [plan.*], [build.*], [dse.*],
-    [validate.*], [serve.*] (request/reply/rejection counters,
+    [serve.<op>] per-request spans in the daemon's workers (serve, with
+    a [rid] arg carrying the request id); [mccm.<subcommand>] CLI roots
+    (cli).  Metric names mirror the subsystem: [session.*], [seg.*],
+    [plan.*], [build.*], [dse.*], [validate.*], [serve.*]
+    (work-request/reply/rejection counters,
     [serve.queue.depth]/[serve.queue.peak] gauges and per-endpoint
     [serve.<op>.latency] histograms from the evaluation daemon), and a
-    ["span.<name>"] duration histogram per span. *)
+    ["span.<name>"] duration histogram per span.
+
+    Beyond spans and metrics the library carries two telemetry planes
+    for the serving stack: {!Flight}, a per-domain ring buffer of
+    structured per-request records (request id, op, queue-wait and
+    evaluation nanoseconds, bytes in/out, outcome, worker) gated like
+    everything else on one atomic load and dumped via snapshot-merge;
+    and exact snapshot serialization ({!Metric.to_json} /
+    {!Metric.of_json} / {!Metric.delta}) plus a Prometheus text
+    renderer ({!Prometheus}) so a live process can be polled, scraped
+    and diffed without stopping it. *)
 
 module Control = Control
 module Clock = Clock
 module Metric = Metric
 module Span = Span
 module Chrome_trace = Chrome_trace
+module Flight = Flight
+module Prometheus = Prometheus
 
 val enabled : unit -> bool
 (** Alias of {!Control.enabled} — the hook gate. *)

@@ -216,9 +216,195 @@ let reset () =
 let quantile h ~q =
   Util.Stats.quantile (Array.to_list h.samples) ~q
 
+(* ----------------------------------------------- snapshot JSON *)
+
+(* Exact serialization over Util.Json: full sample arrays (so quantiles
+   recompute bit-for-bit after a round trip through %.17g floats), with
+   the empty-histogram sentinels min = infinity / max = neg_infinity
+   encoded as JSON null (Util.Json renders non-finite numbers as null
+   anyway, so this keeps the value-level and string-level round trips
+   identical). *)
+
+let hist_to_json h =
+  let bound v = if Float.is_finite v then Util.Json.Num v else Util.Json.Null in
+  Util.Json.Obj
+    [
+      ("count", Util.Json.Num (float_of_int h.count));
+      ("sum", Util.Json.Num h.sum);
+      ("min", bound h.min);
+      ("max", bound h.max);
+      ( "samples",
+        Util.Json.Arr
+          (Array.to_list (Array.map (fun v -> Util.Json.Num v) h.samples)) );
+    ]
+
+let to_json s =
+  Util.Json.Obj
+    [
+      ( "counters",
+        Util.Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Util.Json.Num (float_of_int v)))
+             s.counters) );
+      ( "gauges",
+        Util.Json.Obj (List.map (fun (k, v) -> (k, Util.Json.Num v)) s.gauges)
+      );
+      ( "histograms",
+        Util.Json.Obj (List.map (fun (k, h) -> (k, hist_to_json h)) s.histograms)
+      );
+    ]
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let obj what = function
+    | Some (Util.Json.Obj kvs) -> Ok kvs
+    | Some _ -> Error (what ^ ": expected an object")
+    | None -> Error (what ^ ": missing")
+  in
+  let num what = function
+    | Some (Util.Json.Num v) -> Ok v
+    | Some _ | None -> Error (what ^ ": expected a number")
+  in
+  let int_ what = function
+    | Some (Util.Json.Num v) when Float.is_integer v -> Ok (int_of_float v)
+    | Some _ | None -> Error (what ^ ": expected an integer")
+  in
+  let bound what ~empty = function
+    | Some Util.Json.Null -> Ok empty
+    | Some (Util.Json.Num v) -> Ok v
+    | Some _ | None -> Error (what ^ ": expected a number or null")
+  in
+  let rec each f acc = function
+    | [] -> Ok (List.rev acc)
+    | kv :: tl ->
+      let* x = f kv in
+      each f (x :: acc) tl
+  in
+  let hist_of_json name = function
+    | Util.Json.Obj _ as hj ->
+      let m k = Util.Json.member k hj in
+      let* count = int_ (name ^ ".count") (m "count") in
+      let* sum = num (name ^ ".sum") (m "sum") in
+      let* min = bound (name ^ ".min") ~empty:infinity (m "min") in
+      let* max = bound (name ^ ".max") ~empty:neg_infinity (m "max") in
+      let* samples =
+        match m "samples" with
+        | Some (Util.Json.Arr xs) ->
+          let* l =
+            each
+              (function
+                | Util.Json.Num v -> Ok v
+                | _ -> Error (name ^ ".samples: expected numbers"))
+              [] xs
+          in
+          Ok (Array.of_list l)
+        | Some _ | None -> Error (name ^ ".samples: expected an array")
+      in
+      Ok { count; sum; min; max; samples }
+    | _ -> Error (name ^ ": expected a histogram object")
+  in
+  match j with
+  | Util.Json.Obj _ ->
+    let* cs = obj "counters" (Util.Json.member "counters" j) in
+    let* counters =
+      each
+        (fun (k, v) ->
+          let* n = int_ ("counters." ^ k) (Some v) in
+          Ok (k, n))
+        [] cs
+    in
+    let* gs = obj "gauges" (Util.Json.member "gauges" j) in
+    let* gauges =
+      each
+        (fun (k, v) ->
+          let* n = num ("gauges." ^ k) (Some v) in
+          Ok (k, n))
+        [] gs
+    in
+    let* hs = obj "histograms" (Util.Json.member "histograms" j) in
+    let* histograms =
+      each
+        (fun (k, v) ->
+          let* h = hist_of_json ("histograms." ^ k) v in
+          Ok (k, h))
+        [] hs
+    in
+    Ok { counters; gauges; histograms }
+  | _ -> Error "snapshot: expected an object"
+
+(* ----------------------------------------------------------- delta *)
+
+(* Sorted-multiset difference [later \ earlier]; under the monotone
+   precondition every sample of [earlier] still appears in [later]. *)
+let diff_samples later earlier =
+  let n = Array.length later and m = Array.length earlier in
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  (* [incr] is shadowed by this module's counter op. *)
+  let bump r = r := !r + 1 in
+  while !i < n do
+    let v = later.(!i) in
+    if !j >= m then begin
+      out := v :: !out;
+      bump i
+    end
+    else
+      let c = compare earlier.(!j) v in
+      if c = 0 then begin
+        bump i;
+        bump j
+      end
+      else if c < 0 then bump j
+      else begin
+        out := v :: !out;
+        bump i
+      end
+  done;
+  Array.of_list (List.rev !out)
+
+let delta_hist later earlier =
+  let count = Stdlib.max 0 (later.count - earlier.count) in
+  let samples = diff_samples later.samples earlier.samples in
+  if count = 0 && Array.length samples = 0 then empty_hist
+  else
+    {
+      count;
+      sum = later.sum -. earlier.sum;
+      min = later.min;
+      max = later.max;
+      samples;
+    }
+
+let delta later earlier =
+  let counters =
+    List.map
+      (fun (k, v) ->
+        (k, v - Option.value ~default:0 (List.assoc_opt k earlier.counters)))
+      later.counters
+  in
+  let histograms =
+    List.map
+      (fun (k, h) ->
+        ( k,
+          delta_hist h
+            (Option.value ~default:empty_hist
+               (List.assoc_opt k earlier.histograms)) ))
+      later.histograms
+  in
+  { counters; gauges = later.gauges; histograms }
+
 (* ------------------------------------------------------- rendering *)
 
 let pp ppf s =
+  (* Defensive sort: snapshots are built sorted, but render
+     deterministically whatever the caller assembled. *)
+  let s =
+    {
+      counters = List.sort by_name s.counters;
+      gauges = List.sort by_name s.gauges;
+      histograms = List.sort by_name s.histograms;
+    }
+  in
   let scalars =
     Util.Table.create ~title:"counters & gauges"
       ~columns:[ ("metric", Util.Table.Left); ("value", Util.Table.Right) ]

@@ -81,11 +81,43 @@ val quantile : hist_snapshot -> q:float -> float
     @raise Invalid_argument on an empty histogram or [q] out of
     range. *)
 
+val to_json : snapshot -> Util.Json.t
+(** Exact serialization: [{"counters": {name: int}, "gauges": {name:
+    num}, "histograms": {name: {count, sum, min, max, samples: [..]}}}].
+    Full sample arrays cross the wire (not precomputed quantiles), so
+    {!quantile} on a decoded snapshot is bit-identical to the original;
+    floats survive {!Util.Json.to_string} at full [%.17g] precision.
+    The empty-histogram sentinels ([min = infinity],
+    [max = neg_infinity]) encode as [null].  Non-finite samples are not
+    representable (they would render as [null]); observations are
+    durations and sizes, which are finite. *)
+
+val of_json : Util.Json.t -> (snapshot, string) result
+(** Inverse of {!to_json}: [of_json (to_json s) = Ok s], including
+    through a {!Util.Json.to_string} / [parse] string round trip.
+    Key order is preserved, so snapshots (always sorted) decode
+    sorted. *)
+
+val delta : snapshot -> snapshot -> snapshot
+(** [delta later earlier] — what happened between two snapshots of the
+    same registry: counters subtract, histograms subtract (count and
+    sum subtract, samples are the sorted multiset difference, min/max
+    are [later]'s), gauges keep [later]'s value.  Keys come from
+    [later] only.  For a monotone pair (i.e. [later = merge earlier g]
+    for some [g]), [merge earlier (delta later earlier) = later] — the
+    property the test suite pins — so pollers can turn two absolute
+    snapshots into an interval snapshot and compute rates and
+    interval quantiles from it. *)
+
 val pp : Format.formatter -> snapshot -> unit
 (** Render as {!Util.Table} blocks: counters/gauges, then histograms
-    with count, total and p50/p95/p99 from {!quantile}. *)
+    with count, total and p50/p95/p99 from {!quantile}.  Output is
+    fully deterministic: every block is sorted by name regardless of
+    the order the caller assembled the snapshot in (pinned by a golden
+    test). *)
 
 val to_json_string : snapshot -> string
-(** Hand-rolled JSON object (the toolchain has no JSON library):
-    [{"counters": {..}, "gauges": {..}, "histograms": {name: {count,
-    sum, min, max, p50, p95, p99}}}]. *)
+(** Legacy compact rendering with precomputed quantiles: [{"counters":
+    {..}, "gauges": {..}, "histograms": {name: {count, sum, min, max,
+    p50, p95, p99}}}] at [%.9g].  Lossy; prefer {!to_json} for
+    anything that needs to decode. *)

@@ -1,0 +1,53 @@
+(* Prometheus text exposition format (version 0.0.4) over a Metric
+   snapshot.  Counters map to counters, gauges to gauges and histograms
+   to summaries (quantile labels + _sum/_count), which is the honest
+   translation of "raw samples with exact quantiles".  Values render
+   through Util.Json.num_to_string so a scrape and the JSON telemetry
+   agree bit-for-bit. *)
+
+let sanitize name =
+  String.map
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ch
+      | _ -> '_')
+    name
+
+let value v = Util.Json.num_to_string v
+
+let render ?(namespace = "mccm") ?(extra_counters = []) ?(extra_gauges = [])
+    (s : Metric.snapshot) =
+  let b = Buffer.create 4096 in
+  let full name = namespace ^ "_" ^ sanitize name in
+  let scalar kind name v =
+    let n = full name in
+    Printf.bprintf b "# TYPE %s %s\n%s %s\n" n kind n v
+  in
+  List.iter
+    (fun (name, v) -> scalar "counter" name (string_of_int v))
+    extra_counters;
+  List.iter
+    (fun (name, v) ->
+      if Float.is_finite v then scalar "gauge" name (value v))
+    extra_gauges;
+  List.iter
+    (fun (name, v) -> scalar "counter" name (string_of_int v))
+    s.Metric.counters;
+  List.iter
+    (fun (name, v) ->
+      if Float.is_finite v then scalar "gauge" name (value v))
+    s.Metric.gauges;
+  List.iter
+    (fun (name, (h : Metric.hist_snapshot)) ->
+      let n = full name in
+      Printf.bprintf b "# TYPE %s summary\n" n;
+      if h.Metric.count > 0 && Array.length h.Metric.samples > 0 then
+        List.iter
+          (fun (q, label) ->
+            Printf.bprintf b "%s{quantile=\"%s\"} %s\n" n label
+              (value (Metric.quantile h ~q)))
+          [ (0.5, "0.5"); (0.95, "0.95"); (0.99, "0.99") ];
+      Printf.bprintf b "%s_sum %s\n" n (value h.Metric.sum);
+      Printf.bprintf b "%s_count %d\n" n h.Metric.count)
+    s.Metric.histograms;
+  Buffer.contents b

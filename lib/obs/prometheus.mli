@@ -1,0 +1,23 @@
+(** Prometheus text exposition (format 0.0.4) for {!Metric} snapshots.
+
+    Counters render as [counter], gauges as [gauge] and histograms as
+    [summary] families (p50/p95/p99 [quantile] labels computed from the
+    retained samples, plus [_sum] and [_count]).  Metric names are
+    prefixed with the namespace and sanitized to the Prometheus
+    alphabet (every other character becomes ['_'], so
+    [serve.evaluate.latency] scrapes as
+    [mccm_serve_evaluate_latency]).  Values go through
+    {!Util.Json.num_to_string}, so a scrape agrees bit-for-bit with the
+    JSON telemetry stream.  Non-finite gauge values are skipped;
+    quantile lines are emitted only for non-empty histograms. *)
+
+val render :
+  ?namespace:string ->
+  ?extra_counters:(string * int) list ->
+  ?extra_gauges:(string * float) list ->
+  Metric.snapshot ->
+  string
+(** Render the whole snapshot (default namespace ["mccm"]).
+    [extra_counters] / [extra_gauges] prepend process-level series that
+    live outside the {!Metric} registry (the daemon's always-on
+    counters). *)

@@ -43,7 +43,7 @@ let observe_span name dur_ns =
   Metric.observe h (1e-9 *. float_of_int dur_ns)
 
 let with_span ?(cat = "mccm") ?(args = []) name f =
-  if not (Control.enabled ()) then f ()
+  if not (Control.span_on ()) then f ()
   else begin
     let b = Domain.DLS.get key in
     let t0 = Clock.now_ns () in

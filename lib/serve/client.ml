@@ -124,6 +124,16 @@ let call ?timeout_s ?deadline_ms t op params =
 
 let ping ?timeout_s t = call ?timeout_s t Protocol.Ping Json.Null
 let stats ?timeout_s t = call ?timeout_s t Protocol.Stats Json.Null
+let health ?timeout_s t = call ?timeout_s t Protocol.Health Json.Null
+
+let recent ?timeout_s ?n t =
+  let params =
+    match n with
+    | None -> Json.Null
+    | Some n -> Json.Obj [ ("n", Json.Num (float_of_int n)) ]
+  in
+  call ?timeout_s t Protocol.Recent params
+
 let shutdown ?timeout_s t = call ?timeout_s t Protocol.Shutdown Json.Null
 
 let sleep ?timeout_s ?deadline_ms t ~seconds =

@@ -45,7 +45,20 @@ val recv_line : ?timeout_s:float -> t -> (string, string) result
 (** {1 Conveniences} *)
 
 val ping : ?timeout_s:float -> t -> (Util.Json.t, string * string) result
+
 val stats : ?timeout_s:float -> t -> (Util.Json.t, string * string) result
+(** Live counters plus the full metrics snapshot ([metrics] member
+    decodes with {!Mccm_obs.Metric.of_json}).  Served inline by the
+    daemon's reader thread — works under full saturation. *)
+
+val health : ?timeout_s:float -> t -> (Util.Json.t, string * string) result
+(** Small liveness summary (status/queue/workers/sessions); inline. *)
+
+val recent :
+  ?timeout_s:float -> ?n:int -> t -> (Util.Json.t, string * string) result
+(** Last [n] (default 50) flight-recorder entries, newest first;
+    inline. *)
+
 val shutdown : ?timeout_s:float -> t -> (Util.Json.t, string * string) result
 
 val sleep :

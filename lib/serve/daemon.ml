@@ -126,6 +126,11 @@ type config = {
   max_samples : int;
   max_specs_cap : int;
   max_sleep_s : float;
+  flight_capacity : int;
+  flight_slow_ms : float;
+  telemetry_path : string option;
+  prom_path : string option;
+  telemetry_interval_s : float;
 }
 
 let default ~socket_path =
@@ -140,6 +145,11 @@ let default ~socket_path =
     max_samples = 100_000;
     max_specs_cap = 2_000_000;
     max_sleep_s = 30.0;
+    flight_capacity = 512;
+    flight_slow_ms = 50.0;
+    telemetry_path = None;
+    prom_path = None;
+    telemetry_interval_s = 2.0;
   }
 
 (* ------------------------------------------------------ connections *)
@@ -167,6 +177,7 @@ type job =
 
 type work = {
   w_id : Json.t;
+  w_rid : string; (* telemetry request id: client id rendered, or minted *)
   w_op : Protocol.op;
   w_conn : conn;
   w_key : string; (* session key; "" when the job carries no session *)
@@ -175,6 +186,9 @@ type work = {
   w_job : job;
   w_enqueued_ns : int;
   w_deadline_ns : int option;
+  w_bytes_in : int;
+  mutable w_dispatched_ns : int; (* stamped when a worker pops it *)
+  mutable w_worker : int; (* worker index; -1 until dispatched *)
 }
 
 (* ----------------------------------------------------------- daemon *)
@@ -188,6 +202,7 @@ type t = {
   conn_threads : (int, Thread.t) Hashtbl.t;
   conns_m : Mutex.t;
   next_cid : int Atomic.t;
+  next_rid : int Atomic.t;
   sessions : (string, Mccm.Eval_session.t) Hashtbl.t;
   sessions_m : Mutex.t;
   c : counters;
@@ -241,6 +256,13 @@ let create cfg =
   if cfg.workers < 1 then invalid_arg "Daemon.create: workers must be >= 1";
   if cfg.batch_limit < 1 then
     invalid_arg "Daemon.create: batch_limit must be >= 1";
+  (* The flight recorder is process-global (like the Metric registry);
+     the daemon arms it at creation so `recent` works out of the box. *)
+  if cfg.flight_capacity > 0 then begin
+    Mccm_obs.Flight.configure ~capacity:cfg.flight_capacity
+      ~slow_ms:cfg.flight_slow_ms ();
+    Mccm_obs.Flight.enable ()
+  end;
   {
     cfg;
     listen_fd = bind_socket cfg.socket_path;
@@ -250,6 +272,7 @@ let create cfg =
     conn_threads = Hashtbl.create 32;
     conns_m = Mutex.create ();
     next_cid = Atomic.make 0;
+    next_rid = Atomic.make 0;
     sessions = Hashtbl.create 16;
     sessions_m = Mutex.create ();
     c = new_counters ();
@@ -271,18 +294,31 @@ let write_line t conn frame =
        while !sent < len do
          sent := !sent + Unix.write conn.fd bytes !sent (len - !sent)
        done;
-       incr t.c.replies;
-       Metric.incr m_replies
+       incr t.c.replies
      end
    with Unix.Unix_error _ | Sys_error _ ->
      conn.alive <- false;
      incr t.c.write_failures);
   Mutex.unlock conn.out_m
 
-let reply_ok t conn ~id result = write_line t conn (Protocol.ok_frame ~id result)
+let reply_ok t conn ~id ?rid result =
+  write_line t conn (Protocol.ok_frame ~id ?rid result)
 
-let reply_error t conn ~id code msg =
-  write_line t conn (Protocol.error_frame ~id code msg)
+let reply_error t conn ~id ?rid code msg =
+  write_line t conn (Protocol.error_frame ~id ?rid code msg)
+
+(* Telemetry request id: the client's own id rendered compactly when it
+   sent one, a daemon-minted "m<seq>" otherwise.  The same string goes
+   into span args, flight records and (on error replies, or ok replies
+   to id-less requests) the reply frame, so all three correlate. *)
+let mint_rid t (id : Json.t) =
+  let s =
+    match id with
+    | Json.Null -> "m" ^ string_of_int (Atomic.fetch_and_add t.next_rid 1)
+    | Json.Str s -> s
+    | other -> Json.to_string other
+  in
+  if String.length s > 64 then String.sub s 0 64 else s
 
 (* ------------------------------------------------------- resolution *)
 
@@ -428,7 +464,8 @@ let resolve_job cfg (req : Protocol.request) =
         | None -> badf "\"seconds\" must be a number")
     in
     (None, None, "", J_sleep seconds)
-  | Protocol.Ping | Protocol.Stats | Protocol.Shutdown ->
+  | Protocol.Ping | Protocol.Stats | Protocol.Health | Protocol.Recent
+  | Protocol.Shutdown ->
     badf "control op cannot be queued"
 
 (* --------------------------------------------------------- sessions *)
@@ -490,17 +527,56 @@ let expired w =
   | Some d -> now_ns () > d
   | None -> false
 
+(* Work replies record telemetry (latency histogram, obs reply counter,
+   flight record) BEFORE the reply frame is written: once a client has
+   read the reply, the registry already reflects it, so a quiescent
+   daemon's Metric.snapshot matches what any later stats poll reports
+   bit-for-bit (a property the test suite pins). *)
 let finish_reply t w result =
-  reply_ok t w.w_conn ~id:w.w_id result;
-  incr t.c.completed;
-  observe_latency w.w_op
-    (float_of_int (now_ns () - w.w_enqueued_ns) /. 1e9)
+  let now = now_ns () in
+  observe_latency w.w_op (float_of_int (now - w.w_enqueued_ns) /. 1e9);
+  Metric.incr m_replies;
+  let rid = if w.w_id = Json.Null then Some w.w_rid else None in
+  let frame = Protocol.ok_frame ~id:w.w_id ?rid result in
+  Mccm_obs.Flight.record ~rid:w.w_rid ~op:(Protocol.op_to_string w.w_op)
+    ~worker:w.w_worker
+    ~queue_ns:(max 0 (w.w_dispatched_ns - w.w_enqueued_ns))
+    ~eval_ns:(max 0 (now - w.w_dispatched_ns))
+    ~bytes_in:w.w_bytes_in
+    ~bytes_out:(String.length frame + 1)
+    ~outcome:"ok";
+  write_line t w.w_conn frame;
+  incr t.c.completed
+
+let reply_work_error t w code msg =
+  let now = now_ns () in
+  Metric.incr m_replies;
+  let frame = Protocol.error_frame ~id:w.w_id ~rid:w.w_rid code msg in
+  Mccm_obs.Flight.record ~rid:w.w_rid ~op:(Protocol.op_to_string w.w_op)
+    ~worker:w.w_worker
+    ~queue_ns:(max 0 (w.w_dispatched_ns - w.w_enqueued_ns))
+    ~eval_ns:(max 0 (now - w.w_dispatched_ns))
+    ~bytes_in:w.w_bytes_in
+    ~bytes_out:(String.length frame + 1)
+    ~outcome:(Protocol.error_code_to_string code);
+  write_line t w.w_conn frame
 
 let reject_deadline t w =
   incr t.c.rejected_deadline;
   Metric.incr m_deadline;
-  reply_error t w.w_conn ~id:w.w_id Protocol.Deadline_exceeded
+  reply_work_error t w Protocol.Deadline_exceeded
     "deadline expired before evaluation started"
+
+(* Rejection at the gate, from a reader thread: no worker ever saw the
+   request, so the flight record carries worker = -1 and no timings. *)
+let reject_at_gate t conn ~id ~rid ~op ~bytes_in code msg =
+  Metric.incr m_replies;
+  let frame = Protocol.error_frame ~id ~rid code msg in
+  Mccm_obs.Flight.record ~rid ~op:(Protocol.op_to_string op) ~worker:(-1)
+    ~queue_ns:0 ~eval_ns:0 ~bytes_in
+    ~bytes_out:(String.length frame + 1)
+    ~outcome:(Protocol.error_code_to_string code);
+  write_line t conn frame
 
 let json_of_evaluated model (e : Dse.Explore.evaluated) =
   Json.Obj
@@ -648,6 +724,7 @@ let process_one t forks w =
 let guarded t w f =
   match
     Mccm_obs.span ~cat:"serve"
+      ~args:[ ("rid", w.w_rid) ]
       ("serve." ^ Protocol.op_to_string w.w_op)
       f
   with
@@ -655,14 +732,18 @@ let guarded t w f =
   | exception (Invalid_argument msg | Failure msg) ->
     incr t.c.errors_bad_params;
     Metric.incr m_errors;
-    reply_error t w.w_conn ~id:w.w_id Protocol.Bad_params msg
+    reply_work_error t w Protocol.Bad_params msg
   | exception e ->
     incr t.c.errors_internal;
     Metric.incr m_errors;
-    reply_error t w.w_conn ~id:w.w_id Protocol.Internal (Printexc.to_string e)
+    reply_work_error t w Protocol.Internal (Printexc.to_string e)
 
-let worker_loop t _worker =
+let worker_loop t worker =
   let forks = Hashtbl.create 8 in
+  let stamp w =
+    w.w_dispatched_ns <- now_ns ();
+    w.w_worker <- worker
+  in
   let rec loop () =
     match Bqueue.pop t.queue with
     | None -> ()
@@ -671,9 +752,11 @@ let worker_loop t _worker =
       (match w.w_job with
       | J_eval _ ->
         let batch = collect_batch t w in
+        List.iter stamp batch;
         set_depth_gauge t;
         guarded t w (fun () -> process_eval_batch t forks batch)
       | _ ->
+        stamp w;
         set_depth_gauge t;
         if expired w then reject_deadline t w
         else guarded t w (fun () -> process_one t forks w));
@@ -691,9 +774,9 @@ let stats_json t =
     Json.Obj
       (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) (counters t))
   in
+  let snap = Metric.snapshot () in
   let obs =
-    if Mccm_obs.enabled () then begin
-      let snap = Metric.snapshot () in
+    if Mccm_obs.Control.stats_on () then begin
       let latencies =
         List.filter_map
           (fun (name, h) ->
@@ -733,13 +816,112 @@ let stats_json t =
       ("draining", Some (Json.Bool (stopping t)));
       ("sessions", Some (Json.Num (float_of_int (session_count t))));
       ("counters", Some counters);
+      (* The full registry, exactly: Metric.of_json on this member
+         reconstructs the snapshot bit-for-bit (counters, gauges and
+         raw histogram samples, hence quantiles too). *)
+      ("metrics", Some (Metric.to_json snap));
       ("obs", obs);
     ]
 
+let health_json t =
+  Json.Obj
+    [
+      ("status", Json.Str (if stopping t then "draining" else "ok"));
+      ("version", Json.Str Protocol.version);
+      ("uptime_s", Json.Num (uptime_s t));
+      ("workers", Json.Num (float_of_int t.cfg.workers));
+      ("queue_depth", Json.Num (float_of_int (queue_depth t)));
+      ("queue_capacity", Json.Num (float_of_int t.cfg.queue_capacity));
+      ("sessions", Json.Num (float_of_int (session_count t)));
+      ("completed", Json.Num (float_of_int (Atomic.get t.c.completed)));
+      ( "rejected",
+        Json.Num
+          (float_of_int
+             (Atomic.get t.c.rejected_overloaded
+             + Atomic.get t.c.rejected_deadline
+             + Atomic.get t.c.rejected_shutdown)) );
+    ]
+
+let recent_json ~n =
+  let newest = List.rev (Mccm_obs.Flight.dump ()) in
+  let rec take k = function
+    | [] -> []
+    | x :: tl -> if k <= 0 then [] else x :: take (k - 1) tl
+  in
+  Json.Obj
+    [
+      ("enabled", Json.Bool (Mccm_obs.Flight.enabled ()));
+      ("total", Json.Num (float_of_int (Mccm_obs.Flight.total ())));
+      ( "records",
+        Json.Arr (List.map Mccm_obs.Flight.to_json (take n newest)) );
+    ]
+
+(* -------------------------------------------------------- telemetry *)
+
+(* Optional periodic writer (a systhread on the main domain, like the
+   readers): one JSONL stats snapshot appended per tick, and/or a
+   Prometheus text file replaced atomically (tmp + rename) per tick. *)
+
+let telemetry_tick t =
+  (match t.cfg.telemetry_path with
+  | None -> ()
+  | Some path -> (
+    try
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      output_string oc (Json.to_string (stats_json t));
+      output_char oc '\n';
+      close_out oc
+    with Sys_error _ -> ()));
+  match t.cfg.prom_path with
+  | None -> ()
+  | Some path -> (
+    try
+      let text =
+        Mccm_obs.Prometheus.render
+          ~extra_counters:
+            (List.map (fun (k, v) -> ("serve_" ^ k, v)) (counters t))
+          ~extra_gauges:
+            [
+              ("serve_queue_depth_now", float_of_int (queue_depth t));
+              ("serve_uptime_seconds", uptime_s t);
+            ]
+          (Metric.snapshot ())
+      in
+      let tmp = path ^ ".tmp" in
+      let oc = open_out tmp in
+      output_string oc text;
+      close_out oc;
+      Sys.rename tmp path
+    with Sys_error _ -> ())
+
+let telemetry_loop t done_flag =
+  let interval = Float.max 0.05 t.cfg.telemetry_interval_s in
+  let rec loop () =
+    if not (Atomic.get done_flag) then begin
+      telemetry_tick t;
+      let slept = ref 0.0 in
+      while (not (Atomic.get done_flag)) && !slept < interval do
+        Thread.delay 0.05;
+        slept := !slept +. 0.05
+      done;
+      loop ()
+    end
+  in
+  loop ();
+  (* One final tick so the files reflect the drained state. *)
+  telemetry_tick t
+
 (* ----------------------------------------------------- frame intake *)
 
-let handle_request t conn (req : Protocol.request) =
+(* Control ops (ping/stats/health/recent/shutdown) are answered here,
+   inline on the reader thread from lock-free snapshots — they are
+   never queued, so they keep working while every worker domain is
+   saturated or the daemon is draining.  They also deliberately touch
+   no Metric counter: a stats poll must not perturb the snapshot it
+   reports (the bit-for-bit round-trip test relies on this). *)
+let handle_request t conn ~bytes_in (req : Protocol.request) =
   let id = req.Protocol.id in
+  let rid = mint_rid t id in
   match req.Protocol.op with
   | Protocol.Ping ->
     reply_ok t conn ~id
@@ -750,20 +932,28 @@ let handle_request t conn (req : Protocol.request) =
            ("uptime_s", Json.Num (uptime_s t));
          ])
   | Protocol.Stats -> reply_ok t conn ~id (stats_json t)
+  | Protocol.Health -> reply_ok t conn ~id (health_json t)
+  | Protocol.Recent -> (
+    match require_int req.Protocol.params "n" ~default:50 with
+    | exception Bad msg -> reply_error t conn ~id ~rid Protocol.Bad_params msg
+    | n -> reply_ok t conn ~id (recent_json ~n:(min (max 0 n) 10_000)))
   | Protocol.Shutdown ->
     reply_ok t conn ~id (Json.Obj [ ("draining", Json.Bool true) ]);
     stop t
   | _ -> (
+    let op = req.Protocol.op in
+    Metric.incr m_requests;
     if stopping t then begin
       incr t.c.rejected_shutdown;
-      reply_error t conn ~id Protocol.Shutting_down "daemon is draining"
+      reject_at_gate t conn ~id ~rid ~op ~bytes_in Protocol.Shutting_down
+        "daemon is draining"
     end
     else
       match resolve_job t.cfg req with
       | exception Bad msg ->
         incr t.c.errors_bad_params;
         Metric.incr m_errors;
-        reply_error t conn ~id Protocol.Bad_params msg
+        reject_at_gate t conn ~id ~rid ~op ~bytes_in Protocol.Bad_params msg
       | model, board, key, job -> (
         let enq = now_ns () in
         let deadline_ns =
@@ -777,13 +967,14 @@ let handle_request t conn (req : Protocol.request) =
              worker pool never see it. *)
           incr t.c.rejected_deadline;
           Metric.incr m_deadline;
-          reply_error t conn ~id Protocol.Deadline_exceeded
-            "deadline expired on arrival"
+          reject_at_gate t conn ~id ~rid ~op ~bytes_in
+            Protocol.Deadline_exceeded "deadline expired on arrival"
         | _ ->
           let w =
             {
               w_id = id;
-              w_op = req.Protocol.op;
+              w_rid = rid;
+              w_op = op;
               w_conn = conn;
               w_key = key;
               w_model = model;
@@ -791,6 +982,9 @@ let handle_request t conn (req : Protocol.request) =
               w_job = job;
               w_enqueued_ns = enq;
               w_deadline_ns = deadline_ns;
+              w_bytes_in = bytes_in;
+              w_dispatched_ns = 0;
+              w_worker = -1;
             }
           in
           if Bqueue.try_push t.queue w then begin
@@ -799,12 +993,13 @@ let handle_request t conn (req : Protocol.request) =
           end
           else if stopping t then begin
             incr t.c.rejected_shutdown;
-            reply_error t conn ~id Protocol.Shutting_down "daemon is draining"
+            reject_at_gate t conn ~id ~rid ~op ~bytes_in
+              Protocol.Shutting_down "daemon is draining"
           end
           else begin
             incr t.c.rejected_overloaded;
             Metric.incr m_overloaded;
-            reply_error t conn ~id Protocol.Overloaded
+            reject_at_gate t conn ~id ~rid ~op ~bytes_in Protocol.Overloaded
               (Printf.sprintf "request queue full (%d)" t.cfg.queue_capacity)
           end))
 
@@ -813,11 +1008,10 @@ let handle_frame t conn line =
   match Protocol.parse_request line with
   | Error (id, code, msg) ->
     incr t.c.rejected_parse;
-    reply_error t conn ~id code msg
+    reply_error t conn ~id ~rid:(mint_rid t id) code msg
   | Ok req ->
     incr t.c.requests;
-    Metric.incr m_requests;
-    handle_request t conn req
+    handle_request t conn ~bytes_in:(String.length line) req
 
 (* -------------------------------------------------- connection loop *)
 
@@ -935,6 +1129,11 @@ let run t =
   Mutex.unlock t.state_m;
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let acceptor = Thread.create (fun () -> accept_loop t) () in
+  let telemetry_done = Atomic.make false in
+  let telemetry =
+    if t.cfg.telemetry_path = None && t.cfg.prom_path = None then None
+    else Some (Thread.create (fun () -> telemetry_loop t telemetry_done) ())
+  in
   (* Worker domains via the shared persistent pool.  The pool is sized
      workers + 1 and the caller's own slot is a no-op: the main thread
      then idles inside [Pool.run] instead of computing, so the accept
@@ -947,6 +1146,8 @@ let run t =
   (* Workers are done (queue closed and drained).  Unblock idle
      readers and join every thread. *)
   Thread.join acceptor;
+  Atomic.set telemetry_done true;
+  Option.iter Thread.join telemetry;
   Mutex.lock t.conns_m;
   let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
   let threads = Hashtbl.fold (fun _ th acc -> th :: acc) t.conn_threads [] in

@@ -6,7 +6,10 @@
 
     - {b I/O plane} — an accept systhread plus one reader systhread per
       connection.  Readers parse and validate frames, answer control
-      ops ([ping]/[stats]/[shutdown]) inline, and push evaluation work
+      ops ([ping]/[stats]/[health]/[recent]/[shutdown]) inline from
+      lock-free snapshots — out-of-band, never queued behind evaluate
+      traffic, so telemetry polls keep answering while every worker is
+      saturated or the daemon is draining — and push evaluation work
       onto a bounded {!Bqueue}.  A full queue is answered with an
       immediate [overloaded] reply — the daemon never buffers without
       bound.  A request whose relative deadline is already expired at
@@ -28,10 +31,25 @@
       forks, then unblocks idle readers, joins every thread and unlinks
       the socket.
     - {b Health} — lock-free internal counters are always on (the
-      [stats] op and {!counters}); with {!Mccm_obs} enabled the daemon
-      additionally records [serve.*] metrics: per-endpoint latency
-      histograms, queue depth/peak gauges, rejection counters — next to
-      the evaluator's own cache hit-rate counters. *)
+      [stats] op and {!counters}); with {!Mccm_obs} stats enabled the
+      daemon additionally records [serve.*] metrics: per-endpoint
+      latency histograms, queue depth/peak gauges, rejection counters —
+      next to the evaluator's own cache hit-rate counters.  Every
+      [stats] reply embeds the full {!Mccm_obs.Metric} snapshot as
+      exact JSON ([metrics] member), and work telemetry is recorded
+      {e before} the reply frame is written, so a quiescent daemon's
+      in-process snapshot matches what a poll reports bit-for-bit.
+    - {b Flight recorder} — unless [flight_capacity = 0], {!create}
+      arms {!Mccm_obs.Flight}: every work reply and rejection leaves a
+      structured record (request id, op, worker, queue-wait ns, eval
+      ns, bytes in/out, outcome), served by the [recent] op.  Request
+      ids ([rid]) are client-supplied or daemon-minted and propagate
+      into span args and reply frames.
+    - {b Telemetry writer} — with [telemetry_path]/[prom_path] set, a
+      systhread writes one JSONL stats snapshot per
+      [telemetry_interval_s] tick and/or replaces a Prometheus
+      text-format file atomically (tmp + rename), with a final tick
+      after the drain. *)
 
 type config = {
   socket_path : string;
@@ -49,11 +67,19 @@ type config = {
   max_samples : int;       (** server-side cap on explore/validate samples *)
   max_specs_cap : int;     (** server-side cap on enumerate max_specs *)
   max_sleep_s : float;     (** cap on the [sleep] testing op *)
+  flight_capacity : int;
+      (** per-domain flight-recorder ring size; [0] leaves the recorder
+          untouched (off unless something else armed it) *)
+  flight_slow_ms : float;  (** slow-request retention threshold *)
+  telemetry_path : string option;  (** JSONL stats snapshots, appended *)
+  prom_path : string option;       (** Prometheus text file, tmp+rename *)
+  telemetry_interval_s : float;    (** writer tick; default 2 s *)
 }
 
 val default : socket_path:string -> config
 (** Defaults: recommended-domain-count workers, queue 256, 1 MiB
-    frames, batch 16, [store_arch = false], 64 sessions. *)
+    frames, batch 16, [store_arch = false], 64 sessions, flight ring
+    512 x 50 ms, no telemetry files. *)
 
 type t
 

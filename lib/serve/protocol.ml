@@ -3,7 +3,7 @@
 
 module Json = Util.Json
 
-let version = "mccm-serve/1"
+let version = "mccm-serve/2"
 let default_max_frame_bytes = 1 lsl 20
 
 (* -------------------------------------------------------------- ops *)
@@ -15,11 +15,16 @@ type op =
   | Enumerate
   | Validate
   | Stats
+  | Health
+  | Recent
   | Sleep
   | Shutdown
 
 let all_ops =
-  [ Ping; Evaluate; Explore; Enumerate; Validate; Stats; Sleep; Shutdown ]
+  [
+    Ping; Evaluate; Explore; Enumerate; Validate; Stats; Health; Recent;
+    Sleep; Shutdown;
+  ]
 
 let op_to_string = function
   | Ping -> "ping"
@@ -28,6 +33,8 @@ let op_to_string = function
   | Enumerate -> "enumerate"
   | Validate -> "validate"
   | Stats -> "stats"
+  | Health -> "health"
+  | Recent -> "recent"
   | Sleep -> "sleep"
   | Shutdown -> "shutdown"
 
@@ -115,23 +122,28 @@ let parse_request line =
 
 (* ---------------------------------------------------------- replies *)
 
-let ok_frame ~id result =
-  Json.to_string
-    (Json.Obj [ ("id", id); ("ok", Json.Bool true); ("result", result) ])
+let rid_field rid =
+  match rid with Some r -> [ ("rid", Json.Str r) ] | None -> []
 
-let error_frame ~id code msg =
+let ok_frame ~id ?rid result =
   Json.to_string
     (Json.Obj
-       [
-         ("id", id);
-         ("ok", Json.Bool false);
-         ( "error",
-           Json.Obj
-             [
-               ("code", Json.Str (error_code_to_string code));
-               ("message", Json.Str msg);
-             ] );
-       ])
+       (("id", id) :: ("ok", Json.Bool true)
+       :: (rid_field rid @ [ ("result", result) ])))
+
+let error_frame ~id ?rid code msg =
+  Json.to_string
+    (Json.Obj
+       (("id", id) :: ("ok", Json.Bool false)
+       :: (rid_field rid
+          @ [
+              ( "error",
+                Json.Obj
+                  [
+                    ("code", Json.Str (error_code_to_string code));
+                    ("message", Json.Str msg);
+                  ] );
+            ])))
 
 type reply = {
   reply_id : Json.t;

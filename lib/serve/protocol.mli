@@ -16,18 +16,31 @@
     answered with [deadline_exceeded] instead of being evaluated.
 
     Reply frames:
-    {v {"id": <echo>, "ok": true,  "result": {..}}
-       {"id": <echo>, "ok": false, "error": {"code": "..", "message": ".."}} v}
+    {v {"id": <echo>, "ok": true,  "rid": "..?", "result": {..}}
+       {"id": <echo>, "ok": false, "rid": "..?",
+        "error": {"code": "..", "message": ".."}} v}
+
+    [rid] is the request id the daemon's telemetry knows the request
+    by: the client-supplied [id] rendered compactly, or a daemon-minted
+    one when the client sent none.  It appears on every error reply and
+    on success replies to id-less requests, and the same string shows
+    up in span args and flight-recorder entries, so a trace, a flight
+    record and a reply correlate.
 
     Every frame the daemon receives — including malformed, truncated or
     oversized ones — is answered with exactly one reply frame; the
     connection survives all of them (the fuzz suite holds the daemon to
     this).  All numbers are rendered with round-tripping precision
     ({!Util.Json}), so metrics received over the wire are bit-identical
-    to in-process evaluation. *)
+    to in-process evaluation.
+
+    Revision /2 is backward compatible with /1 requests: every /1 frame
+    is a valid /2 frame with the same meaning, and /2 only adds ops
+    ([health], [recent]) and optional reply fields ([rid]), which /1
+    clients ignore. *)
 
 val version : string
-(** Protocol identifier, ["mccm-serve/1"]; reported by [ping]. *)
+(** Protocol identifier, ["mccm-serve/2"]; reported by [ping]. *)
 
 val default_max_frame_bytes : int
 (** Default per-frame size cap (1 MiB); longer lines are answered with
@@ -41,7 +54,9 @@ type op =
   | Explore    (** random DSE sweep ({!Dse.Explore.run}) *)
   | Enumerate  (** fixed-CE-count search ({!Dse.Enumerate.exhaustive_best}) *)
   | Validate   (** differential sweep ({!Validate.Sweep.run}) *)
-  | Stats      (** live daemon health counters; served inline *)
+  | Stats      (** live counters + full metrics snapshot; served inline *)
+  | Health     (** small liveness/queue summary; served inline *)
+  | Recent     (** last [params.n] flight-recorder entries; served inline *)
   | Sleep      (** hold a worker for [params.seconds] — testing aid *)
   | Shutdown   (** initiate graceful drain; served inline *)
 
@@ -85,10 +100,11 @@ val parse_request :
 
 (** {1 Replies} *)
 
-val ok_frame : id:Util.Json.t -> Util.Json.t -> string
+val ok_frame : id:Util.Json.t -> ?rid:string -> Util.Json.t -> string
 (** One success frame (no trailing newline). *)
 
-val error_frame : id:Util.Json.t -> error_code -> string -> string
+val error_frame :
+  id:Util.Json.t -> ?rid:string -> error_code -> string -> string
 (** One error frame (no trailing newline). *)
 
 type reply = {

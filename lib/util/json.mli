@@ -41,6 +41,12 @@ val to_string : t -> string
 val to_string_pretty : t -> string
 (** Two-space-indented rendering, for humans ([mccm client] output). *)
 
+val num_to_string : float -> string
+(** The printers' float rendering on its own: integral values below
+    10{^15} as [%.0f], everything else as [%.17g] (exact double
+    round-trip).  Shared with the Prometheus text exporter so scraped
+    values match the JSON telemetry bit-for-bit. *)
+
 (** {1 Accessors} — all total; [None] on shape mismatch. *)
 
 val member : string -> t -> t option

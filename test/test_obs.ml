@@ -62,12 +62,13 @@ let prop_parallel_counters =
 (* ---------------------------------------------------- merge algebra *)
 
 (* Snapshots built directly from sorted assoc lists over a fixed name
-   pool; histogram fields derive from the sample list, and all values
-   are small integers so sums stay exact and associativity can be
-   checked with structural equality. *)
-let gen_snapshot =
+   pool; histogram fields derive from the sample list.  [gen_snapshot]
+   uses small integers so sums stay exact and associativity can be
+   checked with structural equality; [gen_wide_snapshot] uses values
+   spread over the whole finite double range to exercise the %.17g
+   serialization. *)
+let gen_snapshot_with value =
   let open QCheck2.Gen in
-  let small = map float_of_int (int_range 0 20) in
   let assoc_of pool gen_v =
     flatten_l
       (List.map
@@ -79,7 +80,7 @@ let gen_snapshot =
     |> map (List.filter_map Fun.id)
   in
   let gen_hist =
-    let* samples = list_size (int_range 0 6) small in
+    let* samples = list_size (int_range 0 6) value in
     let sorted = List.sort compare samples in
     return
       {
@@ -92,9 +93,20 @@ let gen_snapshot =
       }
   in
   let* counters = assoc_of [ "a"; "b"; "c"; "d" ] (int_range 0 100) in
-  let* gauges = assoc_of [ "g1"; "g2"; "g3" ] small in
+  let* gauges = assoc_of [ "g1"; "g2"; "g3" ] value in
   let* histograms = assoc_of [ "h1"; "h2"; "h3" ] gen_hist in
   return { Mccm_obs.Metric.counters; gauges; histograms }
+
+let gen_snapshot =
+  gen_snapshot_with QCheck2.Gen.(map float_of_int (int_range 0 20))
+
+let gen_wide_snapshot =
+  (* finite but spanning ~600 orders of magnitude, either sign *)
+  gen_snapshot_with
+    QCheck2.Gen.(
+      map
+        (fun (m, e) -> Float.ldexp m e)
+        (pair (float_range (-1.0) 1.0) (int_range (-300) 300)))
 
 let prop_merge_commutative =
   QCheck2.Test.make ~name:"snapshot merge is commutative"
@@ -106,6 +118,34 @@ let prop_merge_associative =
     QCheck2.Gen.(triple gen_snapshot gen_snapshot gen_snapshot)
     (fun (a, b, c) ->
       Mccm_obs.Metric.(merge (merge a b) c = merge a (merge b c)))
+
+(* ----------------------------------------------- snapshot round trip *)
+
+(* The stats protocol op ships Metric.to_json over the wire and clients
+   decode with of_json; bit-for-bit equality end to end needs the codec
+   to be an exact inverse, including through the string layer. *)
+let prop_json_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"snapshot JSON round-trips exactly"
+    gen_wide_snapshot
+    (fun s ->
+      let j = Mccm_obs.Metric.to_json s in
+      Mccm_obs.Metric.of_json j = Ok s
+      &&
+      match Util.Json.parse (Util.Json.to_string j) with
+      | Ok j' -> Mccm_obs.Metric.of_json j' = Ok s
+      | Error _ -> false)
+
+let prop_delta_merge_inverse =
+  (* For a monotone pair (later = merge earlier growth), delta is the
+     exact inverse of merge — what lets a poller turn two absolute
+     stats replies into an interval snapshot.  Small integer values so
+     the sum arithmetic is float-exact. *)
+  QCheck2.Test.make ~count:500 ~name:"merge earlier (delta later earlier) = later"
+    QCheck2.Gen.(pair gen_snapshot gen_snapshot)
+    (fun (earlier, growth) ->
+      let later = Mccm_obs.Metric.merge earlier growth in
+      Mccm_obs.Metric.merge earlier (Mccm_obs.Metric.delta later earlier)
+      = later)
 
 (* ------------------------------------------------------ span nesting *)
 
@@ -195,6 +235,175 @@ let test_gauge_update_max () =
   checkf "best-so-far" 5.0 (List.assoc "obs.test.gauge" s.Mccm_obs.Metric.gauges);
   reset_off ()
 
+(* --------------------------------------------------- flight recorder *)
+
+let test_flight_only_gating () =
+  reset_off ();
+  Mccm_obs.Flight.configure ();
+  Mccm_obs.Flight.enable ();
+  checkb "flight armed" true (Mccm_obs.Flight.enabled ());
+  (* arming the recorder must not wake metrics or spans up *)
+  let c = Mccm_obs.Metric.counter "obs.test.flightgate" in
+  Mccm_obs.Metric.incr c;
+  check "metrics still off" 0 (Mccm_obs.Metric.value c);
+  ignore (Mccm_obs.span "obs.test.flightspan" (fun () -> 0));
+  check "no span events" 0 (List.length (Mccm_obs.Span.events ()));
+  Mccm_obs.Flight.record ~rid:"r" ~op:"ping" ~worker:(-1) ~queue_ns:0
+    ~eval_ns:0 ~bytes_in:0 ~bytes_out:0 ~outcome:"ok";
+  check "recorded" 1 (List.length (Mccm_obs.Flight.dump ()));
+  (* enable preserves the flight bit; disable clears every facet *)
+  Mccm_obs.enable ();
+  checkb "stats enable keeps flight armed" true (Mccm_obs.Flight.enabled ());
+  Mccm_obs.disable ();
+  checkb "disable clears flight" false (Mccm_obs.Flight.enabled ());
+  Mccm_obs.Flight.configure ();
+  reset_off ()
+
+let test_flight_concurrent_exact () =
+  reset_off ();
+  Mccm_obs.Flight.configure ~capacity:64 ~slow_ms:1e12 ~slow_keep:4 ();
+  Mccm_obs.Flight.enable ();
+  let domains = 4 and per = 32 in
+  let spawned =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              Mccm_obs.Flight.record
+                ~rid:(Printf.sprintf "d%d-%d" d i)
+                ~op:"evaluate" ~worker:d ~queue_ns:0 ~eval_ns:i ~bytes_in:1
+                ~bytes_out:1 ~outcome:"ok"
+            done))
+  in
+  List.iter Domain.join spawned;
+  let dump = Mccm_obs.Flight.dump () in
+  Mccm_obs.Flight.disable ();
+  (* per-domain rings are private, so a quiescent dump is exact *)
+  check "every record present" (domains * per) (List.length dump);
+  check "lifetime total" (domains * per) (Mccm_obs.Flight.total ());
+  let rec mono = function
+    | (a : Mccm_obs.Flight.record) :: (b :: _ as tl) ->
+      a.Mccm_obs.Flight.t_ns <= b.Mccm_obs.Flight.t_ns && mono tl
+    | _ -> true
+  in
+  checkb "sorted by completion time" true (mono dump);
+  Mccm_obs.Flight.configure ();
+  reset_off ()
+
+let test_flight_slow_retention () =
+  reset_off ();
+  Mccm_obs.Flight.configure ~capacity:4 ~slow_ms:30.0 ~slow_keep:8 ();
+  Mccm_obs.Flight.enable ();
+  for i = 1 to 50 do
+    Mccm_obs.Flight.record ~rid:(string_of_int i) ~op:"sleep" ~worker:0
+      ~queue_ns:0 ~eval_ns:(i * 1_000_000) ~bytes_in:0 ~bytes_out:0
+      ~outcome:"ok"
+  done;
+  let dump = Mccm_obs.Flight.dump () in
+  Mccm_obs.Flight.disable ();
+  (* the ring has wrapped down to 47..50, but the slow buffer (>= 30 ms)
+     retained the 8 worst eval times by replace-min: 43..50 survive,
+     deduplicated against the ring *)
+  check "ring + slow, deduplicated" 8 (List.length dump);
+  let rids =
+    List.sort compare
+      (List.map (fun r -> int_of_string r.Mccm_obs.Flight.rid) dump)
+  in
+  checkb "worst offenders retained" true
+    (rids = [ 43; 44; 45; 46; 47; 48; 49; 50 ]);
+  check "lifetime total counts dropped records" 50 (Mccm_obs.Flight.total ());
+  Mccm_obs.Flight.configure ();
+  reset_off ()
+
+(* ------------------------------------------------- summary rendering *)
+
+(* pp sorts every block by name before rendering, so the summary is one
+   deterministic string no matter how the snapshot was assembled; this
+   golden pins both the sorting and the exact layout. *)
+let test_golden_summary () =
+  let hist samples =
+    let sorted = List.sort compare samples in
+    {
+      Mccm_obs.Metric.count = List.length samples;
+      sum = List.fold_left ( +. ) 0.0 samples;
+      min = List.hd sorted;
+      max = List.nth sorted (List.length sorted - 1);
+      samples = Array.of_list sorted;
+    }
+  in
+  let s =
+    {
+      (* deliberately unsorted input *)
+      Mccm_obs.Metric.counters = [ ("z.second", 2); ("a.first", 40) ];
+      gauges = [ ("g.late", 7.5); ("g.early", 1.25) ];
+      histograms =
+        [ ("h.tail", hist [ 0.004; 0.002 ]); ("h.head", hist [ 0.5 ]) ];
+    }
+  in
+  let expected =
+    "counters & gauges\n\
+     +----------+-------+\n\
+     |  metric  | value |\n\
+     +----------+-------+\n\
+     | a.first  |    40 |\n\
+     | z.second |     2 |\n\
+     | g.early  |  1.25 |\n\
+     | g.late   |   7.5 |\n\
+     +----------+-------+\n\
+     span durations\n\
+     +--------+-------+------------+------------+------------+------------+------------+\n\
+     |  span  | count |   total    |    p50     |    p95     |    p99     |    max     |\n\
+     +--------+-------+------------+------------+------------+------------+------------+\n\
+     | h.head |     1 | 500.000 ms | 500.000 ms | 500.000 ms | 500.000 ms | 500.000 ms |\n\
+     | h.tail |     2 |   6.000 ms |   3.000 ms |   3.900 ms |   3.980 ms |   4.000 ms |\n\
+     +--------+-------+------------+------------+------------+------------+------------+"
+  in
+  Alcotest.(check string)
+    "deterministic sorted summary" expected
+    (Format.asprintf "%a" Mccm_obs.Metric.pp s)
+
+(* ------------------------------------------------------- Prometheus *)
+
+let test_prometheus_render () =
+  let s =
+    {
+      Mccm_obs.Metric.counters = [ ("serve.requests", 5) ];
+      gauges = [ ("serve.queue.depth", 3.0) ];
+      histograms =
+        [
+          ( "serve.evaluate.latency",
+            {
+              Mccm_obs.Metric.count = 2;
+              sum = 0.75;
+              min = 0.25;
+              max = 0.5;
+              samples = [| 0.25; 0.5 |];
+            } );
+        ];
+    }
+  in
+  let text =
+    Mccm_obs.Prometheus.render ~extra_counters:[ ("completed", 7) ]
+      ~extra_gauges:[ ("uptime_seconds", 12.5) ]
+      s
+  in
+  let has line = List.mem line (String.split_on_char '\n' text) in
+  checkb "counter typed" true (has "# TYPE mccm_serve_requests counter");
+  checkb "counter value" true (has "mccm_serve_requests 5");
+  checkb "extra counter" true (has "mccm_completed 7");
+  checkb "gauge" true (has "mccm_serve_queue_depth 3");
+  checkb "extra gauge" true (has "mccm_uptime_seconds 12.5");
+  checkb "summary type" true
+    (has "# TYPE mccm_serve_evaluate_latency summary");
+  (* 0.375 = (0.25 + 0.5) / 2 is exactly representable, so the value
+     prints cleanly; the label must be the literal "0.5", not a %.17g
+     rendering of the float *)
+  checkb "quantile label is literal" true
+    (has "mccm_serve_evaluate_latency{quantile=\"0.5\"} 0.375");
+  checkb "sum" true (has "mccm_serve_evaluate_latency_sum 0.75");
+  checkb "count" true (has "mccm_serve_evaluate_latency_count 2");
+  checkb "ends with newline" true
+    (String.length text > 0 && text.[String.length text - 1] = '\n')
+
 (* ------------------------------------------------------ Chrome trace *)
 
 let test_golden_chrome_trace () =
@@ -279,7 +488,7 @@ let properties =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_parallel_counters; prop_merge_commutative; prop_merge_associative;
-      prop_span_nesting;
+      prop_json_roundtrip; prop_delta_merge_inverse; prop_span_nesting;
     ]
 
 let () =
@@ -293,6 +502,22 @@ let () =
           Alcotest.test_case "histogram snapshot" `Quick
             test_histogram_snapshot;
           Alcotest.test_case "gauge update_max" `Quick test_gauge_update_max;
+          Alcotest.test_case "golden summary rendering" `Quick
+            test_golden_summary;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "flight-only gating" `Quick
+            test_flight_only_gating;
+          Alcotest.test_case "concurrent recording is exact" `Quick
+            test_flight_concurrent_exact;
+          Alcotest.test_case "slow-request retention" `Quick
+            test_flight_slow_retention;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "text-format rendering" `Quick
+            test_prometheus_render;
         ] );
       ( "trace",
         [

@@ -479,6 +479,166 @@ let test_shutdown_drains () =
             "daemon stopping" true
             (wait_until (fun () -> Serve.Daemon.stopping d))))
 
+(* --------------------------------------------------------- telemetry *)
+
+(* Control ops are answered inline by the reader thread, out-of-band of
+   the worker pool; they must keep answering while every worker is
+   wedged on queued work. *)
+let test_stats_under_saturation () =
+  with_daemon
+    ~configure:(fun c -> { c with Serve.Daemon.workers = 2 })
+    (fun cfg d ->
+      with_client cfg (fun blocker ->
+          Result.get_ok
+            (Serve.Client.send_line blocker
+               "{\"id\":0,\"op\":\"sleep\",\"params\":{\"seconds\":1.5}}");
+          Result.get_ok
+            (Serve.Client.send_line blocker
+               "{\"id\":1,\"op\":\"sleep\",\"params\":{\"seconds\":1.5}}");
+          Alcotest.(check bool)
+            "both workers wedged" true
+            (wait_until (fun () -> counter d "dispatched" >= 2));
+          with_client cfg (fun c ->
+              (* each wedged sleep holds its worker for 1.5 s; if any of
+                 these were queued behind them, the 1 s timeouts would
+                 fire and the elapsed check would fail *)
+              let t0 = Unix.gettimeofday () in
+              let stats =
+                ok_exn "stats" (Serve.Client.stats ~timeout_s:1.0 c)
+              in
+              let health =
+                ok_exn "health" (Serve.Client.health ~timeout_s:1.0 c)
+              in
+              let recent =
+                ok_exn "recent" (Serve.Client.recent ~timeout_s:1.0 ~n:10 c)
+              in
+              let elapsed = Unix.gettimeofday () -. t0 in
+              Alcotest.(check bool)
+                "answered while saturated" true (elapsed < 1.0);
+              Alcotest.(check bool)
+                "stats carries the metrics snapshot" true
+                (Json.member "metrics" stats <> None);
+              Alcotest.(check bool)
+                "health is ok (not draining)" true
+                (Option.bind (Json.member "status" health) Json.string_
+                = Some "ok");
+              Alcotest.(check bool)
+                "recent answers" true
+                (Json.member "records" recent <> None));
+          (* unwedge before the implicit shutdown so the drain is quick *)
+          ignore (Serve.Client.recv_line ~timeout_s:30.0 blocker);
+          ignore (Serve.Client.recv_line ~timeout_s:30.0 blocker)))
+
+(* Spans observe their latency histograms after the reply frame is
+   written, so "no in-flight work" is not quite "quiescent": wait for
+   two identical snapshots 50 ms apart. *)
+let snapshots_stable () =
+  wait_until (fun () ->
+      let a = Mccm_obs.Metric.snapshot () in
+      Thread.delay 0.05;
+      a = Mccm_obs.Metric.snapshot ())
+
+let test_stats_snapshot_bit_exact () =
+  Mccm_obs.disable ();
+  Mccm_obs.reset ();
+  Mccm_obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Mccm_obs.disable ();
+      Mccm_obs.reset ())
+    (fun () ->
+      with_daemon (fun cfg _d ->
+          with_client cfg (fun c ->
+              List.iter
+                (fun (m, b, a) ->
+                  ignore
+                    (ok_exn "evaluate"
+                       (Serve.Client.evaluate ~timeout_s:60.0 c ~model:m
+                          ~board:b ~arch:a)))
+                [
+                  ("MobV2", "VCU108", "hybrid/2");
+                  ("MobV2", "VCU108", "hybrid/3");
+                  ("Res50", "ZC706", "segmented/2");
+                ];
+              Alcotest.(check bool)
+                "metrics quiesced" true (snapshots_stable ());
+              (* The stats op itself must not perturb the snapshot it
+                 reports (control ops are obs-neutral), so the decoded
+                 wire snapshot has to equal a snapshot taken after the
+                 reply — structurally, i.e. bit for bit. *)
+              let reply =
+                ok_exn "stats" (Serve.Client.stats ~timeout_s:30.0 c)
+              in
+              let decoded =
+                match
+                  Option.map Mccm_obs.Metric.of_json
+                    (Json.member "metrics" reply)
+                with
+                | Some (Ok s) -> s
+                | Some (Error msg) -> Alcotest.failf "metrics decode: %s" msg
+                | None -> Alcotest.fail "stats reply without metrics member"
+              in
+              let local = Mccm_obs.Metric.snapshot () in
+              Alcotest.(check bool)
+                "decoded wire snapshot = in-process snapshot" true
+                (decoded = local);
+              List.iter
+                (fun (name, h) ->
+                  if h.Mccm_obs.Metric.count > 0 then
+                    let h' =
+                      List.assoc name decoded.Mccm_obs.Metric.histograms
+                    in
+                    List.iter
+                      (fun q ->
+                        Alcotest.(check bool)
+                          (Printf.sprintf "%s quantile %.2f" name q)
+                          true
+                          (Mccm_obs.Metric.quantile h ~q
+                          = Mccm_obs.Metric.quantile h' ~q))
+                      [ 0.5; 0.95; 0.99 ])
+                local.Mccm_obs.Metric.histograms)))
+
+(* rid propagation and the recent op's view of completed work. *)
+let test_recent_and_rids () =
+  with_daemon (fun cfg _d ->
+      with_client cfg (fun c ->
+          ignore
+            (ok_exn "evaluate"
+               (Serve.Client.evaluate ~timeout_s:60.0 c ~model:"MobV2"
+                  ~board:"VCU108" ~arch:"hybrid/2"));
+          (* an id-less error reply must mint and expose a rid *)
+          Result.get_ok (Serve.Client.send_line c "{\"op\":\"nonsense\"}");
+          (match Serve.Client.recv_line ~timeout_s:30.0 c with
+          | Error msg -> Alcotest.failf "recv: %s" msg
+          | Ok line -> (
+            match Json.parse line with
+            | Error msg -> Alcotest.failf "reply parse: %s" msg
+            | Ok frame ->
+              Alcotest.(check bool)
+                "error reply carries a minted rid" true
+                (match Json.member "rid" frame with
+                | Some (Json.Str r) -> String.length r > 0
+                | _ -> false)));
+          let recent =
+            ok_exn "recent" (Serve.Client.recent ~timeout_s:30.0 c)
+          in
+          Alcotest.(check bool)
+            "flight recorder armed by the daemon" true
+            (Json.member "enabled" recent = Some (Json.Bool true));
+          match Json.member "records" recent with
+          | Some (Json.Arr records) ->
+            Alcotest.(check bool)
+              "the evaluate left a flight record" true
+              (List.exists
+                 (fun r ->
+                   Option.bind (Json.member "op" r) Json.string_
+                   = Some "evaluate"
+                   && Option.bind (Json.member "outcome" r) Json.string_
+                      = Some "ok"
+                   && Json.member "rid" r <> None)
+                 records)
+          | _ -> Alcotest.fail "recent reply without records"))
+
 (* ---------------------------------------------------------- run all *)
 
 let () =
@@ -510,6 +670,15 @@ let () =
       ( "batching",
         [ Alcotest.test_case "consecutive evaluates batched" `Quick
             test_batching ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "stats/health/recent under saturation" `Quick
+            test_stats_under_saturation;
+          Alcotest.test_case "stats snapshot is bit-exact over the wire"
+            `Quick test_stats_snapshot_bit_exact;
+          Alcotest.test_case "recent records and rid propagation" `Quick
+            test_recent_and_rids;
+        ] );
       ( "drain",
         [ Alcotest.test_case "shutdown drains queued work" `Quick
             test_shutdown_drains ] );
