@@ -397,11 +397,16 @@ let gate current_path baseline_path tolerance trace_tol =
 
 (* ------------------------------------------------------- serve gate *)
 
-(* BENCH_serve.json (mccm-bench-serve/1 or /2): hard validity asserts
-   always (progress was made, nothing errored, nothing dropped); /2
-   files additionally carry the interleaved flight-recorder A/B, whose
-   overhead is gated hard at [flight_tol] (default 2%) — the recorder
-   rides every production reply, so it must stay in the noise.  The
+(* BENCH_serve.json (mccm-bench-serve/1, /2 or /3): hard validity
+   asserts always (progress was made, nothing errored, nothing
+   dropped); /2 files additionally carry the interleaved
+   flight-recorder A/B, whose overhead is gated hard at [flight_tol]
+   (default 2%) — the recorder rides every production reply, so it
+   must stay in the noise; /3 files add the result-cache arms, gated
+   hard on their structural claims (warm hits at least 5x cold
+   throughput, the thundering herd resolved by exactly one evaluation
+   with every reply byte-identical) — these are properties of the
+   cache design, not of the box, so no baseline is needed.  The
    throughput floor only gates against a committed baseline recorded on
    a comparable box (same workers and recommended_domains) — it stays
    dormant until such a baseline exists, like the DSE scaling gates
@@ -409,7 +414,9 @@ let gate current_path baseline_path tolerance trace_tol =
 let check_serve ?(flight_tol = 0.02) current_path baseline_path tolerance =
   let json = load current_path in
   (match member "schema" json with
-  | Some (Str "mccm-bench-serve/1") | Some (Str "mccm-bench-serve/2") -> ()
+  | Some (Str "mccm-bench-serve/1")
+  | Some (Str "mccm-bench-serve/2")
+  | Some (Str "mccm-bench-serve/3") -> ()
   | Some (Str other) -> failwith ("serve schema: unexpected " ^ other)
   | _ -> failwith "serve schema: missing");
   let num name = num_exn name (member name json) in
@@ -438,6 +445,38 @@ let check_serve ?(flight_tol = 0.02) current_path baseline_path tolerance =
     hard "flight_overhead" (overhead <= flight_tol)
       (Printf.sprintf "%.1f%% (budget %.1f%%)" (100.0 *. overhead)
          (100.0 *. flight_tol))
+  | None -> ());
+  (match member "cache" json with
+  | Some cache ->
+    let cnum name = num_exn ("cache." ^ name) (member name cache) in
+    let cold = cnum "cold_evals_per_sec" in
+    let warm = cnum "warm_evals_per_sec" in
+    let requests = cnum "requests" in
+    hard "cache_progress" (cold > 0.0 && warm > 0.0)
+      (Printf.sprintf "%.0f evals/s cold, %.0f evals/s warm" cold warm);
+    hard "cache_errors"
+      (cnum "errors" = 0.0)
+      (Printf.sprintf "%.0f errors" (cnum "errors"));
+    hard "cache_warm_hits"
+      (cnum "warm_hits" = requests && cnum "warm_misses" = 0.0)
+      (Printf.sprintf "%.0f/%.0f hits, %.0f misses" (cnum "warm_hits")
+         requests (cnum "warm_misses"));
+    hard "cache_speedup"
+      (warm >= 5.0 *. cold)
+      (Printf.sprintf "%.1fx warm over cold (floor 5.0x)" (warm /. cold));
+    (match member "herd" cache with
+    | Some herd ->
+      let hnum name = num_exn ("herd." ^ name) (member name herd) in
+      let size = hnum "size" in
+      hard "herd_coalesced"
+        (hnum "evaluations" = 1.0 && hnum "coalesced" = size -. 1.0)
+        (Printf.sprintf
+           "%.0f identical requests -> %.0f evaluation(s), %.0f coalesced"
+           size (hnum "evaluations") (hnum "coalesced"));
+      hard "herd_identical"
+        (member "identical_replies" herd = Some (Bool true))
+        "every herd reply byte-identical"
+    | None -> hard "herd_present" false "cache member without herd")
   | None -> ());
   (match baseline_path with
   | Some path when Sys.file_exists path ->

@@ -803,8 +803,27 @@ let serve_cmd =
             "Requests at least $(docv) milliseconds of evaluation time \
              are retained by the flight recorder beyond ring eviction.")
   in
+  let cache_cap_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:
+            "Content-addressed result-cache capacity in entries \
+             (striped LRU).  A repeated evaluate payload is answered \
+             from the reader path, bit-identical and without queueing; \
+             identical concurrent requests coalesce onto one \
+             evaluation.  0 disables the cache.")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Disable the result cache and single-flight coalescing \
+             (same as $(b,--cache-capacity) $(i,0)).")
+  in
   let run obs socket workers queue_cap batch max_frame store_arch telemetry
-      prom interval flight_cap slow_ms =
+      prom interval flight_cap slow_ms cache_cap no_cache =
     with_obs "serve" obs @@ fun () ->
     let cfg = Serve.Daemon.default ~socket_path:socket in
     let cfg =
@@ -818,6 +837,7 @@ let serve_cmd =
         store_arch;
         flight_capacity = flight_cap;
         flight_slow_ms = slow_ms;
+        cache_capacity = (if no_cache then 0 else max 0 cache_cap);
         telemetry_path = telemetry;
         prom_path = prom;
         telemetry_interval_s = interval;
@@ -853,7 +873,8 @@ let serve_cmd =
     Term.(
       const run $ obs_args $ socket_arg $ workers_arg $ queue_arg $ batch_arg
       $ max_frame_arg $ store_arch_arg $ telemetry_arg $ prom_arg
-      $ interval_arg $ flight_cap_arg $ slow_ms_arg)
+      $ interval_arg $ flight_cap_arg $ slow_ms_arg $ cache_cap_arg
+      $ no_cache_arg)
 
 (* ----------------------------------------------------------- client *)
 
@@ -1073,6 +1094,26 @@ let top_cmd =
         | None -> "-")
         (int_of_float (Option.value ~default:0.0 (number "sessions" reply)))
         dt;
+      let window_of label total =
+        total - Option.value ~default:0 (List.assoc_opt label prev_counters)
+      in
+      let cache_num name =
+        match
+          Option.bind (Json.member "cache" reply) (fun c ->
+              Option.bind (Json.member name c) Json.number)
+        with
+        | Some f -> int_of_float f
+        | None -> 0
+      in
+      let wh = window_of "cache_hits" (counter_of reply "cache_hits") in
+      let wm = window_of "cache_misses" (counter_of reply "cache_misses") in
+      line "cache %d/%d entries · window hit rate %s · coalesced %d"
+        (cache_num "entries") (cache_num "capacity")
+        (if wh + wm > 0 then
+           Printf.sprintf "%.0f%%"
+             (100.0 *. float_of_int wh /. float_of_int (wh + wm))
+         else "-")
+        (counter_of reply "cache_coalesced");
       let activity =
         Util.Table.create ~title:"activity"
           ~columns:
@@ -1094,6 +1135,11 @@ let top_cmd =
           ("completed", counter_of reply "completed");
           ("replies", counter_of reply "replies");
           ("batches", counter_of reply "batches");
+          ("cache_hits", counter_of reply "cache_hits");
+          ("cache_misses", counter_of reply "cache_misses");
+          ("cache_coalesced", counter_of reply "cache_coalesced");
+          ("cache_evictions", counter_of reply "cache_evictions");
+          ("registry_full", counter_of reply "registry_full");
           ("rejected", rejected reply);
           ("errors", errors reply);
         ];
@@ -1169,7 +1215,9 @@ let top_cmd =
                 | _ -> { Metric.counters = []; gauges = []; histograms = [] }
               in
               let counter_keys =
-                [ "requests"; "completed"; "replies"; "batches" ]
+                [ "requests"; "completed"; "replies"; "batches";
+                  "cache_hits"; "cache_misses"; "cache_coalesced";
+                  "cache_evictions"; "registry_full" ]
               in
               let cur_counters =
                 ("rejected", rejected reply) :: ("errors", errors reply)

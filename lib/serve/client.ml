@@ -140,15 +140,19 @@ let sleep ?timeout_s ?deadline_ms t ~seconds =
   call ?timeout_s ?deadline_ms t Protocol.Sleep
     (Json.Obj [ ("seconds", Json.Num seconds) ])
 
-let evaluate_params ~model ~board ~arch =
-  Json.Obj
-    [ ("model", Json.Str model); ("board", Json.Str board);
-      ("arch", Json.Str arch) ]
+let cache_field cache =
+  match cache with Some b -> [ ("cache", Json.Bool b) ] | None -> []
 
-let evaluate ?timeout_s ?deadline_ms t ~model ~board ~arch =
+let evaluate_params ?cache ~model ~board ~arch () =
+  Json.Obj
+    ([ ("model", Json.Str model); ("board", Json.Str board);
+       ("arch", Json.Str arch) ]
+    @ cache_field cache)
+
+let evaluate ?timeout_s ?deadline_ms ?cache t ~model ~board ~arch =
   match
     call ?timeout_s ?deadline_ms t Protocol.Evaluate
-      (evaluate_params ~model ~board ~arch)
+      (evaluate_params ?cache ~model ~board ~arch ())
   with
   | Error _ as e -> e
   | Ok result -> (
@@ -157,10 +161,12 @@ let evaluate ?timeout_s ?deadline_ms t ~model ~board ~arch =
     | Some (Error msg) -> Error ("transport", msg)
     | None -> Error ("transport", "reply without \"metrics\""))
 
-let evaluate_case ?timeout_s ?deadline_ms t (case : Validate.Case.t) =
+let evaluate_case ?timeout_s ?deadline_ms ?cache t (case : Validate.Case.t) =
   match
     call ?timeout_s ?deadline_ms t Protocol.Evaluate
-      (Json.Obj [ ("case", Json.Str (Validate.Case.to_string case)) ])
+      (Json.Obj
+         (("case", Json.Str (Validate.Case.to_string case))
+         :: cache_field cache))
   with
   | Error _ as e -> e
   | Ok result -> (

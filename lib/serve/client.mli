@@ -71,6 +71,7 @@ val sleep :
 val evaluate :
   ?timeout_s:float ->
   ?deadline_ms:float ->
+  ?cache:bool ->
   t ->
   model:string ->
   board:string ->
@@ -78,13 +79,18 @@ val evaluate :
   (Mccm.Metrics.t, string * string) result
 (** Evaluate by zoo abbreviation / board name / {!Arch.Shorthand}
     string; the reply's metrics decode bit-identically to in-process
-    evaluation. *)
+    evaluation.  [?cache] sets the request's ["cache"] param:
+    [Some false] opts out of the daemon's result cache (the reply is
+    still bit-identical — that is the cache's contract); omitted means
+    the daemon default (cache on when enabled). *)
 
 val evaluate_case :
   ?timeout_s:float ->
   ?deadline_ms:float ->
+  ?cache:bool ->
   t ->
   Validate.Case.t ->
   (Mccm.Metrics.t, string * string) result
 (** Evaluate a full corpus case (exact round-trip serialisation, so
-    synthetic models and boards replay bit-identically). *)
+    synthetic models and boards replay bit-identically).  [?cache] as
+    in {!evaluate}. *)

@@ -26,6 +26,13 @@ let m_overloaded = Metric.counter "serve.rejected.overloaded"
 let m_deadline = Metric.counter "serve.rejected.deadline"
 let m_errors = Metric.counter "serve.errors"
 let m_batches = Metric.counter "serve.batches"
+let m_cache_hits = Metric.counter "serve.cache.hits"
+let m_cache_misses = Metric.counter "serve.cache.misses"
+let m_cache_coalesced = Metric.counter "serve.cache.coalesced"
+let m_cache_evictions = Metric.counter "serve.cache.evictions"
+let m_registry_full = Metric.counter "serve.registry.full"
+let g_cache_size = Metric.gauge "serve.cache.size"
+let g_cache_capacity = Metric.gauge "serve.cache.capacity"
 let g_queue_depth = Metric.gauge "serve.queue.depth"
 let g_queue_peak = Metric.gauge "serve.queue.peak"
 
@@ -57,6 +64,11 @@ type counters = {
   replies : int Atomic.t;
   batches : int Atomic.t;
   batched : int Atomic.t;
+  cache_hits : int Atomic.t;
+  cache_misses : int Atomic.t;
+  cache_coalesced : int Atomic.t;
+  cache_evictions : int Atomic.t;
+  registry_full : int Atomic.t;
   rejected_parse : int Atomic.t;
   rejected_oversized : int Atomic.t;
   rejected_overloaded : int Atomic.t;
@@ -79,6 +91,11 @@ let new_counters () =
     replies = Atomic.make 0;
     batches = Atomic.make 0;
     batched = Atomic.make 0;
+    cache_hits = Atomic.make 0;
+    cache_misses = Atomic.make 0;
+    cache_coalesced = Atomic.make 0;
+    cache_evictions = Atomic.make 0;
+    registry_full = Atomic.make 0;
     rejected_parse = Atomic.make 0;
     rejected_oversized = Atomic.make 0;
     rejected_overloaded = Atomic.make 0;
@@ -101,6 +118,11 @@ let counters_alist c =
     ("replies", Atomic.get c.replies);
     ("batches", Atomic.get c.batches);
     ("batched", Atomic.get c.batched);
+    ("cache_hits", Atomic.get c.cache_hits);
+    ("cache_misses", Atomic.get c.cache_misses);
+    ("cache_coalesced", Atomic.get c.cache_coalesced);
+    ("cache_evictions", Atomic.get c.cache_evictions);
+    ("registry_full", Atomic.get c.registry_full);
     ("rejected_parse", Atomic.get c.rejected_parse);
     ("rejected_oversized", Atomic.get c.rejected_oversized);
     ("rejected_overloaded", Atomic.get c.rejected_overloaded);
@@ -123,6 +145,7 @@ type config = {
   batch_limit : int;
   store_arch : bool;
   max_sessions : int;
+  cache_capacity : int;
   max_samples : int;
   max_specs_cap : int;
   max_sleep_s : float;
@@ -142,6 +165,7 @@ let default ~socket_path =
     batch_limit = 16;
     store_arch = false;
     max_sessions = 64;
+    cache_capacity = 4096;
     max_samples = 100_000;
     max_specs_cap = 2_000_000;
     max_sleep_s = 30.0;
@@ -181,6 +205,7 @@ type work = {
   w_op : Protocol.op;
   w_conn : conn;
   w_key : string; (* session key; "" when the job carries no session *)
+  w_ckey : string; (* result-cache key; "" when not cacheable *)
   w_model : Cnn.Model.t option;
   w_board : Platform.Board.t option;
   w_job : job;
@@ -205,6 +230,13 @@ type t = {
   next_rid : int Atomic.t;
   sessions : (string, Mccm.Eval_session.t) Hashtbl.t;
   sessions_m : Mutex.t;
+  (* Content-addressed result cache (rendered result JSON, so a hit's
+     reply is byte-identical to the evaluation that populated it) and
+     the single-flight waiter table: while a cacheable evaluate sits
+     in the queue, identical requests attach to it instead of queuing. *)
+  cache : string Util.Cache.t option;
+  inflight : (string, work list ref) Hashtbl.t;
+  inflight_m : Mutex.t;
   c : counters;
   started_ns : int;
   mutable state : [ `Created | `Running | `Stopped ];
@@ -256,6 +288,9 @@ let create cfg =
   if cfg.workers < 1 then invalid_arg "Daemon.create: workers must be >= 1";
   if cfg.batch_limit < 1 then
     invalid_arg "Daemon.create: batch_limit must be >= 1";
+  if cfg.cache_capacity < 0 then
+    invalid_arg "Daemon.create: cache_capacity must be >= 0";
+  Metric.set g_cache_capacity (float_of_int cfg.cache_capacity);
   (* The flight recorder is process-global (like the Metric registry);
      the daemon arms it at creation so `recent` works out of the box. *)
   if cfg.flight_capacity > 0 then begin
@@ -275,6 +310,12 @@ let create cfg =
     next_rid = Atomic.make 0;
     sessions = Hashtbl.create 16;
     sessions_m = Mutex.create ();
+    cache =
+      (if cfg.cache_capacity > 0 then
+         Some (Util.Cache.create ~capacity:cfg.cache_capacity ())
+       else None);
+    inflight = Hashtbl.create 64;
+    inflight_m = Mutex.create ();
     c = new_counters ();
     started_ns = now_ns ();
     state = `Created;
@@ -468,6 +509,47 @@ let resolve_job cfg (req : Protocol.request) =
   | Protocol.Shutdown ->
     badf "control op cannot be queued"
 
+(* ----------------------------------------------------- result cache *)
+
+(* The result cache is keyed on the raw request payload — the strings
+   the client sent, before any resolution — so a hit costs a parse, a
+   digest and a table probe, never a model deserialisation or a zoo
+   lookup.  Identical payloads resolve identically (resolution is
+   pure) and only successful results are published, so a raw key can
+   never alias two different answers.  Fields are length-prefixed to
+   keep the concatenation unambiguous. *)
+let raw_cache_key params =
+  let b = Buffer.create 96 in
+  let feed k =
+    match Json.member k params with
+    | None -> Buffer.add_char b '-'
+    | Some (Json.Str s) ->
+      Buffer.add_string b (string_of_int (String.length s));
+      Buffer.add_char b ':';
+      Buffer.add_string b s
+    | Some _ -> raise_notrace Exit (* the slow path reports the error *)
+  in
+  match List.iter feed [ "case"; "model"; "model_text"; "board"; "arch" ] with
+  | () -> Some (Buffer.contents b)
+  | exception Exit -> None
+
+(* "" = not cacheable: another op, cache disabled, or client opt-out
+   via the optional evaluate param {"cache": false}. *)
+let evaluate_cache_key cfg (req : Protocol.request) =
+  if cfg.cache_capacity <= 0 || req.Protocol.op <> Protocol.Evaluate then ""
+  else
+    let params = req.Protocol.params in
+    let wanted =
+      match Json.member "cache" params with
+      | None -> true
+      | Some j -> (
+        match Json.bool_ j with
+        | Some b -> b
+        | None -> badf "\"cache\" must be a boolean")
+    in
+    if not wanted then ""
+    else match raw_cache_key params with Some k -> k | None -> ""
+
 (* --------------------------------------------------------- sessions *)
 
 (* Parent sessions are process-global (one per (model, board) content
@@ -499,7 +581,13 @@ let worker_fork t forks ~key ~model ~board =
   | Some s -> Some s
   | None -> (
     match parent_session t ~key ~model ~board with
-    | None -> None (* registry full: evaluate uncached *)
+    | None ->
+      (* Registry full: evaluate uncached — and count it, so the
+         misconfiguration shows up in stats/top instead of only as
+         mysteriously slow evaluates. *)
+      incr t.c.registry_full;
+      Metric.incr m_registry_full;
+      None
     | Some fork ->
       Hashtbl.add forks key fork;
       Some fork)
@@ -577,6 +665,155 @@ let reject_at_gate t conn ~id ~rid ~op ~bytes_in code msg =
     ~bytes_out:(String.length frame + 1)
     ~outcome:(Protocol.error_code_to_string code);
   write_line t conn frame
+
+let gate_reject_work t w code msg =
+  reject_at_gate t w.w_conn ~id:w.w_id ~rid:w.w_rid ~op:w.w_op
+    ~bytes_in:w.w_bytes_in code msg
+
+(* ------------------------------------------- cache and single-flight *)
+
+(* Byte-identical to [Protocol.ok_frame ~id ?rid result] for the
+   [result] whose compact rendering is [rendered]: the cache stores
+   the result member pre-rendered (rendering is deterministic), so a
+   hit's reply frame matches the evaluation that populated the entry
+   bit for bit without re-rendering the metrics. *)
+let cached_ok_frame ~id ?rid rendered =
+  let b = Buffer.create (String.length rendered + 48) in
+  Buffer.add_string b "{\"id\":";
+  Buffer.add_string b (Json.to_string id);
+  Buffer.add_string b ",\"ok\":true,";
+  (match rid with
+  | Some r ->
+    Buffer.add_string b "\"rid\":";
+    Buffer.add_string b (Json.to_string (Json.Str r));
+    Buffer.add_char b ','
+  | None -> ());
+  Buffer.add_string b "\"result\":";
+  Buffer.add_string b rendered;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* A cache hit answered inline on the reader thread: the queue and the
+   worker pool never see the request.  Same telemetry discipline as
+   [finish_reply] — latency, reply counter and flight record land
+   before the frame is written; worker is -1 (no worker saw it). *)
+let finish_cached t conn ~id ~rid ~op ~bytes_in ~received_ns rendered =
+  incr t.c.cache_hits;
+  Metric.incr m_cache_hits;
+  let now = now_ns () in
+  observe_latency op (float_of_int (now - received_ns) /. 1e9);
+  Metric.incr m_replies;
+  let rid_out = if id = Json.Null then Some rid else None in
+  let frame = cached_ok_frame ~id ?rid:rid_out rendered in
+  Mccm_obs.Flight.record ~rid ~op:(Protocol.op_to_string op) ~worker:(-1)
+    ~queue_ns:0 ~eval_ns:0 ~bytes_in
+    ~bytes_out:(String.length frame + 1)
+    ~outcome:"ok";
+  write_line t conn frame;
+  incr t.c.completed
+
+(* Reader-path cache consult.  Opt-outs, malformed "cache" members and
+   already-expired deadlines all fall through to the slow path, which
+   validates and rejects as before; only a clean hit is served here. *)
+let serve_cached t conn ~id ~rid ~op ~bytes_in (req : Protocol.request) =
+  match t.cache with
+  | None -> false
+  | Some cache ->
+    req.Protocol.op = Protocol.Evaluate
+    && (match req.Protocol.deadline_ms with
+       | Some ms -> ms > 0.0
+       | None -> true)
+    && (match Json.member "cache" req.Protocol.params with
+       | None | Some (Json.Bool true) -> true
+       | Some _ -> false)
+    &&
+    match raw_cache_key req.Protocol.params with
+    | None -> false
+    | Some ckey -> (
+      match Util.Cache.find cache ckey with
+      | None -> false
+      | Some rendered ->
+        finish_cached t conn ~id ~rid ~op ~bytes_in ~received_ns:(now_ns ())
+          rendered;
+        true)
+
+(* While a cacheable evaluate (the "leader") sits in the queue, its
+   inflight entry collects identical requests; the dispatching worker
+   drains the entry and replies to everyone from one evaluation. *)
+let drain_waiters t w =
+  if w.w_ckey = "" then []
+  else begin
+    Mutex.lock t.inflight_m;
+    let ws =
+      match Hashtbl.find_opt t.inflight w.w_ckey with
+      | Some waiters ->
+        Hashtbl.remove t.inflight w.w_ckey;
+        List.rev !waiters
+      | None -> []
+    in
+    Mutex.unlock t.inflight_m;
+    ws
+  end
+
+let push_work t w =
+  if Bqueue.try_push t.queue w then begin
+    incr t.c.enqueued;
+    set_depth_gauge t
+  end
+  else begin
+    (* The leader never made the queue: anyone already attached to it
+       must be turned away too, or they would wait forever. *)
+    let stranded = w :: drain_waiters t w in
+    List.iter
+      (fun v ->
+        if stopping t then begin
+          incr t.c.rejected_shutdown;
+          gate_reject_work t v Protocol.Shutting_down "daemon is draining"
+        end
+        else begin
+          incr t.c.rejected_overloaded;
+          Metric.incr m_overloaded;
+          gate_reject_work t v Protocol.Overloaded
+            (Printf.sprintf "request queue full (%d)" t.cfg.queue_capacity)
+        end)
+      stranded
+  end
+
+(* Coalesce-or-enqueue: the first cacheable request for a key becomes
+   the queued leader (and counts the cache miss); identical requests
+   arriving before it is dispatched attach as waiters and never touch
+   the queue. *)
+let enqueue_work t w =
+  if w.w_ckey = "" then push_work t w
+  else begin
+    Mutex.lock t.inflight_m;
+    match Hashtbl.find_opt t.inflight w.w_ckey with
+    | Some waiters ->
+      waiters := w :: !waiters;
+      Mutex.unlock t.inflight_m;
+      incr t.c.cache_coalesced;
+      Metric.incr m_cache_coalesced
+    | None ->
+      Hashtbl.add t.inflight w.w_ckey (ref []);
+      Mutex.unlock t.inflight_m;
+      incr t.c.cache_misses;
+      Metric.incr m_cache_misses;
+      push_work t w
+  end
+
+(* Publish a finished evaluation under its cache key.  The rendered
+   string is what future hits splice into their frames. *)
+let publish t w result =
+  match t.cache with
+  | Some cache when w.w_ckey <> "" ->
+    let rendered = Json.to_string result in
+    let evicted = Util.Cache.add cache w.w_ckey rendered in
+    if evicted > 0 then begin
+      ignore (Atomic.fetch_and_add t.c.cache_evictions evicted);
+      Metric.add m_cache_evictions evicted
+    end;
+    Metric.set g_cache_size (float_of_int (Util.Cache.length cache))
+  | _ -> ()
 
 let json_of_evaluated model (e : Dse.Explore.evaluated) =
   Json.Obj
@@ -673,16 +910,34 @@ let process_eval_batch t forks items =
   match items with
   | [] -> ()
   | first :: _ ->
-    let live, dead = List.partition (fun w -> not (expired w)) items in
-    List.iter (reject_deadline t) dead;
-    if live <> [] then begin
+    (* Each leader picks up its coalesced waiters at dispatch; waiters
+       inherit the leader's dispatch stamp (their own enqueue time
+       still dates the queue wait) and deadline admission is honored
+       per recipient.  A unit evaluates if any recipient is live. *)
+    let units =
+      List.filter_map
+        (fun w ->
+          let waiters = drain_waiters t w in
+          List.iter
+            (fun v ->
+              v.w_dispatched_ns <- w.w_dispatched_ns;
+              v.w_worker <- w.w_worker)
+            waiters;
+          let live, dead =
+            List.partition (fun v -> not (expired v)) (w :: waiters)
+          in
+          List.iter (reject_deadline t) dead;
+          if live = [] then None else Some (w, live))
+        items
+    in
+    if units <> [] then begin
       let model = Option.get first.w_model in
       let board = Option.get first.w_board in
       let archs =
         List.map
-          (fun w ->
+          (fun (w, _) ->
             match w.w_job with J_eval a -> a | _ -> assert false)
-          live
+          units
       in
       let results =
         match worker_fork t forks ~key:first.w_key ~model ~board with
@@ -691,16 +946,17 @@ let process_eval_batch t forks items =
             session archs
         | None -> List.map (fun a -> Mccm.Evaluate.metrics model board a) archs
       in
-      if List.length live >= 2 then begin
+      if List.length units >= 2 then begin
         incr t.c.batches;
         Metric.incr m_batches;
-        Atomic.set t.c.batched (Atomic.get t.c.batched + List.length live)
+        Atomic.set t.c.batched (Atomic.get t.c.batched + List.length units)
       end;
       List.iter2
-        (fun w m ->
-          finish_reply t w
-            (Json.Obj [ ("metrics", Protocol.json_of_metrics m) ]))
-        live results
+        (fun (w, live) m ->
+          let result = Json.Obj [ ("metrics", Protocol.json_of_metrics m) ] in
+          publish t w result;
+          List.iter (fun v -> finish_reply t v result) live)
+        units results
     end
 
 let process_one t forks w =
@@ -815,6 +1071,18 @@ let stats_json t =
         Some (Json.Num (float_of_int t.cfg.queue_capacity)) );
       ("draining", Some (Json.Bool (stopping t)));
       ("sessions", Some (Json.Num (float_of_int (session_count t))));
+      ( "cache",
+        Some
+          (Json.Obj
+             [
+               ("capacity", Json.Num (float_of_int t.cfg.cache_capacity));
+               ( "entries",
+                 Json.Num
+                   (float_of_int
+                      (match t.cache with
+                      | Some c -> Util.Cache.length c
+                      | None -> 0)) );
+             ]) );
       ("counters", Some counters);
       (* The full registry, exactly: Metric.of_json on this member
          reconstructs the snapshot bit-for-bit (counters, gauges and
@@ -948,13 +1216,17 @@ let handle_request t conn ~bytes_in (req : Protocol.request) =
       reject_at_gate t conn ~id ~rid ~op ~bytes_in Protocol.Shutting_down
         "daemon is draining"
     end
+    else if serve_cached t conn ~id ~rid ~op ~bytes_in req then ()
     else
-      match resolve_job t.cfg req with
+      match
+        let resolved = resolve_job t.cfg req in
+        (resolved, evaluate_cache_key t.cfg req)
+      with
       | exception Bad msg ->
         incr t.c.errors_bad_params;
         Metric.incr m_errors;
         reject_at_gate t conn ~id ~rid ~op ~bytes_in Protocol.Bad_params msg
-      | model, board, key, job -> (
+      | (model, board, key, job), ckey -> (
         let enq = now_ns () in
         let deadline_ns =
           Option.map
@@ -970,13 +1242,14 @@ let handle_request t conn ~bytes_in (req : Protocol.request) =
           reject_at_gate t conn ~id ~rid ~op ~bytes_in
             Protocol.Deadline_exceeded "deadline expired on arrival"
         | _ ->
-          let w =
+          enqueue_work t
             {
               w_id = id;
               w_rid = rid;
               w_op = op;
               w_conn = conn;
               w_key = key;
+              w_ckey = ckey;
               w_model = model;
               w_board = board;
               w_job = job;
@@ -985,23 +1258,7 @@ let handle_request t conn ~bytes_in (req : Protocol.request) =
               w_bytes_in = bytes_in;
               w_dispatched_ns = 0;
               w_worker = -1;
-            }
-          in
-          if Bqueue.try_push t.queue w then begin
-            incr t.c.enqueued;
-            set_depth_gauge t
-          end
-          else if stopping t then begin
-            incr t.c.rejected_shutdown;
-            reject_at_gate t conn ~id ~rid ~op ~bytes_in
-              Protocol.Shutting_down "daemon is draining"
-          end
-          else begin
-            incr t.c.rejected_overloaded;
-            Metric.incr m_overloaded;
-            reject_at_gate t conn ~id ~rid ~op ~bytes_in Protocol.Overloaded
-              (Printf.sprintf "request queue full (%d)" t.cfg.queue_capacity)
-          end))
+            }))
 
 let handle_frame t conn line =
   incr t.c.frames;

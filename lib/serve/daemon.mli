@@ -63,7 +63,17 @@ type config = {
           sustained non-repeating load — segment and plan caches still
           memoize *)
   max_sessions : int;      (** parent-session registry cap; beyond it new
-                               (model, board) pairs evaluate uncached *)
+                               (model, board) pairs evaluate uncached
+                               (counted by [registry_full]) *)
+  cache_capacity : int;
+      (** result-cache entries ({!Util.Cache} striped LRU over the raw
+          evaluate payload); a hit replies from the reader thread,
+          byte-identical to the evaluation that populated it, without
+          touching the queue.  While a cacheable evaluate is queued,
+          identical requests coalesce onto it (single-flight): one
+          evaluation, N replies, deadlines honored per waiter.  [0]
+          disables both.  Clients opt out per request with
+          [{"cache": false}]. *)
   max_samples : int;       (** server-side cap on explore/validate samples *)
   max_specs_cap : int;     (** server-side cap on enumerate max_specs *)
   max_sleep_s : float;     (** cap on the [sleep] testing op *)
@@ -78,8 +88,8 @@ type config = {
 
 val default : socket_path:string -> config
 (** Defaults: recommended-domain-count workers, queue 256, 1 MiB
-    frames, batch 16, [store_arch = false], 64 sessions, flight ring
-    512 x 50 ms, no telemetry files. *)
+    frames, batch 16, [store_arch = false], 64 sessions, result cache
+    4096 entries, flight ring 512 x 50 ms, no telemetry files. *)
 
 type t
 

@@ -639,6 +639,227 @@ let test_recent_and_rids () =
                  records)
           | _ -> Alcotest.fail "recent reply without records"))
 
+(* ------------------------------------------------------ result cache *)
+
+let eval_frame ~id ?(cache = true) ~model ~board ~arch () =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", Json.Num (float_of_int id));
+         ("op", Json.Str "evaluate");
+         ( "params",
+           Json.Obj
+             ([
+                ("model", Json.Str model);
+                ("board", Json.Str board);
+                ("arch", Json.Str arch);
+              ]
+             @ if cache then [] else [ ("cache", Json.Bool false) ]) );
+       ])
+
+let raw_call c frame =
+  Result.get_ok (Serve.Client.send_line c frame);
+  match Serve.Client.recv_line ~timeout_s:60.0 c with
+  | Ok line -> line
+  | Error msg -> Alcotest.failf "recv: %s" msg
+
+(* The cache's core contract, pinned at the frame level: the reply
+   served from the cache is byte-identical to the reply that came from
+   the evaluation which populated it — and to an uncached evaluation
+   of the same request. *)
+let test_cache_bit_identical () =
+  with_daemon (fun cfg d ->
+      with_client cfg (fun c ->
+          let frame = eval_frame ~id:7 ~model:"Res50" ~board:"ZC706"
+              ~arch:"segmented/3" () in
+          let cold = raw_call c frame in
+          Alcotest.(check int) "one miss" 1 (counter d "cache_misses");
+          let warm = raw_call c frame in
+          Alcotest.(check int) "one hit" 1 (counter d "cache_hits");
+          Alcotest.(check string) "hit byte-identical to miss" cold warm;
+          let opted_out =
+            raw_call c
+              (eval_frame ~id:7 ~cache:false ~model:"Res50" ~board:"ZC706"
+                 ~arch:"segmented/3" ())
+          in
+          Alcotest.(check string) "opt-out byte-identical too" cold opted_out;
+          (* stats exposes the cache occupancy *)
+          let stats = ok_exn "stats" (Serve.Client.stats ~timeout_s:30.0 c) in
+          match Json.member "cache" stats with
+          | Some cache ->
+            Alcotest.(check bool)
+              "stats cache entries > 0" true
+              (match Json.member "entries" cache with
+              | Some (Json.Num n) -> n >= 1.0
+              | _ -> false)
+          | None -> Alcotest.fail "stats reply without cache member"))
+
+(* Mixed cache-on/off clients replaying the corpus concurrently: every
+   reply, hit or not, decodes to exactly the in-process metrics. *)
+let test_cache_mixed_clients () =
+  let corpus =
+    match Validate.Corpus.load corpus_path with
+    | Ok cases -> cases
+    | Error msg -> Alcotest.failf "corpus: %s" msg
+  in
+  let expected =
+    List.map
+      (fun (case : Validate.Case.t) ->
+        Mccm.Evaluate.metrics case.Validate.Case.model case.Validate.Case.board
+          (Validate.Case.materialize case))
+      corpus
+  in
+  with_daemon
+    ~configure:(fun c -> { c with Serve.Daemon.workers = 2 })
+    (fun cfg d ->
+      let failures = Atomic.make 0 in
+      let errors = Atomic.make 0 in
+      let worker use_cache () =
+        with_client cfg (fun c ->
+            for _ = 1 to 3 do
+              List.iter2
+                (fun case want ->
+                  match
+                    Serve.Client.evaluate_case ~timeout_s:120.0
+                      ~cache:use_cache c case
+                  with
+                  | Ok got ->
+                    if not (metrics_equal want got) then Atomic.incr failures
+                  | Error _ -> Atomic.incr errors)
+                corpus expected
+            done)
+      in
+      let threads =
+        List.map (fun b -> Thread.create (worker b) ()) [ true; false; true ]
+      in
+      List.iter Thread.join threads;
+      Alcotest.(check int) "transport errors" 0 (Atomic.get errors);
+      Alcotest.(check int) "bit-exactness failures" 0 (Atomic.get failures);
+      Alcotest.(check bool) "cache hits happened" true
+        (counter d "cache_hits" > 0))
+
+(* Single-flight: wedge the only worker, pile identical requests onto
+   the queued leader, and read exactly one evaluation off the daemon's
+   own counters. *)
+let test_cache_coalescing () =
+  with_daemon
+    ~configure:(fun c -> { c with Serve.Daemon.workers = 1 })
+    (fun cfg d ->
+      with_client cfg (fun blocker ->
+          with_client cfg (fun c ->
+              Result.get_ok
+                (Serve.Client.send_line blocker
+                   "{\"id\":\"hold\",\"op\":\"sleep\",\"params\":{\"seconds\":0.4}}");
+              Alcotest.(check bool)
+                "worker occupied" true
+                (wait_until (fun () -> counter d "dispatched" >= 1));
+              let enqueued0 = counter d "enqueued" in
+              let herd = 8 in
+              let frames =
+                List.init herd (fun i ->
+                    eval_frame ~id:i ~model:"MobV2" ~board:"VCU108"
+                      ~arch:"hybrid/4" ())
+              in
+              List.iter
+                (fun f -> Result.get_ok (Serve.Client.send_line c f))
+                frames;
+              let replies =
+                List.map
+                  (fun _ ->
+                    match Serve.Client.recv_line ~timeout_s:60.0 c with
+                    | Ok line -> line
+                    | Error msg -> Alcotest.failf "herd recv: %s" msg)
+                  frames
+              in
+              ignore (Serve.Client.recv_line ~timeout_s:30.0 blocker);
+              Alcotest.(check int) "one evaluation (misses)" 1
+                (counter d "cache_misses");
+              Alcotest.(check int) "rest coalesced" (herd - 1)
+                (counter d "cache_coalesced");
+              Alcotest.(check int) "one enqueue" (enqueued0 + 1)
+                (counter d "enqueued");
+              (* Ids differ per frame; results must not. *)
+              let results =
+                List.map
+                  (fun line ->
+                    match
+                      Option.map Json.to_string
+                        (Json.member "result"
+                           (Result.get_ok (Json.parse line)))
+                    with
+                    | Some r -> r
+                    | None -> Alcotest.failf "herd reply without result: %s" line)
+                  replies
+              in
+              match results with
+              | [] -> Alcotest.fail "no herd replies"
+              | first :: rest ->
+                Alcotest.(check bool)
+                  "coalesced results identical" true
+                  (List.for_all (String.equal first) rest))))
+
+(* A tiny cache must evict, stay bounded, and keep replies correct. *)
+let test_cache_eviction_bounded () =
+  with_daemon
+    ~configure:(fun c -> { c with Serve.Daemon.cache_capacity = 2 })
+    (fun cfg d ->
+      with_client cfg (fun c ->
+          let archs = [ "hybrid/2"; "hybrid/3"; "hybrid/4"; "segmented/2" ] in
+          for _ = 1 to 3 do
+            List.iter
+              (fun arch ->
+                ignore
+                  (ok_exn "evaluate"
+                     (Serve.Client.evaluate ~timeout_s:60.0 c ~model:"MobV2"
+                        ~board:"VCU108" ~arch)))
+              archs
+          done;
+          Alcotest.(check bool) "evictions happened" true
+            (counter d "cache_evictions" > 0);
+          let stats = ok_exn "stats" (Serve.Client.stats ~timeout_s:30.0 c) in
+          match Json.member "cache" stats with
+          | Some cache ->
+            Alcotest.(check bool)
+              "entries bounded by capacity" true
+              (match Json.member "entries" cache with
+              | Some (Json.Num n) -> n <= 2.0
+              | _ -> false)
+          | None -> Alcotest.fail "stats reply without cache member"))
+
+(* cache_capacity = 0 disables the cache entirely; everything still
+   works and no cache counter ever moves. *)
+let test_cache_disabled () =
+  with_daemon
+    ~configure:(fun c -> { c with Serve.Daemon.cache_capacity = 0 })
+    (fun cfg d ->
+      with_client cfg (fun c ->
+          for _ = 1 to 3 do
+            ignore
+              (ok_exn "evaluate"
+                 (Serve.Client.evaluate ~timeout_s:60.0 c ~model:"MobV2"
+                    ~board:"VCU108" ~arch:"hybrid/4"))
+          done;
+          Alcotest.(check int) "no hits" 0 (counter d "cache_hits");
+          Alcotest.(check int) "no misses" 0 (counter d "cache_misses");
+          Alcotest.(check int) "no coalescing" 0
+            (counter d "cache_coalesced")))
+
+(* A non-boolean "cache" member is a validation error, not a crash. *)
+let test_cache_param_validated () =
+  with_daemon (fun cfg _d ->
+      with_client cfg (fun c ->
+          Result.get_ok
+            (Serve.Client.send_line c
+               "{\"id\":1,\"op\":\"evaluate\",\"params\":{\"model\":\"MobV2\",\"board\":\"VCU108\",\"arch\":\"hybrid/4\",\"cache\":\"yes\"}}");
+          match Serve.Client.recv_line ~timeout_s:30.0 c with
+          | Error msg -> Alcotest.failf "recv: %s" msg
+          | Ok line ->
+            let frame = Result.get_ok (Json.parse line) in
+            Alcotest.(check bool)
+              "bad_params" true
+              (Option.bind (Json.member "error" frame) (Json.member "code")
+              = Some (Json.Str "bad_params"))))
+
 (* ---------------------------------------------------------- run all *)
 
 let () =
@@ -678,6 +899,20 @@ let () =
             `Quick test_stats_snapshot_bit_exact;
           Alcotest.test_case "recent records and rid propagation" `Quick
             test_recent_and_rids;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit byte-identical to miss and opt-out" `Quick
+            test_cache_bit_identical;
+          Alcotest.test_case "mixed cache-on/off clients bit-exact" `Slow
+            test_cache_mixed_clients;
+          Alcotest.test_case "thundering herd coalesces to one evaluation"
+            `Quick test_cache_coalescing;
+          Alcotest.test_case "tiny cache evicts and stays bounded" `Quick
+            test_cache_eviction_bounded;
+          Alcotest.test_case "capacity 0 disables" `Quick test_cache_disabled;
+          Alcotest.test_case "non-boolean cache param rejected" `Quick
+            test_cache_param_validated;
         ] );
       ( "drain",
         [ Alcotest.test_case "shutdown drains queued work" `Quick

@@ -210,6 +210,88 @@ let prop_interleaved_partial_writes =
           expect_structured_reply a "interleaved ping";
           true))
 
+(* ---------------------------------------- forward compatibility: /2 *)
+
+(* Unknown top-level request fields are ignored, not rejected: newer
+   clients may decorate frames (tracing ids, feature hints) and the
+   daemon must keep answering.  The recognised fields are exactly
+   [id]/[op]/[params]/[deadline_ms]; anything else is opaque. *)
+
+let reserved_fields = [ "id"; "op"; "params"; "deadline_ms" ]
+
+let gen_extra_field =
+  QCheck2.Gen.(
+    let name =
+      map
+        (fun s -> "x-" ^ s)
+        (string_size ~gen:(map Char.chr (int_range 97 122)) (int_range 1 12))
+    in
+    let value =
+      oneof
+        [
+          return Json.Null;
+          map (fun b -> Json.Bool b) bool;
+          map (fun n -> Json.Num (float_of_int n)) (int_range (-1000) 1000);
+          map (fun s -> Json.Str s) (small_string ~gen:printable);
+          map (fun vs -> Json.Arr vs)
+            (list_size (int_range 0 3)
+               (map (fun n -> Json.Num (float_of_int n)) small_int));
+        ]
+    in
+    pair name value)
+
+let test_unknown_fields_ignored () =
+  with_client (fun c ->
+      let frames =
+        [
+          "{\"id\":1,\"op\":\"ping\",\"trace\":\"abc123\"}";
+          "{\"id\":2,\"op\":\"ping\",\"x-priority\":7,\"hints\":{\"retry\":false}}";
+          "{\"id\":3,\"op\":\"evaluate\",\"ext\":[1,2],\"params\":{\"model\":\"MobV2\",\"board\":\"VCU108\",\"arch\":\"hybrid/4\"}}";
+        ]
+      in
+      List.iter
+        (fun frame ->
+          (match Serve.Client.send_line c frame with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "send: %s" msg);
+          match Serve.Client.recv_line ~timeout_s:60.0 c with
+          | Error msg -> Alcotest.failf "recv: %s" msg
+          | Ok line -> (
+            match Serve.Protocol.parse_reply line with
+            | Ok { Serve.Protocol.outcome = Ok _; _ } -> ()
+            | Ok { Serve.Protocol.outcome = Error (code, msg); _ } ->
+              Alcotest.failf "frame %s rejected: %s: %s" frame code msg
+            | Error msg -> Alcotest.failf "unparsable reply: %s" msg))
+        frames)
+
+let prop_unknown_fields_ignored =
+  QCheck2.Test.make ~name:"unknown top-level fields -> ok reply" ~count:60
+    QCheck2.Gen.(list_size (int_range 1 5) gen_extra_field)
+    (fun extras ->
+      let extras =
+        List.filter (fun (k, _) -> not (List.mem k reserved_fields)) extras
+      in
+      let frame =
+        Json.to_string
+          (Json.Obj
+             ([ ("id", Json.Num 9.0); ("op", Json.Str "ping") ] @ extras))
+      in
+      with_client (fun c ->
+          (match Serve.Client.send_line c frame with
+          | Ok () -> ()
+          | Error msg -> QCheck2.Test.fail_reportf "send: %s" msg);
+          (match Serve.Client.recv_line ~timeout_s:30.0 c with
+          | Error msg -> QCheck2.Test.fail_reportf "no reply: %s" msg
+          | Ok line -> (
+            match Serve.Protocol.parse_reply line with
+            | Ok { Serve.Protocol.outcome = Ok _; _ } -> ()
+            | Ok { Serve.Protocol.outcome = Error (code, msg); _ } ->
+              QCheck2.Test.fail_reportf
+                "decorated ping rejected (%s): %s: %s" frame code msg
+            | Error msg ->
+              QCheck2.Test.fail_reportf "unparsable reply: %s" msg));
+          still_alive c))
+
 (* ------------------------------------------------- final health gate *)
 
 (* Runs last: after every property above hammered the daemon, the pool
@@ -259,5 +341,10 @@ let () =
             prop_oversized_then_resync;
             prop_interleaved_partial_writes;
           ] );
+      ( "forward-compat",
+        Alcotest.test_case "unknown top-level fields ignored" `Quick
+          test_unknown_fields_ignored
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_unknown_fields_ignored ] );
       ("aftermath", [ Alcotest.test_case "pool alive, ledger balanced" `Quick test_aftermath ]);
     ]

@@ -128,6 +128,10 @@ let test_soak () =
       (Serve.Daemon.default ~socket_path:sock) with
       Serve.Daemon.workers = 2;
       queue_capacity = 64;
+      (* Far below the mix's distinct-request count: the result cache
+         churns at full capacity the whole soak, so eviction runs under
+         the RSS and monotonicity gates too. *)
+      cache_capacity = 4;
     }
   in
   let h = Serve.Daemon.spawn cfg in
@@ -189,6 +193,9 @@ let test_soak () =
   let get k = List.assoc k counters in
   Alcotest.(check int) "write failures" 0 (get "write_failures");
   Alcotest.(check bool) "served requests" true (get "replies" > 0);
+  Alcotest.(check bool)
+    "cache churned at full capacity" true
+    (get "cache_evictions" > 0);
   Serve.Daemon.shutdown h;
   Alcotest.(check bool) "socket unlinked" false (Sys.file_exists sock)
 

@@ -502,13 +502,142 @@ let prop_json_depth_cap =
       let s = String.make depth '[' ^ String.make depth ']' in
       match Util.Json.parse s with Error _ -> true | Ok _ -> false)
 
+(* ----------------------------------------------------------- Cache *)
+
+let test_cache_basic () =
+  let c = Util.Cache.create ~shards:1 ~capacity:3 () in
+  check "empty" 0 (Util.Cache.length c);
+  check "capacity" 3 (Util.Cache.capacity c);
+  check "shards" 1 (Util.Cache.shards c);
+  checkb "miss" true (Util.Cache.find c "a" = None);
+  check "no eviction" 0 (Util.Cache.add c "a" 1);
+  checkb "hit" true (Util.Cache.find c "a" = Some 1);
+  checkb "mem" true (Util.Cache.mem c "a");
+  checkb "mem miss" false (Util.Cache.mem c "zz");
+  check "replace keeps size" 0 (Util.Cache.add c "a" 2);
+  checkb "replaced" true (Util.Cache.find c "a" = Some 2);
+  check "one entry" 1 (Util.Cache.length c)
+
+(* Single shard = exact LRU: the least recently touched key is the one
+   evicted, and a find refreshes recency. *)
+let test_cache_lru_order () =
+  let c = Util.Cache.create ~shards:1 ~capacity:3 () in
+  ignore (Util.Cache.add c "a" 1);
+  ignore (Util.Cache.add c "b" 2);
+  ignore (Util.Cache.add c "c" 3);
+  ignore (Util.Cache.find c "a");
+  (* recency now a, c, b *)
+  check "evicts one" 1 (Util.Cache.add c "d" 4);
+  checkb "b evicted" false (Util.Cache.mem c "b");
+  checkb "a kept" true (Util.Cache.mem c "a");
+  checkb "c kept" true (Util.Cache.mem c "c");
+  checkb "d present" true (Util.Cache.mem c "d")
+
+let test_cache_counters () =
+  let c = Util.Cache.create ~shards:1 ~capacity:2 () in
+  ignore (Util.Cache.find c "a");
+  ignore (Util.Cache.add c "a" 1);
+  ignore (Util.Cache.find c "a");
+  ignore (Util.Cache.add c "b" 2);
+  ignore (Util.Cache.add c "c" 3);
+  let s = Util.Cache.stats c in
+  check "hits" 1 s.Util.Cache.hits;
+  check "misses" 1 s.Util.Cache.misses;
+  check "evictions" 1 s.Util.Cache.evictions;
+  check "entries" 2 s.Util.Cache.entries;
+  Util.Cache.clear c;
+  check "cleared" 0 (Util.Cache.length c);
+  let s' = Util.Cache.stats c in
+  check "counters survive clear" 1 s'.Util.Cache.evictions;
+  (* shard_stats totals agree with stats *)
+  let per = Util.Cache.shard_stats c in
+  check "shard stats rows" (Util.Cache.shards c) (Array.length per);
+  check "shard hits sum" s'.Util.Cache.hits
+    (Array.fold_left (fun acc x -> acc + x.Util.Cache.hits) 0 per)
+
+let test_cache_invalid () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Cache.create: capacity must be >= 1") (fun () ->
+      ignore (Util.Cache.create ~capacity:0 ()))
+
+let test_cache_shard_rounding () =
+  (* shards rounds down to a power of two and clamps to capacity *)
+  check "clamped" 2 (Util.Cache.shards (Util.Cache.create ~shards:16 ~capacity:2 ()));
+  check "rounded" 4 (Util.Cache.shards (Util.Cache.create ~shards:7 ~capacity:100 ()));
+  check "capacity kept" 100
+    (Util.Cache.capacity (Util.Cache.create ~shards:7 ~capacity:100 ()))
+
+(* Exact-LRU property: a single-shard cache behaves like a reference
+   model (association list in recency order) over random op streams. *)
+let prop_cache_matches_reference =
+  let open QCheck2 in
+  let gen_ops =
+    Gen.(list_size (int_range 0 200)
+           (pair (int_range 0 1) (int_range 0 12)))
+  in
+  Test.make ~name:"cache single shard = reference LRU" ~count:200 gen_ops
+    (fun ops ->
+      let cap = 4 in
+      let c = Util.Cache.create ~shards:1 ~capacity:cap () in
+      (* model: (key, value) list, head = most recent *)
+      let model = ref [] in
+      List.for_all
+        (fun (op, k) ->
+          let key = string_of_int k in
+          if op = 0 then begin
+            let expected = List.assoc_opt key !model in
+            (match expected with
+            | Some _ ->
+              model :=
+                (key, Option.get expected)
+                :: List.remove_assoc key !model
+            | None -> ());
+            Util.Cache.find c key = expected
+          end
+          else begin
+            let evicted = Util.Cache.add c key k in
+            model := (key, k) :: List.remove_assoc key !model;
+            let over = List.length !model > cap in
+            if over then
+              model := List.filteri (fun i _ -> i < cap) !model;
+            evicted = (if over then 1 else 0)
+            && Util.Cache.length c = List.length !model
+          end)
+        ops)
+
+(* Domains hammer: concurrent adds and finds never corrupt the
+   structure — the capacity bound holds, every find returns the value
+   that was stored for that key, and counters total coherently. *)
+let test_cache_domains () =
+  let cap = 64 in
+  let c = Util.Cache.create ~capacity:cap () in
+  let per_domain = 5_000 in
+  let worker seed () =
+    let prng = Util.Prng.create ~seed:(Int64.of_int seed) in
+    for _ = 1 to per_domain do
+      let k = Util.Prng.int prng ~bound:200 in
+      let key = string_of_int k in
+      if Util.Prng.int prng ~bound:2 = 0 then ignore (Util.Cache.add c key k)
+      else
+        match Util.Cache.find c key with
+        | None -> ()
+        | Some v -> if v <> k then failwith "cache returned wrong value"
+    done
+  in
+  let domains = List.init 4 (fun i -> Domain.spawn (worker (i + 1))) in
+  List.iter Domain.join domains;
+  checkb "within capacity" true (Util.Cache.length c <= cap);
+  let s = Util.Cache.stats c in
+  checkb "entries consistent" true (s.Util.Cache.entries = Util.Cache.length c);
+  checkb "counted finds" true (s.Util.Cache.hits + s.Util.Cache.misses > 0)
+
 let properties =
   List.map QCheck_alcotest.to_alcotest
     [ prop_ceil_div; prop_divisors; prop_partition_cover; prop_prng_distinct;
       prop_quantile_reference; prop_quantile_bounded_monotone;
       prop_heap_pop_sorted; prop_heap_interleaved; prop_json_roundtrip;
       prop_json_pretty_agrees; prop_json_trailing_garbage;
-      prop_json_depth_cap ]
+      prop_json_depth_cap; prop_cache_matches_reference ]
 
 let () =
   Alcotest.run "util"
@@ -565,5 +694,14 @@ let () =
           Alcotest.test_case "cell mismatch" `Quick test_table_cell_mismatch;
         ] );
       ("units", [ Alcotest.test_case "conversions" `Quick test_units ]);
+      ( "cache",
+        [
+          Alcotest.test_case "basic" `Quick test_cache_basic;
+          Alcotest.test_case "lru order" `Quick test_cache_lru_order;
+          Alcotest.test_case "counters" `Quick test_cache_counters;
+          Alcotest.test_case "invalid capacity" `Quick test_cache_invalid;
+          Alcotest.test_case "shard rounding" `Quick test_cache_shard_rounding;
+          Alcotest.test_case "domains hammer" `Quick test_cache_domains;
+        ] );
       ("properties", properties);
     ]
